@@ -1,0 +1,34 @@
+# Convenience targets for the reproduction workflow.
+
+PY ?= python
+
+.PHONY: install test bench bench-full figures report examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# The paper-scale run (hours): 5000 cycles, 1000 reps, full grids.
+bench-full:
+	REPRO_BENCH_CYCLES=5000 REPRO_BENCH_REPS=1000 REPRO_BENCH_FULL=1 \
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PY) examples/render_figures.py 200
+
+report:
+	$(PY) -m repro.cli report --cycles 500 --reps 20 -o reproduction_report.md
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; $(PY) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf figures reproduction_report.md .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

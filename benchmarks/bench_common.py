@@ -1,0 +1,39 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from repro.analysis import comparison_table
+from repro.core import Criterion
+from repro.simulation import ComparisonResult, make_generator
+from repro.simulation.config import ExperimentConfig
+
+
+def fresh_pool(config: ExperimentConfig):
+    """One freshly generated slot pool of the configured environment."""
+    generator = make_generator(config)
+    return generator.generate().slot_pool()
+
+
+def figure_means(result: ComparisonResult, criterion: Criterion) -> dict[str, float]:
+    """The means a paper figure plots: five algorithms + the CSA diagonal."""
+    means = {
+        name: stats.mean(criterion) for name, stats in result.algorithms.items()
+    }
+    means["CSA"] = result.csa_mean_of(criterion)
+    return means
+
+
+def print_figure(
+    title: str,
+    result: ComparisonResult,
+    criterion: Criterion,
+    reference: dict[str, float],
+) -> None:
+    print()
+    print(
+        comparison_table(
+            figure_means(result, criterion),
+            reference,
+            title=f"{title} ({result.cycles_run} cycles; paper used 5000)",
+        )
+    )

@@ -1,0 +1,89 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table and figure of the paper's Section 3 has a benchmark module
+here.  The statistical experiments (Figs. 2-4) share one session-scoped
+comparison run; the timing experiments (Tables 1-2 / Figs. 5-6) measure
+the algorithms directly through pytest-benchmark.
+
+Scale knobs (environment variables):
+
+``REPRO_BENCH_CYCLES``
+    Scheduling cycles for the Fig. 2-4 statistics (default 150; the paper
+    used 5000 — set 5000 for a full reproduction, ~10 min).
+``REPRO_BENCH_REPS``
+    Repetitions per swept point in the Table 1-2 trend studies (default 5;
+    the paper used 1000).
+``REPRO_BENCH_FULL``
+    Set to 1 to sweep the paper's full parameter grids (nodes up to 400,
+    intervals up to 3600) instead of the abbreviated default grids.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.environment import EnvironmentConfig
+from repro.simulation import ExperimentConfig, run_comparison
+
+BENCH_SEED = 20130901  # PaCT 2013 took place in September 2013.
+
+
+def bench_cycles() -> int:
+    return int(os.environ.get("REPRO_BENCH_CYCLES", "150"))
+
+
+def bench_repetitions() -> int:
+    return int(os.environ.get("REPRO_BENCH_REPS", "5"))
+
+
+def full_sweep() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def node_sweep() -> tuple[int, ...]:
+    if full_sweep():
+        return (50, 100, 200, 300, 400)
+    return (50, 100, 200)
+
+
+def interval_sweep() -> tuple[float, ...]:
+    if full_sweep():
+        return (600.0, 1200.0, 1800.0, 2400.0, 3000.0, 3600.0)
+    return (600.0, 1200.0, 2400.0)
+
+
+def base_experiment_config(cycles: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        environment=EnvironmentConfig(node_count=100),
+        cycles=cycles,
+        seed=BENCH_SEED,
+    )
+
+
+@pytest.fixture(scope="session")
+def base_result():
+    """The Section 3.1 base experiment, shared by the Fig. 2-4 benchmarks."""
+    return run_comparison(base_experiment_config(bench_cycles()))
+
+
+@pytest.fixture(scope="session")
+def base_config():
+    return base_experiment_config(bench_cycles())
+
+
+@pytest.fixture(scope="session")
+def node_study(base_config):
+    """The Table 1 sweep, shared by the Table 1 and Fig. 5 benchmarks."""
+    from repro.simulation import sweep_node_counts
+
+    return sweep_node_counts(base_config, node_sweep(), bench_repetitions())
+
+
+@pytest.fixture(scope="session")
+def interval_study(base_config):
+    """The Table 2 sweep, shared by the Table 2 and Fig. 6 benchmarks."""
+    from repro.simulation import sweep_interval_lengths
+
+    return sweep_interval_lengths(base_config, interval_sweep(), bench_repetitions())

@@ -1,0 +1,98 @@
+"""Ablation: AMP window-composition policy (first-in-scan-order vs cheapest).
+
+The paper's AMP takes the first ``n`` parallel slots affordable under the
+budget, evicting the most expensive slot of the forming window whenever it
+busts the budget.  The "cheapest" policy instead tests the ``n`` cheapest
+alive candidates at every step, which provably minimizes the start time.
+
+Measured finding (worth recording): on the generated environments the two
+policies coincide almost always.  The eviction rule keeps discarding the
+prefix maximum until the forming window is affordable, which at the first
+feasible scan step leaves exactly the cheapest feasible subset — so the
+paper-faithful scan achieves the provably optimal start time in practice,
+while costing one sort less per step.  The policies only drift apart under
+very tight budgets, where eviction is permanent but the cheapest-subset
+search may re-use a slot it would have evicted.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core import AMP
+from repro.model import Job, ResourceRequest
+from repro.simulation.experiment import make_generator
+
+SAMPLES = 25
+TIGHT_BUDGET = 1050.0
+
+
+def _compare(job, pools):
+    first, cheapest = AMP(policy="first"), AMP(policy="cheapest")
+    stats = {"start_diff": [], "cost_diff": [], "found": 0}
+    for pool in pools:
+        window_first = first.select(job, pool)
+        window_cheapest = cheapest.select(job, pool)
+        assert (window_first is None) == (window_cheapest is None)
+        if window_first is None:
+            continue
+        # Optimality of the cheapest policy: never a later start.
+        assert window_cheapest.start <= window_first.start + 1e-9
+        stats["found"] += 1
+        stats["start_diff"].append(window_first.start - window_cheapest.start)
+        stats["cost_diff"].append(window_first.total_cost - window_cheapest.total_cost)
+    return stats
+
+
+def test_ablation_amp_policy(benchmark, base_config):
+    generator = make_generator(base_config)
+    pools = [generator.generate().slot_pool() for _ in range(SAMPLES)]
+    base_job = base_config.base_job()
+    tight_job = Job(
+        "tight",
+        ResourceRequest(
+            node_count=base_job.request.node_count,
+            reservation_time=base_job.request.reservation_time,
+            budget=TIGHT_BUDGET,
+        ),
+    )
+
+    base_stats = _compare(base_job, pools)
+    tight_stats = _compare(tight_job, pools)
+
+    window = benchmark(AMP(policy="first").select, base_job, pools[0])
+    assert window is not None
+
+    print()
+    print(
+        render_table(
+            ["budget", "windows", "mean start gap", "mean cost gap"],
+            [
+                [
+                    "1500 (paper)",
+                    base_stats["found"],
+                    float(np.mean(base_stats["start_diff"])),
+                    float(np.mean(base_stats["cost_diff"])),
+                ],
+                [
+                    f"{TIGHT_BUDGET:.0f} (tight)",
+                    tight_stats["found"],
+                    float(np.mean(tight_stats["start_diff"])),
+                    float(np.mean(tight_stats["cost_diff"])),
+                ],
+            ],
+            title=(
+                "Ablation - AMP eviction scan vs cheapest-subset scan "
+                f"({SAMPLES} environments; gap = first - cheapest)"
+            ),
+        )
+    )
+
+    # On the base experiment the eviction scan is start-time optimal: it
+    # matches the provably optimal policy exactly.
+    assert np.mean(base_stats["start_diff"]) <= 1e-6
+    assert abs(np.mean(base_stats["cost_diff"])) < 1.0
+    # Under a tight budget both policies still agree on feasibility and
+    # the eviction scan stays within a small start-time gap.
+    assert tight_stats["found"] > 0
+    assert np.mean(tight_stats["start_diff"]) >= 0.0
+    assert np.mean(tight_stats["start_diff"]) < 30.0

@@ -1,0 +1,67 @@
+"""Ablation: the CSA slot-cutting policy (consume vs split).
+
+DESIGN.md: consume-cutting (drop each used slot entirely) reproduces the
+paper's alternative counts; split-cutting (re-insert the unused slot
+remainders, reference [17]'s finer bookkeeping) packs several times more
+alternatives into the same environment at a higher search cost.  This
+benchmark quantifies both sides.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core import CSA, Criterion
+from repro.simulation.experiment import make_generator
+
+SAMPLES = 8
+
+
+def test_ablation_csa_cutting(benchmark, base_config):
+    generator = make_generator(base_config)
+    job = base_config.base_job()
+    consume = CSA(cut_mode="consume")
+    split = CSA(cut_mode="split")
+
+    counts = {"consume": [], "split": []}
+    cheapest = {"consume": [], "split": []}
+    pools = [generator.generate().slot_pool() for _ in range(SAMPLES)]
+    for pool in pools:
+        for name, algorithm in (("consume", consume), ("split", split)):
+            alternatives = algorithm.find_alternatives(job, pool)
+            counts[name].append(len(alternatives))
+            if alternatives:
+                cheapest[name].append(
+                    min(Criterion.COST.evaluate(w) for w in alternatives)
+                )
+
+    alternatives = benchmark(consume.find_alternatives, job, pools[0])
+    assert alternatives
+
+    print()
+    print(
+        render_table(
+            ["cut policy", "alternatives/cycle", "cheapest alt cost"],
+            [
+                [
+                    name,
+                    float(np.mean(counts[name])),
+                    float(np.mean(cheapest[name])),
+                ]
+                for name in ("consume", "split")
+            ],
+            title=(
+                f"Ablation - CSA cutting policy ({SAMPLES} environments; "
+                "paper reports 57 alternatives with its coarse cutting)"
+            ),
+        )
+    )
+
+    # Split-cutting packs strictly more alternatives into the same free
+    # time.  (The two alternative sets are not nested — after the first
+    # cut the searches diverge — so per-criterion quality is similar, not
+    # ordered; the count is the real difference.)
+    assert np.mean(counts["split"]) > 1.5 * np.mean(counts["consume"])
+    # Both policies find the same first (earliest) window, so the cheapest
+    # alternative of either policy stays in the same cost band.
+    ratio = np.mean(cheapest["split"]) / np.mean(cheapest["consume"])
+    assert 0.85 < ratio < 1.15

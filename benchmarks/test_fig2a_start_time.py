@@ -1,0 +1,31 @@
+"""Fig. 2 (a): average start time of the selected windows.
+
+Paper values: AMP / MinFinish / CSA start at t = 0; MinRunTime 53;
+MinCost 193; MinProcTime 514.9.  The benchmarked unit is the AMP
+selection (the start-time optimizer) on a fresh base environment.
+"""
+
+from benchmarks.bench_common import fresh_pool, print_figure
+from repro.analysis.paper_reference import FIG2A_START_TIME
+from repro.core import AMP, Criterion
+
+
+def test_fig2a_start_time(benchmark, base_result, base_config):
+    pool = fresh_pool(base_config)
+    job = base_config.base_job()
+    amp = AMP()
+
+    window = benchmark(amp.select, job, pool)
+    assert window is not None
+
+    print_figure(
+        "Fig. 2(a) - average start time", base_result, Criterion.START_TIME,
+        FIG2A_START_TIME,
+    )
+
+    # Shape assertions (who wins, what the ordering is).
+    means = base_result.all_means(Criterion.START_TIME)
+    assert means["AMP"] < 2.0
+    assert means["MinFinish"] < 2.0
+    assert means["CSA"] < 2.0
+    assert means["AMP"] < means["MinRunTime"] < means["MinCost"] < means["MinProcTime"]

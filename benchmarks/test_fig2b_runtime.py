@@ -1,0 +1,33 @@
+"""Fig. 2 (b): average runtime of the selected windows.
+
+Paper values: MinRunTime 33; MinFinish 34.4 (+4.2%); MinProcTime 37.7;
+CSA 38; AMP and MinCost "relatively long".  The benchmarked unit is the
+MinRunTime selection on a fresh base environment.
+"""
+
+from benchmarks.bench_common import fresh_pool, print_figure
+from repro.analysis.paper_reference import FIG2B_RUNTIME
+from repro.core import Criterion, MinRunTime
+
+
+def test_fig2b_runtime(benchmark, base_result, base_config):
+    pool = fresh_pool(base_config)
+    job = base_config.base_job()
+    algorithm = MinRunTime()
+
+    window = benchmark(algorithm.select, job, pool)
+    assert window is not None
+
+    print_figure(
+        "Fig. 2(b) - average runtime", base_result, Criterion.RUNTIME, FIG2B_RUNTIME
+    )
+
+    means = base_result.all_means(Criterion.RUNTIME)
+    assert means["MinRunTime"] == min(means.values())
+    assert means["MinFinish"] <= 1.15 * means["MinRunTime"]
+    assert means["AMP"] > 1.3 * means["MinRunTime"]
+    assert means["MinCost"] > 1.5 * means["MinRunTime"]
+    # The budget keeps the fastest nodes out of reach: the runtime lands in
+    # the paper's band, far above the 15 units an unconstrained search
+    # would achieve on performance-10 nodes.
+    assert 25.0 <= means["MinRunTime"] <= 45.0

@@ -1,0 +1,35 @@
+"""Fig. 3 (a): average finish time of the selected windows.
+
+Paper values: MinFinish 34.4; CSA 52.6 (52.9% later); MinCost 307.7.
+The benchmarked unit is the MinFinish selection on a fresh base
+environment.
+"""
+
+from benchmarks.bench_common import fresh_pool, print_figure
+from repro.analysis.paper_reference import FIG3A_FINISH_TIME
+from repro.core import Criterion, MinFinish
+
+
+def test_fig3a_finish_time(benchmark, base_result, base_config):
+    pool = fresh_pool(base_config)
+    job = base_config.base_job()
+    algorithm = MinFinish()
+
+    window = benchmark(algorithm.select, job, pool)
+    assert window is not None
+
+    print_figure(
+        "Fig. 3(a) - average finish time",
+        base_result,
+        Criterion.FINISH_TIME,
+        FIG3A_FINISH_TIME,
+    )
+
+    means = base_result.all_means(Criterion.FINISH_TIME)
+    assert means["MinFinish"] == min(means.values())
+    # CSA is the closest competitor, noticeably behind (paper: +52.9%).
+    others = {name: value for name, value in means.items() if name != "MinFinish"}
+    assert min(others, key=others.__getitem__) == "CSA"
+    assert means["CSA"] > 1.2 * means["MinFinish"]
+    # MinCost finishes late: late start plus the longest runtime.
+    assert means["MinCost"] > 4.0 * means["MinFinish"]

@@ -1,0 +1,43 @@
+"""Fig. 3 (b): average used processor (CPU) time of the selected windows.
+
+Paper values: MinRunTime 158; MinFinish 161.9; CSA 168.6; MinProcTime
+171.6 (within 2% of CSA); AMP and MinCost the most consuming.  The
+benchmarked unit is the simplified MinProcTime selection on a fresh base
+environment.
+"""
+
+import numpy as np
+
+from benchmarks.bench_common import fresh_pool, print_figure
+from repro.analysis.paper_reference import FIG3B_PROC_TIME
+from repro.core import Criterion, MinProcTime
+
+
+def test_fig3b_proc_time(benchmark, base_result, base_config):
+    pool = fresh_pool(base_config)
+    job = base_config.base_job()
+    algorithm = MinProcTime(rng=np.random.default_rng(0))
+
+    window = benchmark(algorithm.select, job, pool)
+    assert window is not None
+
+    print_figure(
+        "Fig. 3(b) - average used processor time",
+        base_result,
+        Criterion.PROCESSOR_TIME,
+        FIG3B_PROC_TIME,
+    )
+
+    means = base_result.all_means(Criterion.PROCESSOR_TIME)
+    assert means["MinRunTime"] == min(means.values())
+    # The comparable group of the paper: MinFinish / CSA / MinProcTime
+    # within ~10% of the winner.
+    assert means["MinFinish"] <= 1.15 * means["MinRunTime"]
+    assert means["CSA"] <= 1.15 * means["MinRunTime"]
+    assert means["MinProcTime"] <= 1.20 * means["MinRunTime"]
+    # AMP and MinCost consume the most CPU time.
+    comparable_max = max(
+        means["MinRunTime"], means["MinFinish"], means["CSA"], means["MinProcTime"]
+    )
+    assert means["AMP"] > comparable_max
+    assert means["MinCost"] > comparable_max

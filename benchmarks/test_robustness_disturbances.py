@@ -1,0 +1,81 @@
+"""Extension study: window robustness on truly non-dedicated resources.
+
+The paper's experiments treat the published slot lists as firm; on real
+non-dedicated nodes, local jobs keep arriving and preempt reservations.
+This study replays each criterion's windows under a Poisson disturbance
+model (see :mod:`repro.execution`) and measures how the *planned*
+advantages survive:
+
+* MinCost's windows sit on slow nodes for a long time — the largest
+  node-hour exposure, hence the largest absolute delays;
+* MinRunTime/MinFinish windows are compact and lose the least;
+* the planned criterion ordering (finish times) is preserved under light
+  disturbance.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core import AMP, MinCost, MinFinish, MinRunTime
+from repro.execution import PoissonDisturbances, replay_execution
+from repro.simulation.experiment import make_generator
+
+SAMPLES = 20
+MODEL = PoissonDisturbances(rate=0.002, length_range=(10.0, 40.0))
+
+ALGORITHMS = (AMP(), MinFinish(), MinRunTime(), MinCost())
+
+
+def test_robustness_under_disturbances(benchmark, base_config):
+    generator = make_generator(base_config)
+    job = base_config.base_job()
+    rng = np.random.default_rng(77)
+
+    delays = {algorithm.name: [] for algorithm in ALGORITHMS}
+    slowdowns = {algorithm.name: [] for algorithm in ALGORITHMS}
+    actual_finishes = {algorithm.name: [] for algorithm in ALGORITHMS}
+    pools = [generator.generate().slot_pool() for _ in range(SAMPLES)]
+    for pool in pools:
+        for algorithm in ALGORITHMS:
+            window = algorithm.select(job, pool)
+            if window is None:
+                continue
+            report = replay_execution({"job": window}, MODEL, rng)
+            outcome = report.jobs["job"]
+            delays[algorithm.name].append(outcome.delay)
+            slowdowns[algorithm.name].append(outcome.slowdown)
+            actual_finishes[algorithm.name].append(outcome.actual_finish)
+
+    window = benchmark(MinFinish().select, job, pools[0])
+    assert window is not None
+
+    rows = [
+        [
+            name,
+            float(np.mean(delays[name])),
+            float(np.mean(slowdowns[name])),
+            float(np.mean(actual_finishes[name])),
+        ]
+        for name in delays
+    ]
+    print()
+    print(
+        render_table(
+            ["algorithm", "mean delay", "mean slowdown", "actual finish"],
+            rows,
+            title=(
+                f"Robustness under Poisson disturbances "
+                f"(rate {MODEL.rate}/node/unit, {SAMPLES} environments)"
+            ),
+        )
+    )
+
+    # MinCost's long slow-node reservations absorb the most delay.
+    assert np.mean(delays["MinCost"]) >= np.mean(delays["MinRunTime"])
+    # The planned finish-time ordering survives light disturbance.
+    assert np.mean(actual_finishes["MinFinish"]) < np.mean(
+        actual_finishes["MinCost"]
+    )
+    # Nothing finishes earlier than planned.
+    for values in delays.values():
+        assert min(values) >= -1e-9

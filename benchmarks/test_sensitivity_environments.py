@@ -1,0 +1,126 @@
+"""Sensitivity study: where the paper's conclusions hold and where they bend.
+
+Runs the Figs. 2-4 comparison on perturbed environment families (presets
+in :mod:`repro.environment.presets`) and checks the predictable shifts:
+
+* **homogeneous** nodes erase MinRunTime's runtime advantage (every window
+  runs at the same speed);
+* **literal proportional pricing** un-binds the budget on fast nodes, so
+  MinRunTime collapses to the hardware-limit runtime (the calibration
+  argument of ``repro.environment.pricing`` made measurable);
+* **high load** slashes CSA's alternative supply;
+* **noisy market** widens the MinCost advantage.
+"""
+
+from dataclasses import replace
+
+from repro.analysis import render_table
+from repro.core import Criterion
+from repro.core.algorithms import MinCost, MinRunTime
+from repro.environment import preset
+from repro.simulation import ExperimentConfig, run_comparison
+from repro.simulation.experiment import make_generator
+
+CYCLES = 25
+PRESET_NAMES = (
+    "paper-base",
+    "low-load",
+    "high-load",
+    "homogeneous",
+    "literal-pricing",
+    "noisy-market",
+)
+
+
+def config_for(name: str) -> ExperimentConfig:
+    return ExperimentConfig(environment=preset(name), cycles=CYCLES, seed=99)
+
+
+def test_sensitivity_across_environments(benchmark, base_config):
+    results = {name: run_comparison(config_for(name)) for name in PRESET_NAMES}
+
+    window = benchmark(
+        MinRunTime().select,
+        base_config.base_job(),
+        make_generator(config_for("paper-base")).generate().slot_pool(),
+    )
+    assert window is not None
+
+    rows = []
+    for name, result in results.items():
+        runtime_edge = (
+            result.mean_of("AMP", Criterion.RUNTIME)
+            / max(result.mean_of("MinRunTime", Criterion.RUNTIME), 1e-9)
+        )
+        cost_edge = result.csa_mean_of(Criterion.COST) / max(
+            result.mean_of("MinCost", Criterion.COST), 1e-9
+        )
+        rows.append(
+            [
+                name,
+                result.mean_of("MinRunTime", Criterion.RUNTIME),
+                f"x{runtime_edge:.2f}",
+                f"x{cost_edge:.2f}",
+                result.csa.alternatives.mean,
+                result.algorithms["AMP"].find_rate,
+            ]
+        )
+    print()
+    print(
+        render_table(
+            [
+                "environment",
+                "MinRunTime runtime",
+                "runtime edge vs AMP",
+                "MinCost edge vs CSA",
+                "CSA alts",
+                "find rate",
+            ],
+            rows,
+            title=f"Sensitivity across environment presets ({CYCLES} cycles each)",
+        )
+    )
+
+    base = results["paper-base"]
+
+    # Homogeneous speeds: runtime identical across algorithms, edge ~ 1.
+    homogeneous = results["homogeneous"]
+    assert (
+        homogeneous.mean_of("AMP", Criterion.RUNTIME)
+        / homogeneous.mean_of("MinRunTime", Criterion.RUNTIME)
+        < 1.05
+    )
+    assert (
+        base.mean_of("AMP", Criterion.RUNTIME)
+        / base.mean_of("MinRunTime", Criterion.RUNTIME)
+        > 1.3
+    )
+
+    # Literal pricing: the budget stops binding; MinRunTime approaches the
+    # hardware limit of 150 / 10 = 15.
+    literal = results["literal-pricing"]
+    assert literal.mean_of("MinRunTime", Criterion.RUNTIME) < 22.0
+    assert base.mean_of("MinRunTime", Criterion.RUNTIME) > 28.0
+
+    # High load dries up the alternative supply and starts costing find
+    # rate; low load keeps everything feasible.  (Note low load does NOT
+    # increase the alternative count: fewer local jobs mean fewer,
+    # longer slots, and consume-cutting counts slots, not free time.)
+    assert (
+        results["high-load"].csa.alternatives.mean
+        < 0.5 * base.csa.alternatives.mean
+    )
+    assert results["low-load"].algorithms["AMP"].find_rate == 1.0
+    assert (
+        results["high-load"].algorithms["AMP"].find_rate
+        <= results["low-load"].algorithms["AMP"].find_rate
+    )
+
+    # A noisier market widens MinCost's relative advantage.
+    noisy_edge = results["noisy-market"].csa_mean_of(Criterion.COST) / results[
+        "noisy-market"
+    ].mean_of("MinCost", Criterion.COST)
+    base_edge = base.csa_mean_of(Criterion.COST) / base.mean_of(
+        "MinCost", Criterion.COST
+    )
+    assert noisy_edge > base_edge

@@ -1,0 +1,74 @@
+"""Compare VO scheduling policies over a sustained job flow.
+
+The paper's algorithms feed phase one of the VO scheduling scheme; the
+*policy* question — which criterion should phase two optimize? — only
+shows up over many cycles of arriving, deferring and ageing jobs.  This
+example runs the same seeded job flow under three VO policies and
+contrasts throughput, money spent and waiting time.
+
+Run:  python examples/job_flow_policies.py
+"""
+
+from repro.core import CSA, Criterion
+from repro.environment import EnvironmentConfig
+from repro.scheduling import BatchScheduler, FlowConfig, JobFlowSimulation, UpdateModel
+from repro.simulation import JobGenerator
+
+POLICIES = (
+    ("earliest finish", Criterion.FINISH_TIME),
+    ("cheapest", Criterion.COST),
+    ("least CPU time", Criterion.PROCESSOR_TIME),
+)
+
+
+def run_policy(criterion: Criterion):
+    config = FlowConfig(
+        cycles=8,
+        arrivals_per_cycle=5,
+        max_deferrals=2,
+        environment=EnvironmentConfig(node_count=40),
+        updates=UpdateModel(local_job_rate=0.3),
+        seed=2024,  # identical flow for every policy
+    )
+    scheduler = BatchScheduler(
+        search=CSA(max_alternatives=12), criterion=criterion
+    )
+    simulation = JobFlowSimulation(
+        config, scheduler=scheduler, job_generator=JobGenerator(seed=2024)
+    )
+    return simulation.run()
+
+
+def main() -> None:
+    print(
+        "8 cycles x 5 arriving jobs on 40 nodes, identical seeded workload, "
+        "three VO policies:\n"
+    )
+    header = (
+        f"{'policy':<16} {'scheduled':>9} {'dropped':>8} {'throughput':>11} "
+        f"{'mean cost':>10} {'mean wait':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    results = {}
+    for label, criterion in POLICIES:
+        result = run_policy(criterion)
+        results[label] = result
+        print(
+            f"{label:<16} {result.scheduled_total:>9} {result.dropped_total:>8} "
+            f"{result.throughput:>11.2f} {result.cost.mean:>10.1f} "
+            f"{result.waiting_cycles.mean:>10.2f}"
+        )
+
+    cheap = results["cheapest"].cost.mean
+    fast = results["earliest finish"].cost.mean
+    print(
+        f"\nThe cheapest policy saves "
+        f"{(fast - cheap) / fast:.0%} per job against the earliest-finish "
+        "policy on the same workload — the VO-level counterpart of the "
+        "paper's Fig. 4 spread."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Multi-criteria selection over CSA's alternatives.
+
+Section 2.1: users and VO administrators combine criteria to form search
+strategies.  CSA hands back dozens of slot-disjoint alternatives per job;
+this example shows the combinators of :mod:`repro.core.composite` at work
+on that set:
+
+* the Pareto front over (finish time, cost) — the real decision surface;
+* weighted scalarization at several cost/speed preference mixes;
+* lexicographic choice ("cheapest, ties by finish") with a tolerance;
+* epsilon-constraint queries ("earliest finish under 1200").
+
+Run:  python examples/pareto_tradeoffs.py
+"""
+
+from repro import (
+    CSA,
+    Criterion,
+    EnvironmentConfig,
+    EnvironmentGenerator,
+    Job,
+    ResourceRequest,
+)
+from repro.core import (
+    constrained_best,
+    lexicographic_choice,
+    pareto_front,
+    weighted_choice,
+)
+
+
+def describe(window) -> str:
+    return (
+        f"finish {window.finish:6.1f}, cost {window.total_cost:7.1f}, "
+        f"runtime {window.runtime:5.1f}, start {window.start:6.1f}"
+    )
+
+
+def main() -> None:
+    environment = EnvironmentGenerator(
+        EnvironmentConfig(node_count=100, seed=3)
+    ).generate()
+    pool = environment.slot_pool()
+    job = Job(
+        "pareto", ResourceRequest(node_count=5, reservation_time=150.0, budget=1500.0)
+    )
+
+    alternatives = CSA().find_alternatives(job, pool)
+    print(f"CSA collected {len(alternatives)} slot-disjoint alternatives\n")
+
+    criteria = [Criterion.FINISH_TIME, Criterion.COST]
+    front = pareto_front(alternatives, criteria)
+    front.sort(key=Criterion.FINISH_TIME.evaluate)
+    print(f"Pareto front over (finish time, cost): {len(front)} alternatives")
+    for window in front:
+        print(f"  {describe(window)}")
+
+    print("\nweighted scalarization (finish vs cost):")
+    for finish_weight in (1.0, 0.5, 0.0):
+        chosen = weighted_choice(
+            alternatives,
+            {
+                Criterion.FINISH_TIME: finish_weight,
+                Criterion.COST: 1.0 - finish_weight + 1e-9,
+            },
+        )
+        print(f"  finish weight {finish_weight:3.1f} -> {describe(chosen)}")
+
+    print("\nlexicographic: cheapest first, 5% tolerance, then earliest finish:")
+    chosen = lexicographic_choice(
+        alternatives, [Criterion.COST, Criterion.FINISH_TIME], tolerance=0.05
+    )
+    print(f"  {describe(chosen)}")
+
+    print("\nepsilon-constraint: earliest finish with cost <= 1300:")
+    constrained = constrained_best(
+        alternatives, Criterion.FINISH_TIME, {Criterion.COST: 1300.0}
+    )
+    if constrained is None:
+        print("  no alternative meets the cost limit")
+    else:
+        print(f"  {describe(constrained)}")
+
+    # Every composite pick is on (or dominated only by) the front.
+    assert all(
+        any(chosen is w for w in alternatives)
+        for chosen in (chosen,)
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Regenerate the paper's figures as SVG images.
+
+Runs the base comparison plus abbreviated Table 1/2 sweeps and writes one
+SVG per figure into ``figures/``: bar charts for Figs. 2-4 (with the
+paper's published values as dashed reference markers) and line charts for
+the Figs. 5-6 scaling curves.
+
+Run:  python examples/render_figures.py [cycles]    (default 100)
+"""
+
+import os
+import sys
+
+from repro.analysis.paper_reference import FIGURE_REFERENCES
+from repro.analysis.svgplot import bar_chart, line_chart, save_svg
+from repro.core import Criterion
+from repro.simulation import (
+    paper_base_config,
+    run_comparison,
+    sweep_interval_lengths,
+    sweep_node_counts,
+)
+
+FIGURES = (
+    ("fig2a_start_time", "Fig. 2(a) average start time", Criterion.START_TIME),
+    ("fig2b_runtime", "Fig. 2(b) average runtime", Criterion.RUNTIME),
+    ("fig3a_finish_time", "Fig. 3(a) average finish time", Criterion.FINISH_TIME),
+    ("fig3b_proc_time", "Fig. 3(b) average CPU usage", Criterion.PROCESSOR_TIME),
+    ("fig4_cost", "Fig. 4 average execution cost", Criterion.COST),
+)
+
+CURVE_ALGORITHMS = ("AMP", "MinRunTime", "MinFinish", "MinProcTime", "MinCost")
+
+
+def main() -> None:
+    cycles = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+    out_dir = os.path.join(os.path.dirname(__file__), "..", "figures")
+    os.makedirs(out_dir, exist_ok=True)
+
+    config = paper_base_config(cycles=cycles, seed=2013)
+    print(f"running {cycles} comparison cycles ...")
+    result = run_comparison(config)
+    for stem, title, criterion in FIGURES:
+        means = result.all_means(criterion)
+        path = os.path.join(out_dir, f"{stem}.svg")
+        save_svg(
+            bar_chart(
+                title,
+                {name: round(value, 1) for name, value in means.items()},
+                y_label=criterion.label,
+                reference=FIGURE_REFERENCES[criterion],
+            ),
+            path,
+        )
+        print(f"wrote {path}")
+
+    print("running the scaling sweeps ...")
+    node_study = sweep_node_counts(config, (50, 100, 200), repetitions=5)
+    interval_study = sweep_interval_lengths(
+        config, (600.0, 1200.0, 2400.0), repetitions=5
+    )
+    save_svg(
+        line_chart(
+            "Fig. 5 working time vs CPU nodes",
+            {name: node_study.series_ms(name) for name in CURVE_ALGORITHMS},
+            x_label="CPU nodes",
+            y_label="ms (log)",
+            log_y=True,
+        ),
+        os.path.join(out_dir, "fig5_nodes_scaling.svg"),
+    )
+    save_svg(
+        line_chart(
+            "Fig. 6 working time vs interval length",
+            {name: interval_study.series_ms(name) for name in CURVE_ALGORITHMS},
+            x_label="scheduling interval length",
+            y_label="ms (log)",
+            log_y=True,
+        ),
+        os.path.join(out_dir, "fig6_interval_scaling.svg"),
+    )
+    print(f"wrote {out_dir}/fig5_nodes_scaling.svg")
+    print(f"wrote {out_dir}/fig6_interval_scaling.svg")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Visualize co-allocations and replay them under disturbances.
+
+Draws the paper's Fig. 1 ("window with a rough right edge") for real
+selected windows as ASCII Gantt charts, then replays the schedule on
+truly non-dedicated resources — local jobs keep arriving and preempt the
+reservations — and reports how much of each criterion's planned advantage
+survives.
+
+Run:  python examples/robustness_gantt.py
+"""
+
+import numpy as np
+
+from repro import (
+    CSA,
+    Criterion,
+    EnvironmentConfig,
+    EnvironmentGenerator,
+    Job,
+    JobBatch,
+    MinCost,
+    MinRunTime,
+    PoissonDisturbances,
+    ResourceRequest,
+    replay_execution,
+)
+from repro.analysis import render_gantt, render_window
+from repro.scheduling import BatchScheduler
+
+
+def main() -> None:
+    environment = EnvironmentGenerator(
+        EnvironmentConfig(node_count=24, seed=19)
+    ).generate()
+    pool = environment.slot_pool()
+    job = Job(
+        "demo", ResourceRequest(node_count=5, reservation_time=150.0, budget=1500.0)
+    )
+
+    print("the rough right edge (paper Fig. 1) of two selected windows:\n")
+    for algorithm in (MinRunTime(), MinCost()):
+        window = algorithm.select(job, pool)
+        print(f"[{algorithm.name}]")
+        print(render_window(window))
+        print()
+
+    # A small batch scheduled by the two-phase scheme, drawn on the nodes.
+    batch = JobBatch()
+    for index, (tasks, nominal) in enumerate(((3, 100.0), (2, 150.0), (4, 60.0))):
+        batch.add(
+            Job(
+                f"job-{index}",
+                ResourceRequest(
+                    node_count=tasks,
+                    reservation_time=nominal,
+                    budget=tasks * nominal * 2.2,
+                ),
+                priority=3 - index,
+            )
+        )
+    scheduler = BatchScheduler(search=CSA(max_alternatives=10),
+                               criterion=Criterion.FINISH_TIME)
+    report = scheduler.run_cycle(batch, environment)
+    print(
+        f"batch of {len(batch)} jobs: {report.choice.scheduled_count} scheduled, "
+        f"makespan {report.choice.makespan():.1f}\n"
+    )
+    print(render_gantt(environment, list(report.scheduled.values()), width=66))
+
+    # Replay the committed schedule under local-job disturbances.
+    print("\nreplaying under Poisson local-job arrivals (non-dedicated nodes):")
+    model = PoissonDisturbances(rate=0.004, length_range=(10.0, 40.0))
+    replay = replay_execution(report.scheduled, model, np.random.default_rng(5))
+    for job_id, outcome in sorted(replay.jobs.items()):
+        print(
+            f"  {job_id:<8} planned finish {outcome.planned_finish:7.1f} -> "
+            f"actual {outcome.actual_finish:7.1f} "
+            f"(delay {outcome.delay:5.1f}, {outcome.preemption_count} preemptions)"
+        )
+    print(
+        f"  mean slowdown {replay.mean_slowdown:.2f}, "
+        f"{replay.disturbed_fraction:.0%} of jobs disturbed"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""User-side request strategies: budgets, deadlines, hardware, energy.
+
+Section 2.1: "By combining the optimization criteria, VO administrators
+and users can form alternatives search strategies for every job in the
+batch."  This example shows how the resource-request fields shape what
+the same algorithms return on the same environment:
+
+* a tight vs generous budget trades runtime against cost;
+* a deadline prunes slow nodes out of the search;
+* hardware constraints (minimum performance, price cap, OS) restrict the
+  eligible node set;
+* the MinEnergy criterion picks mid-range nodes (slow nodes run too long,
+  fast nodes draw too much power).
+
+Run:  python examples/user_strategies.py
+"""
+
+from repro import (
+    EnvironmentConfig,
+    EnvironmentGenerator,
+    Job,
+    MinCost,
+    MinEnergy,
+    MinFinish,
+    MinRunTime,
+    ResourceRequest,
+)
+
+
+def describe(label: str, window) -> None:
+    if window is None:
+        print(f"  {label:<34} -> no feasible window")
+        return
+    perfs = [ws.slot.node.performance for ws in window.slots]
+    print(
+        f"  {label:<34} -> start {window.start:6.1f}, finish {window.finish:6.1f}, "
+        f"cost {window.total_cost:7.1f}, energy {window.total_energy:6.1f}, "
+        f"node perfs {sorted(perfs)}"
+    )
+
+
+def main() -> None:
+    environment = EnvironmentGenerator(
+        EnvironmentConfig(node_count=100, seed=11)
+    ).generate()
+    pool = environment.slot_pool()
+
+    base = dict(node_count=5, reservation_time=150.0)
+
+    print("budget strategies (MinRunTime under different budgets):")
+    for budget in (1100.0, 1500.0, 2500.0):
+        job = Job(f"budget-{budget:.0f}", ResourceRequest(budget=budget, **base))
+        describe(f"budget {budget:>6.0f}", MinRunTime().select(job, pool))
+    print("  -> a larger budget buys faster (more expensive) nodes.")
+
+    print("\ndeadline strategies (MinCost under different deadlines):")
+    for deadline in (None, 300.0, 80.0):
+        job = Job(
+            f"deadline-{deadline}",
+            ResourceRequest(budget=1500.0, deadline=deadline, **base),
+        )
+        label = f"deadline {deadline if deadline is not None else 'none':>6}"
+        describe(label, MinCost().select(job, pool))
+    print("  -> deadlines force MinCost off the cheapest (slowest) nodes.")
+
+    print("\nhardware constraints (MinFinish):")
+    describe(
+        "no constraints",
+        MinFinish().select(Job("free", ResourceRequest(budget=1500.0, **base)), pool),
+    )
+    describe(
+        "min performance 6",
+        MinFinish().select(
+            Job(
+                "perf6",
+                ResourceRequest(budget=1500.0, min_performance=6.0, **base),
+            ),
+            pool,
+        ),
+    )
+    describe(
+        "price cap F=10 per time unit",
+        MinFinish().select(
+            Job(
+                "cap",
+                ResourceRequest(budget=1500.0, max_price_per_unit=10.0, **base),
+            ),
+            pool,
+        ),
+    )
+    print("  -> constraints shrink the eligible slot set; windows shift or vanish.")
+
+    print("\ncriterion strategies on the same request:")
+    job = Job("criteria", ResourceRequest(budget=1500.0, **base))
+    describe("MinCost   (cheapest)", MinCost().select(job, pool))
+    describe("MinRunTime (fastest)", MinRunTime().select(job, pool))
+    describe("MinEnergy (greenest)", MinEnergy().select(job, pool))
+    print(
+        "  -> energy favours mid-range performance: slow nodes run too long,\n"
+        "     fast nodes draw too much power."
+    )
+
+
+if __name__ == "__main__":
+    main()

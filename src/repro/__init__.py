@@ -1,0 +1,131 @@
+"""repro — slot selection and co-allocation for economic grid scheduling.
+
+A production-quality reproduction of
+
+    V. Toporkov, A. Toporkova, A. Tselishchev, D. Yemelyanov,
+    "Slot Selection Algorithms in Distributed Computing with Non-dedicated
+    and Heterogeneous Resources", PaCT 2013, LNCS 7979, pp. 120-134.
+
+Quickstart::
+
+    from repro import (
+        EnvironmentConfig, EnvironmentGenerator, Job, ResourceRequest, MinCost,
+    )
+
+    env = EnvironmentGenerator(EnvironmentConfig(node_count=100, seed=42)).generate()
+    job = Job("demo", ResourceRequest(node_count=5, reservation_time=150.0,
+                                      budget=1500.0))
+    window = MinCost().select(job, env.slot_pool())
+    print(window.start, window.runtime, window.total_cost)
+
+Package layout
+--------------
+``repro.model``
+    Nodes, slots, jobs, windows, timelines, slot pools.
+``repro.environment``
+    Synthetic environments (Section 3.1 generative model).
+``repro.core``
+    The AEP scan, criterion extractors and all selection algorithms.
+``repro.scheduling``
+    The two-phase batch scheduling scheme (reference [6]).
+``repro.simulation``
+    Experiment harness for the paper's studies.
+``repro.analysis``
+    Tables, shape checks, and the paper's reference numbers.
+"""
+
+from repro.core import (
+    AMP,
+    CSA,
+    Criterion,
+    Exhaustive,
+    FirstFit,
+    MinCost,
+    MinEnergy,
+    MinFinish,
+    MinIdle,
+    MinProcTime,
+    MinRunTime,
+    RigidBackfill,
+    SlotSelectionAlgorithm,
+    aep_scan,
+    best_window,
+)
+from repro.environment import (
+    Environment,
+    EnvironmentConfig,
+    EnvironmentGenerator,
+    LoadModel,
+    MarketPricing,
+)
+from repro.model import (
+    CpuNode,
+    Job,
+    JobBatch,
+    NodeSpec,
+    ReproError,
+    ResourceRequest,
+    Slot,
+    SlotPool,
+    Timeline,
+    Window,
+    WindowSlot,
+)
+from repro.execution import (
+    ExecutionReport,
+    PoissonDisturbances,
+    replay_execution,
+)
+from repro.scheduling import BatchScheduler, CycleReport
+from repro.simulation import (
+    ExperimentConfig,
+    paper_algorithm_suite,
+    paper_base_config,
+    run_comparison,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "aep_scan",
+    "AMP",
+    "BatchScheduler",
+    "best_window",
+    "CpuNode",
+    "Criterion",
+    "CSA",
+    "CycleReport",
+    "Environment",
+    "ExecutionReport",
+    "EnvironmentConfig",
+    "EnvironmentGenerator",
+    "Exhaustive",
+    "ExperimentConfig",
+    "FirstFit",
+    "Job",
+    "JobBatch",
+    "LoadModel",
+    "MarketPricing",
+    "MinCost",
+    "MinEnergy",
+    "MinFinish",
+    "MinIdle",
+    "MinProcTime",
+    "MinRunTime",
+    "NodeSpec",
+    "paper_algorithm_suite",
+    "PoissonDisturbances",
+    "replay_execution",
+    "paper_base_config",
+    "ReproError",
+    "ResourceRequest",
+    "RigidBackfill",
+    "run_comparison",
+    "Slot",
+    "SlotPool",
+    "SlotSelectionAlgorithm",
+    "Timeline",
+    "Window",
+    "WindowSlot",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""Result analysis: tables, shape checks and the paper's reference numbers."""
+
+from repro.analysis import paper_reference
+from repro.analysis.fairness import (
+    FairnessReport,
+    OwnerReport,
+    fairness_of_assignments,
+    jain_index,
+)
+from repro.analysis.gantt import render_gantt, render_window
+from repro.analysis.histogram import Summary, histogram, quantile, summarize
+from repro.analysis.latex import latex_comparison, latex_table
+from repro.analysis.shape import (
+    CRITERION_OWNERS,
+    ShapeVerdict,
+    advantage_over_amp,
+    check_best_on_own_criterion,
+    check_budget_usage,
+    check_early_starters,
+    check_late_algorithms,
+)
+from repro.analysis.stats import WelchResult, relative_difference_ci, welch_t_test
+from repro.analysis.tables import comparison_table, format_cell, render_table
+
+__all__ = [
+    "advantage_over_amp",
+    "relative_difference_ci",
+    "render_gantt",
+    "render_window",
+    "WelchResult",
+    "welch_t_test",
+    "check_best_on_own_criterion",
+    "check_budget_usage",
+    "check_early_starters",
+    "check_late_algorithms",
+    "comparison_table",
+    "fairness_of_assignments",
+    "FairnessReport",
+    "jain_index",
+    "latex_comparison",
+    "latex_table",
+    "histogram",
+    "quantile",
+    "summarize",
+    "Summary",
+    "OwnerReport",
+    "CRITERION_OWNERS",
+    "format_cell",
+    "paper_reference",
+    "render_table",
+    "ShapeVerdict",
+]

@@ -1,0 +1,110 @@
+"""Fairness metrics for economic scheduling.
+
+The VO model exists to balance "contradictory interests of different
+participants" (Section 1); whether a policy treats job owners evenly is a
+first-class question for the administrator.  This module provides the
+standard measures over per-owner aggregates:
+
+* Jain's fairness index over owner shares (1 = perfectly even,
+  1/k = one owner takes everything among k owners);
+* per-owner service reports (scheduled fraction, spend, waiting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.model.job import Job
+from repro.model.window import Window
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index of non-negative allocations.
+
+    ``(sum x)^2 / (k * sum x^2)``; 1.0 for equal shares, ``1/k`` when one
+    participant receives everything.  An empty or all-zero vector counts
+    as perfectly fair (nobody got anything, evenly).
+    """
+    if not values:
+        return 1.0
+    if any(value < 0 for value in values):
+        raise ValueError("jain_index requires non-negative values")
+    total = sum(values)
+    if total == 0:
+        return 1.0
+    squares = sum(value * value for value in values)
+    return total * total / (len(values) * squares)
+
+
+@dataclass
+class OwnerReport:
+    """Service received by one job owner."""
+
+    owner: str
+    submitted: int = 0
+    scheduled: int = 0
+    total_cost: float = 0.0
+    total_processor_time: float = 0.0
+
+    @property
+    def service_rate(self) -> float:
+        """Scheduled jobs / submitted jobs for this owner."""
+        if self.submitted == 0:
+            return 0.0
+        return self.scheduled / self.submitted
+
+
+@dataclass
+class FairnessReport:
+    """Per-owner service plus aggregate fairness indices."""
+
+    owners: dict[str, OwnerReport] = field(default_factory=dict)
+
+    def record(self, job: Job, window: Optional[Window]) -> None:
+        """Account one job outcome for its owner."""
+        report = self.owners.setdefault(job.owner, OwnerReport(owner=job.owner))
+        report.submitted += 1
+        if window is not None:
+            report.scheduled += 1
+            report.total_cost += window.total_cost
+            report.total_processor_time += window.processor_time
+
+    @property
+    def service_fairness(self) -> float:
+        """Jain index over per-owner service rates."""
+        return jain_index([r.service_rate for r in self.owners.values()])
+
+    @property
+    def resource_fairness(self) -> float:
+        """Jain index over per-owner CPU-time shares."""
+        return jain_index(
+            [r.total_processor_time for r in self.owners.values()]
+        )
+
+    def as_rows(self) -> list[list]:
+        """Table rows (owner, submitted, scheduled, rate, cost, CPU time)."""
+        rows = []
+        for owner in sorted(self.owners):
+            report = self.owners[owner]
+            rows.append(
+                [
+                    owner,
+                    report.submitted,
+                    report.scheduled,
+                    report.service_rate,
+                    report.total_cost,
+                    report.total_processor_time,
+                ]
+            )
+        return rows
+
+
+def fairness_of_assignments(
+    jobs: Sequence[Job], assignments: Mapping[str, Window]
+) -> FairnessReport:
+    """Build a fairness report from one cycle's outcome."""
+    report = FairnessReport()
+    for job in jobs:
+        report.record(job, assignments.get(job.job_id))
+    return report

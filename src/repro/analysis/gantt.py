@@ -1,0 +1,116 @@
+"""ASCII Gantt rendering of timelines and co-allocation windows.
+
+The paper's Fig. 1 ("window with a rough right edge") is the picture every
+discussion of the algorithms comes back to; this module draws that picture
+in a terminal, for real environments and real windows.  Used by the
+examples and invaluable when debugging window selection by eye.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.environment.generator import Environment
+from repro.model.window import Window
+
+#: Glyphs: '#' busy (local load), '=' reserved by a rendered window,
+#: '.' free.
+BUSY, RESERVED, FREE = "#", "=", "."
+
+
+def _paint(
+    line: list[str], start: float, end: float, t0: float, t1: float, width: int, glyph: str
+) -> None:
+    if t1 <= t0:
+        return
+    scale = width / (t1 - t0)
+    begin = max(0, int((start - t0) * scale))
+    finish = min(width, max(begin + 1, int(round((end - t0) * scale))))
+    for position in range(begin, finish):
+        line[position] = glyph
+
+
+def render_gantt(
+    environment: Environment,
+    windows: Sequence[Window] = (),
+    *,
+    width: int = 72,
+    node_ids: Optional[Sequence[int]] = None,
+    legend: bool = True,
+) -> str:
+    """One text row per node: local load, reservations and free time.
+
+    Parameters
+    ----------
+    environment:
+        The environment whose timelines are drawn.
+    windows:
+        Windows to overlay as reservations (they need not be committed).
+    width:
+        Characters per row (the whole scheduling interval is scaled in).
+    node_ids:
+        Restrict to these nodes; by default, every node that is busy or
+        referenced by a window (capped at 30 rows to stay readable).
+    """
+    t0 = environment.config.interval_start
+    t1 = environment.config.interval_end
+
+    reservations: dict[int, list[tuple[float, float]]] = {}
+    for window in windows:
+        for ws in window.slots:
+            reservations.setdefault(ws.slot.node.node_id, []).append(
+                (window.start, window.start + ws.required_time)
+            )
+
+    if node_ids is None:
+        interesting = [
+            node.node_id
+            for node in environment.nodes
+            if environment.timelines[node.node_id].busy_intervals
+            or node.node_id in reservations
+        ]
+        node_ids = interesting[:30]
+
+    lines = []
+    header = f"{'node':>6} {'perf':>4} {'price':>6} |{'-' * width}|"
+    lines.append(header)
+    by_id = {node.node_id: node for node in environment.nodes}
+    for node_id in node_ids:
+        node = by_id[node_id]
+        row = [FREE] * width
+        for start, end in environment.timelines[node_id].busy_intervals:
+            _paint(row, start, end, t0, t1, width, BUSY)
+        for start, end in reservations.get(node_id, ()):
+            _paint(row, start, end, t0, t1, width, RESERVED)
+        lines.append(
+            f"{node_id:>6} {node.performance:>4.0f} {node.price_per_unit:>6.2f} "
+            f"|{''.join(row)}|"
+        )
+    if legend:
+        lines.append(
+            f"legend: '{BUSY}' local load   '{RESERVED}' window reservation   "
+            f"'{FREE}' free   span [{t0:g}, {t1:g})"
+        )
+    return "\n".join(lines)
+
+
+def render_window(window: Window, *, width: int = 60) -> str:
+    """Draw one window's rough right edge (the paper's Fig. 1).
+
+    Rows are the window's legs, scaled from the window start to the
+    longest task's end.
+    """
+    t0 = window.start
+    t1 = window.finish
+    lines = [
+        f"window: start {window.start:g}, runtime {window.runtime:g}, "
+        f"finish {window.finish:g}, cost {window.total_cost:g}"
+    ]
+    for ws in sorted(window.slots, key=lambda leg: -leg.required_time):
+        row = [FREE] * width
+        _paint(row, t0, t0 + ws.required_time, t0, t1, width, RESERVED)
+        lines.append(
+            f"  node {ws.slot.node.node_id:>4} (perf {ws.slot.node.performance:>4.0f})"
+            f" |{''.join(row)}| {ws.required_time:g}"
+        )
+    return "\n".join(lines)

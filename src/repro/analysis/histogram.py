@@ -1,0 +1,102 @@
+"""Text histograms and distribution summaries for window metrics.
+
+The paper reports only means; distributions tell the fuller story (is
+MinFinish's finish time tight or heavy-tailed?).  This module bins sample
+lists into terminal-friendly histograms and five-number summaries, used by
+examples and ad-hoc analysis sessions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number summary plus mean of a sample."""
+
+    count: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range (q3 - q1)."""
+        return self.q3 - self.q1
+
+
+def quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of pre-sorted values (q in [0, 1])."""
+    if not sorted_values:
+        raise ValueError("quantile of an empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    position = q * (len(sorted_values) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return float(sorted_values[low])
+    weight = position - low
+    return float(sorted_values[low] * (1 - weight) + sorted_values[high] * weight)
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Five-number summary + mean."""
+    if not values:
+        raise ValueError("summarize() of an empty sample")
+    ordered = sorted(values)
+    return Summary(
+        count=len(ordered),
+        minimum=ordered[0],
+        q1=quantile(ordered, 0.25),
+        median=quantile(ordered, 0.5),
+        q3=quantile(ordered, 0.75),
+        maximum=ordered[-1],
+        mean=sum(ordered) / len(ordered),
+    )
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """An ASCII histogram with counts per bin.
+
+    Bins split [min, max] evenly; the top bin is closed on both sides.
+    """
+    if not values:
+        raise ValueError("histogram() of an empty sample")
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    low, high = min(values), max(values)
+    if high == low:
+        high = low + 1.0
+    counts = [0] * bins
+    span = (high - low) / bins
+    for value in values:
+        index = min(int((value - low) / span), bins - 1)
+        counts[index] += 1
+    peak = max(counts)
+    lines = []
+    if title:
+        lines.append(title)
+    for index, count in enumerate(counts):
+        left = low + index * span
+        right = left + span
+        bar = "#" * (round(width * count / peak) if peak else 0)
+        lines.append(f"  [{left:10.2f}, {right:10.2f}) {count:>5} |{bar}")
+    summary = summarize(values)
+    lines.append(
+        f"  n={summary.count} min={summary.minimum:.2f} "
+        f"median={summary.median:.2f} mean={summary.mean:.2f} "
+        f"max={summary.maximum:.2f}"
+    )
+    return "\n".join(lines)

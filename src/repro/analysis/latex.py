@@ -1,0 +1,102 @@
+"""LaTeX export of experiment tables.
+
+A reproduction repository's tables end up in papers and reports; this
+module renders the same data structures the text tables use
+(`headers` + `rows`, or a measured-vs-paper mapping) as LaTeX ``tabular``
+environments, with booktabs-style rules and proper escaping.  No LaTeX
+dependency — the output is plain text for ``\\input{}``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.tables import Cell, format_cell
+
+#: Characters that must be escaped in LaTeX text cells.
+_ESCAPES = {
+    "&": r"\&",
+    "%": r"\%",
+    "$": r"\$",
+    "#": r"\#",
+    "_": r"\_",
+    "{": r"\{",
+    "}": r"\}",
+    "~": r"\textasciitilde{}",
+    "^": r"\textasciicircum{}",
+    "\\": r"\textbackslash{}",
+}
+
+
+def escape(text: str) -> str:
+    """Escape LaTeX special characters in a text cell."""
+    return "".join(_ESCAPES.get(char, char) for char in text)
+
+
+def latex_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    *,
+    caption: Optional[str] = None,
+    label: Optional[str] = None,
+    precision: int = 2,
+) -> str:
+    """Render a ``table`` + ``tabular`` environment (booktabs rules).
+
+    The first column is left-aligned (labels), the rest right-aligned
+    (numbers), matching :func:`repro.analysis.render_table`'s layout.
+    """
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+    column_spec = "l" + "r" * (len(headers) - 1)
+    lines = [
+        r"\begin{table}[ht]",
+        r"  \centering",
+        rf"  \begin{{tabular}}{{{column_spec}}}",
+        r"    \toprule",
+        "    " + " & ".join(escape(str(header)) for header in headers) + r" \\",
+        r"    \midrule",
+    ]
+    for row in rows:
+        cells = [escape(format_cell(cell, precision)) for cell in row]
+        lines.append("    " + " & ".join(cells) + r" \\")
+    lines.append(r"    \bottomrule")
+    lines.append(r"  \end{tabular}")
+    if caption:
+        lines.append(rf"  \caption{{{escape(caption)}}}")
+    if label:
+        lines.append(rf"  \label{{{label}}}")
+    lines.append(r"\end{table}")
+    return "\n".join(lines)
+
+
+def latex_comparison(
+    measured: dict[str, float],
+    reference: dict[str, float],
+    *,
+    caption: Optional[str] = None,
+    label: Optional[str] = None,
+    measured_label: str = "measured",
+    reference_label: str = "paper",
+) -> str:
+    """Measured-vs-paper table, rows sorted by the measured value.
+
+    The LaTeX twin of :func:`repro.analysis.comparison_table`.
+    """
+    names = sorted(measured, key=measured.__getitem__)
+    rows: list[list[Cell]] = []
+    for name in names:
+        paper_value = reference.get(name)
+        ratio: Cell = None
+        if paper_value not in (None, 0):
+            ratio = measured[name] / paper_value
+        rows.append([name, measured[name], paper_value, ratio])
+    return latex_table(
+        ["algorithm", measured_label, reference_label, "ratio"],
+        rows,
+        caption=caption,
+        label=label,
+    )

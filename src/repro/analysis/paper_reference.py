@@ -1,0 +1,91 @@
+"""The paper's published numbers, transcribed for side-by-side reporting.
+
+Every figure and table of Section 3 is recorded here verbatim so the
+benchmark harness can print "paper vs measured" rows.  Absolute working
+times (Tables 1-2) are hardware- and runtime-specific (Java on a 2010-era
+Intel Core i3); only their growth trends are expected to transfer.
+"""
+
+from __future__ import annotations
+
+from repro.core.criteria import Criterion
+
+#: Fig. 2 (a) — average start time.  AMP/MinFinish/CSA are reported at the
+#: very beginning of the interval (t = 0).
+FIG2A_START_TIME = {
+    "AMP": 0.0,
+    "MinFinish": 0.0,
+    "CSA": 0.0,
+    "MinRunTime": 53.0,
+    "MinCost": 193.0,
+    "MinProcTime": 514.9,
+}
+
+#: Fig. 2 (b) — average runtime.  AMP and MinCost are described only as
+#: "relatively long"; no number is printed for them in the text.
+FIG2B_RUNTIME = {
+    "MinRunTime": 33.0,
+    "MinFinish": 34.4,
+    "MinProcTime": 37.7,
+    "CSA": 38.0,
+}
+
+#: Fig. 3 (a) — average finish time.
+FIG3A_FINISH_TIME = {
+    "MinFinish": 34.4,
+    "CSA": 52.6,
+    "MinCost": 307.7,
+}
+
+#: Fig. 3 (b) — average used processor time.
+FIG3B_PROC_TIME = {
+    "MinRunTime": 158.0,
+    "MinFinish": 161.9,
+    "CSA": 168.6,
+    "MinProcTime": 171.6,
+}
+
+#: Fig. 4 — average total job execution cost (budget 1500).
+FIG4_COST = {
+    "MinCost": 1027.3,
+    "CSA": 1352.0,
+    "MinRunTime": 1464.0,
+}
+
+#: Average number of alternatives CSA finds per cycle in the base
+#: environment (100 nodes, interval 600).
+CSA_BASE_ALTERNATIVES = 57.0
+
+#: Table 1 — working time (ms) vs CPU node count, and CSA statistics.
+TABLE1_NODE_COUNTS = (50, 100, 200, 300, 400)
+TABLE1_MS = {
+    "CSA": (8.5, 56.5, 405.2, 1271.0, 2980.9),
+    "AMP": (0.3, 0.5, 1.1, 1.6, 2.2),
+    "MinRunTime": (3.2, 12.0, 45.5, 97.2, 169.2),
+    "MinFinish": (3.2, 12.0, 45.1, 96.9, 169.0),
+    "MinProcTime": (1.5, 5.2, 19.4, 42.1, 74.1),
+    "MinCost": (1.7, 6.3, 23.6, 52.3, 91.5),
+}
+TABLE1_CSA_ALTERNATIVES = (25.9, 57.0, 128.4, 187.3, 252.0)
+
+#: Table 2 — working time (ms) vs scheduling-interval length.
+TABLE2_INTERVALS = (600, 1200, 1800, 2400, 3000, 3600)
+TABLE2_SLOT_COUNTS = (472.6, 779.4, 1092.0, 1405.1, 1718.8, 2030.6)
+TABLE2_MS = {
+    "CSA": (54.2, 239.8, 565.7, 1045.7, 1650.5, 2424.4),
+    "AMP": (0.5, 0.82, 1.1, 1.44, 1.79, 2.14),
+    "MinRunTime": (11.7, 26.0, 40.9, 55.5, 69.4, 84.6),
+    "MinFinish": (11.6, 25.7, 40.6, 55.3, 69.0, 84.1),
+    "MinProcTime": (5.0, 11.1, 17.4, 23.5, 29.5, 35.8),
+    "MinCost": (6.1, 13.4, 20.9, 28.5, 35.7, 43.5),
+}
+TABLE2_CSA_ALTERNATIVES = (57.0, 125.4, 196.2, 269.8, 339.7, 412.5)
+
+#: Per-figure reference dictionaries keyed by the criterion they report.
+FIGURE_REFERENCES = {
+    Criterion.START_TIME: FIG2A_START_TIME,
+    Criterion.RUNTIME: FIG2B_RUNTIME,
+    Criterion.FINISH_TIME: FIG3A_FINISH_TIME,
+    Criterion.PROCESSOR_TIME: FIG3B_PROC_TIME,
+    Criterion.COST: FIG4_COST,
+}

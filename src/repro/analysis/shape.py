@@ -1,0 +1,156 @@
+"""Shape checks: the qualitative claims of Section 3.2-3.3.
+
+We do not chase the paper's absolute numbers (different language, runtime
+and hardware); we verify the *shape* of its results:
+
+* each full AEP scheme is the best on its own criterion;
+* a single AEP run beats the best alternative AMP would have produced by a
+  clear margin on the target criterion (the paper reports 10-50%);
+* MinCost leaves a large fraction of the budget unspent while MinFinish
+  spends almost all of it;
+* AMP / MinFinish / CSA start at the very beginning of the interval.
+
+These functions return structured verdicts so the benchmarks can both
+print them and assert on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.criteria import Criterion
+from repro.simulation.runner import ComparisonResult
+
+#: Map from each reported criterion to the algorithm designed for it.
+CRITERION_OWNERS = {
+    Criterion.START_TIME: "AMP",
+    Criterion.FINISH_TIME: "MinFinish",
+    Criterion.RUNTIME: "MinRunTime",
+    Criterion.PROCESSOR_TIME: "MinProcTime",
+    Criterion.COST: "MinCost",
+}
+
+
+@dataclass(frozen=True)
+class ShapeVerdict:
+    """One qualitative claim, checked."""
+
+    claim: str
+    holds: bool
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        marker = "OK " if self.holds else "FAIL"
+        return f"[{marker}] {self.claim}: {self.detail}"
+
+
+def check_best_on_own_criterion(
+    result: ComparisonResult, proc_time_tolerance: float = 0.10
+) -> list[ShapeVerdict]:
+    """Each full AEP scheme obtains the best value on its own criterion.
+
+    The paper's MinProcTime is deliberately simplified ("does not guarantee
+    an optimal result, ... a random window is selected") and the paper
+    itself measures it *behind* MinRunTime/MinFinish/CSA on processor time
+    (171.6 vs 158-168.6), claiming only that it is "on the average only 2%
+    less effective than the CSA scheme".  So for processor time the check
+    is against CSA within ``proc_time_tolerance``; the full AEP schemes
+    must be exactly best (up to float noise) on their own criteria.
+    """
+    verdicts = []
+    for criterion, owner in CRITERION_OWNERS.items():
+        means = result.all_means(criterion)
+        own = means[owner]
+        if criterion is Criterion.PROCESSOR_TIME:
+            csa = means["CSA"]
+            holds = own <= csa * (1.0 + proc_time_tolerance) + 1e-9
+            detail = f"{owner}={own:.2f}, CSA={csa:.2f}"
+            claim = f"{owner} within {proc_time_tolerance:.0%} of CSA on {criterion.label}"
+        else:
+            best = min(means.values())
+            holds = own <= best * (1.0 + 1e-6) + 1e-9
+            detail = f"{owner}={own:.2f}, best={best:.2f}"
+            claim = f"{owner} best on {criterion.label}"
+        verdicts.append(ShapeVerdict(claim=claim, holds=holds, detail=detail))
+    return verdicts
+
+
+def advantage_over_amp(result: ComparisonResult) -> dict[Criterion, float]:
+    """Relative improvement of each AEP scheme over AMP on its criterion.
+
+    The paper: "a single run of the AEP-like algorithm had an advantage of
+    10%-50% over suitable alternatives found with AMP with respect to the
+    specified criterion."  Start time is excluded (AMP *is* the start-time
+    optimizer).
+    """
+    improvements: dict[Criterion, float] = {}
+    for criterion, owner in CRITERION_OWNERS.items():
+        if criterion is Criterion.START_TIME:
+            continue
+        amp_value = result.mean_of("AMP", criterion)
+        own_value = result.mean_of(owner, criterion)
+        if amp_value == 0:
+            improvements[criterion] = 0.0
+        else:
+            improvements[criterion] = (amp_value - own_value) / amp_value
+    return improvements
+
+
+def check_budget_usage(
+    result: ComparisonResult, budget: float
+) -> list[ShapeVerdict]:
+    """MinCost leaves a large unspent margin; MinFinish spends nearly all.
+
+    Paper values: MinFinish 1464/1500 (97.6%), MinCost 1027/1500 (68.5%) —
+    a 43% advantage of MinCost over MinFinish on cost.
+    """
+    min_cost = result.mean_of("MinCost", Criterion.COST)
+    min_finish = result.mean_of("MinFinish", Criterion.COST)
+    verdicts = [
+        ShapeVerdict(
+            claim="MinCost spends well under the budget",
+            holds=min_cost < 0.85 * budget,
+            detail=f"MinCost={min_cost:.1f} of budget {budget:.0f}",
+        ),
+        ShapeVerdict(
+            claim="MinFinish spends most of the budget",
+            holds=min_finish > 0.85 * budget,
+            detail=f"MinFinish={min_finish:.1f} of budget {budget:.0f}",
+        ),
+        ShapeVerdict(
+            claim="MinCost clearly cheaper than MinFinish",
+            holds=min_cost < 0.85 * min_finish,
+            detail=f"MinCost={min_cost:.1f} vs MinFinish={min_finish:.1f}",
+        ),
+    ]
+    return verdicts
+
+
+def check_early_starters(result: ComparisonResult, threshold: float = 5.0) -> ShapeVerdict:
+    """AMP, MinFinish and CSA all start near the beginning of the interval."""
+    amp = result.mean_of("AMP", Criterion.START_TIME)
+    fin = result.mean_of("MinFinish", Criterion.START_TIME)
+    csa = result.csa_mean_of(Criterion.START_TIME)
+    holds = max(amp, fin, csa) <= threshold
+    return ShapeVerdict(
+        claim="AMP/MinFinish/CSA start at the beginning of the interval",
+        holds=holds,
+        detail=f"AMP={amp:.2f}, MinFinish={fin:.2f}, CSA={csa:.2f}",
+    )
+
+
+def check_late_algorithms(result: ComparisonResult) -> ShapeVerdict:
+    """MinProcTime starts latest; MinCost both late and slow (Fig. 2-3)."""
+    proc_start = result.mean_of("MinProcTime", Criterion.START_TIME)
+    cost_start = result.mean_of("MinCost", Criterion.START_TIME)
+    runtime_start = result.mean_of("MinRunTime", Criterion.START_TIME)
+    amp_start = result.mean_of("AMP", Criterion.START_TIME)
+    holds = proc_start > cost_start > amp_start and runtime_start > amp_start
+    return ShapeVerdict(
+        claim="start-time ordering AMP < MinCost < MinProcTime holds",
+        holds=holds,
+        detail=(
+            f"AMP={amp_start:.1f}, MinRunTime={runtime_start:.1f}, "
+            f"MinCost={cost_start:.1f}, MinProcTime={proc_start:.1f}"
+        ),
+    )

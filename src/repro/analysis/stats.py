@@ -1,0 +1,146 @@
+"""Statistical comparison utilities for experiment results.
+
+The paper reports plain means over 5000 cycles; when reproducing with
+fewer cycles, the question "is MinRunTime *really* faster than MinFinish
+here, or is that noise?" needs an actual test.  This module provides the
+two tools the benchmarks and reports use:
+
+* Welch's t-test for the difference of two means with unequal variances
+  (computed from the streaming :class:`~repro.simulation.RunningStat`
+  aggregates, no raw samples needed);
+* bootstrap-free normal-approximation confidence intervals for means and
+  for relative differences.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.simulation.metrics import RunningStat
+
+
+@dataclass(frozen=True)
+class WelchResult:
+    """Outcome of a two-sample Welch test."""
+
+    statistic: float
+    degrees_of_freedom: float
+    p_value: float
+    mean_difference: float
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether the difference is significant at level ``alpha``."""
+        return self.p_value < alpha
+
+
+def _student_t_sf(t: float, df: float) -> float:
+    """Survival function of Student's t via the incomplete beta function.
+
+    Uses the continued-fraction evaluation of the regularized incomplete
+    beta function (Numerical Recipes style) — accurate to ~1e-10, no scipy
+    needed.
+    """
+    if df <= 0:
+        raise ValueError(f"degrees of freedom must be positive, got {df}")
+    x = df / (df + t * t)
+    probability = 0.5 * _reg_incomplete_beta(df / 2.0, 0.5, x)
+    if t < 0:
+        return 1.0 - probability
+    return probability
+
+
+def _reg_incomplete_beta(a: float, b: float, x: float) -> float:
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    log_beta = (
+        math.lgamma(a + b) - math.lgamma(a) - math.lgamma(b)
+        + a * math.log(x) + b * math.log(1.0 - x)
+    )
+    front = math.exp(log_beta)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _beta_cf(a, b, x) / a
+    return 1.0 - front * _beta_cf(b, a, 1.0 - x) / b
+
+
+def _beta_cf(a: float, b: float, x: float, max_iterations: int = 200) -> float:
+    tiny = 1e-30
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, max_iterations + 1):
+        m2 = 2 * m
+        numerator = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + numerator * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + numerator / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        numerator = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + numerator * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + numerator / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-12:
+            break
+    return h
+
+
+def welch_t_test(a: RunningStat, b: RunningStat) -> WelchResult:
+    """Two-sided Welch's t-test for ``mean(a) != mean(b)``.
+
+    Operates on the streaming aggregates directly; requires at least two
+    samples on each side.
+    """
+    if a.count < 2 or b.count < 2:
+        raise ValueError("welch_t_test requires at least two samples per side")
+    var_a = a.variance / a.count
+    var_b = b.variance / b.count
+    pooled = var_a + var_b
+    difference = a.mean - b.mean
+    if pooled == 0:
+        # Identical constants: difference is exact.
+        p = 0.0 if abs(difference) > 0 else 1.0
+        return WelchResult(
+            statistic=math.inf if difference else 0.0,
+            degrees_of_freedom=float(a.count + b.count - 2),
+            p_value=p,
+            mean_difference=difference,
+        )
+    t = difference / math.sqrt(pooled)
+    df = pooled**2 / (
+        var_a**2 / (a.count - 1) + var_b**2 / (b.count - 1)
+    )
+    p = 2.0 * _student_t_sf(abs(t), df)
+    return WelchResult(
+        statistic=t, degrees_of_freedom=df, p_value=min(1.0, p), mean_difference=difference
+    )
+
+
+def relative_difference_ci(
+    a: RunningStat, b: RunningStat, z: float = 1.96
+) -> tuple[float, float, float]:
+    """Relative difference ``(a - b) / b`` with a delta-method interval.
+
+    Returns ``(estimate, low, high)``.  Requires a nonzero reference mean.
+    """
+    if b.mean == 0:
+        raise ValueError("reference mean must be nonzero for a relative difference")
+    estimate = (a.mean - b.mean) / abs(b.mean)
+    variance = (a.sem**2 + b.sem**2) / b.mean**2
+    half = z * math.sqrt(variance)
+    return estimate, estimate - half, estimate + half

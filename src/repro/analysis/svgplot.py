@@ -1,0 +1,254 @@
+"""Minimal SVG charting — regenerate the paper's figures as images.
+
+Zero-dependency SVG line and bar charts, enough to draw Figs. 2-6: bar
+charts for the per-algorithm averages (Figs. 2-4) and line charts for the
+working-time scaling curves (Figs. 5-6).  The output is plain SVG 1.1
+text, viewable in any browser and diffable in git.
+
+This is intentionally a small, special-purpose renderer, not a plotting
+library: fixed layout, numeric axes, one categorical or numeric x-axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+from xml.sax.saxutils import escape
+
+#: A small, color-blind-friendly categorical palette.
+PALETTE = (
+    "#4477AA",
+    "#EE6677",
+    "#228833",
+    "#CCBB44",
+    "#66CCEE",
+    "#AA3377",
+    "#BBBBBB",
+)
+
+WIDTH, HEIGHT = 640, 400
+MARGIN_LEFT, MARGIN_RIGHT, MARGIN_TOP, MARGIN_BOTTOM = 70, 20, 40, 60
+
+
+def _ticks(low: float, high: float, count: int = 5) -> list[float]:
+    """Round-ish axis ticks covering [low, high]."""
+    if high <= low:
+        high = low + 1.0
+    span = high - low
+    raw_step = span / max(count - 1, 1)
+    magnitude = 10 ** int(f"{raw_step:e}".split("e")[1])
+    for factor in (1, 2, 2.5, 5, 10):
+        step = factor * magnitude
+        if step >= raw_step:
+            break
+    first = step * int(low / step)
+    if first > low:
+        first -= step
+    ticks = []
+    value = first
+    while value <= high + step * 0.5:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+@dataclass
+class _Canvas:
+    title: str
+    x_label: str
+    y_label: str
+    elements: list[str] = field(default_factory=list)
+
+    def add(self, element: str) -> None:
+        """Add one element/value to the structure."""
+        self.elements.append(element)
+
+    def text(self, x, y, content, *, size=12, anchor="middle", rotate=None, color="#333"):
+        """Place a text element."""
+        transform = f' transform="rotate({rotate} {x} {y})"' if rotate else ""
+        self.add(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" fill="{color}" '
+            f'text-anchor="{anchor}" font-family="sans-serif"{transform}>'
+            f"{escape(str(content))}</text>"
+        )
+
+    def render(self) -> str:
+        """Serialize to the output text."""
+        header = (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+            f'height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">'
+        )
+        frame = (
+            f'<rect x="0" y="0" width="{WIDTH}" height="{HEIGHT}" fill="white"/>'
+            f'<rect x="{MARGIN_LEFT}" y="{MARGIN_TOP}" '
+            f'width="{WIDTH - MARGIN_LEFT - MARGIN_RIGHT}" '
+            f'height="{HEIGHT - MARGIN_TOP - MARGIN_BOTTOM}" fill="none" '
+            f'stroke="#999"/>'
+        )
+        self.text(WIDTH / 2, 22, self.title, size=15)
+        self.text(WIDTH / 2, HEIGHT - 12, self.x_label)
+        self.text(16, HEIGHT / 2, self.y_label, rotate=-90)
+        return "\n".join([header, frame, *self.elements, "</svg>"])
+
+
+def _y_scale(values: Sequence[float]) -> tuple[float, float, float]:
+    high = max(values) if values else 1.0
+    low = 0.0
+    plot_height = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM
+    return low, max(high, 1e-9), plot_height
+
+
+def bar_chart(
+    title: str,
+    values: dict[str, float],
+    *,
+    y_label: str = "",
+    reference: Optional[dict[str, float]] = None,
+) -> str:
+    """A categorical bar chart; optional paper-reference markers.
+
+    ``reference`` values (the paper's numbers) are drawn as horizontal
+    dashes over the corresponding bars, making the paper-vs-measured gap
+    visible at a glance.
+    """
+    canvas = _Canvas(title=title, x_label="", y_label=y_label)
+    names = list(values)
+    all_values = list(values.values()) + [
+        v for v in (reference or {}).values() if v is not None
+    ]
+    low, high, plot_height = _y_scale(all_values)
+    plot_width = WIDTH - MARGIN_LEFT - MARGIN_RIGHT
+    slot_width = plot_width / max(len(names), 1)
+    bar_width = slot_width * 0.6
+
+    for tick in _ticks(low, high):
+        y = MARGIN_TOP + plot_height * (1 - (tick - low) / (high - low))
+        if MARGIN_TOP - 1 <= y <= HEIGHT - MARGIN_BOTTOM + 1:
+            canvas.add(
+                f'<line x1="{MARGIN_LEFT}" y1="{y:.1f}" '
+                f'x2="{WIDTH - MARGIN_RIGHT}" y2="{y:.1f}" stroke="#eee"/>'
+            )
+            canvas.text(MARGIN_LEFT - 8, y + 4, f"{tick:g}", anchor="end", size=11)
+
+    for index, name in enumerate(names):
+        x = MARGIN_LEFT + slot_width * index + (slot_width - bar_width) / 2
+        value = values[name]
+        bar_height = plot_height * (value - low) / (high - low)
+        y = MARGIN_TOP + plot_height - bar_height
+        color = PALETTE[index % len(PALETTE)]
+        canvas.add(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_width:.1f}" '
+            f'height="{bar_height:.1f}" fill="{color}"/>'
+        )
+        canvas.text(x + bar_width / 2, y - 5, f"{value:g}", size=10)
+        canvas.text(
+            x + bar_width / 2,
+            HEIGHT - MARGIN_BOTTOM + 16,
+            name,
+            size=10,
+            rotate=20,
+        )
+        paper_value = (reference or {}).get(name)
+        if paper_value is not None:
+            ref_y = MARGIN_TOP + plot_height * (1 - (paper_value - low) / (high - low))
+            canvas.add(
+                f'<line x1="{x - 4:.1f}" y1="{ref_y:.1f}" '
+                f'x2="{x + bar_width + 4:.1f}" y2="{ref_y:.1f}" '
+                f'stroke="#000" stroke-width="2" stroke-dasharray="5,3"/>'
+            )
+    if reference:
+        canvas.text(
+            WIDTH - MARGIN_RIGHT,
+            MARGIN_TOP - 8,
+            "dashed = paper",
+            anchor="end",
+            size=11,
+        )
+    return canvas.render()
+
+
+def line_chart(
+    title: str,
+    series: dict[str, Sequence[tuple[float, float]]],
+    *,
+    x_label: str = "",
+    y_label: str = "",
+    log_y: bool = False,
+) -> str:
+    """A multi-series line chart over a numeric x-axis."""
+    import math
+
+    canvas = _Canvas(title=title, x_label=x_label, y_label=y_label)
+    points = [point for values in series.values() for point in values]
+    if not points:
+        return canvas.render()
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+
+    def transform_y(value: float) -> float:
+        """Apply the (optional) log transform."""
+        return math.log10(max(value, 1e-12)) if log_y else value
+
+    t_ys = [transform_y(y) for y in ys]
+    y_low, y_high = min(t_ys), max(t_ys)
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    plot_width = WIDTH - MARGIN_LEFT - MARGIN_RIGHT
+    plot_height = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM
+
+    def to_xy(x: float, y: float) -> tuple[float, float]:
+        """Data coordinates -> pixel coordinates."""
+        px = MARGIN_LEFT + plot_width * (x - x_low) / (x_high - x_low)
+        py = MARGIN_TOP + plot_height * (1 - (transform_y(y) - y_low) / (y_high - y_low))
+        return px, py
+
+    for tick in _ticks(x_low, x_high):
+        px = MARGIN_LEFT + plot_width * (tick - x_low) / (x_high - x_low)
+        if MARGIN_LEFT - 1 <= px <= WIDTH - MARGIN_RIGHT + 1:
+            canvas.text(px, HEIGHT - MARGIN_BOTTOM + 18, f"{tick:g}", size=11)
+
+    tick_values = (
+        [10**t for t in _ticks(y_low, y_high)] if log_y else _ticks(y_low, y_high)
+    )
+    for tick in tick_values:
+        py = MARGIN_TOP + plot_height * (
+            1 - (transform_y(tick) - y_low) / (y_high - y_low)
+        )
+        if MARGIN_TOP - 1 <= py <= HEIGHT - MARGIN_BOTTOM + 1:
+            canvas.add(
+                f'<line x1="{MARGIN_LEFT}" y1="{py:.1f}" '
+                f'x2="{WIDTH - MARGIN_RIGHT}" y2="{py:.1f}" stroke="#eee"/>'
+            )
+            canvas.text(MARGIN_LEFT - 8, py + 4, f"{tick:g}", anchor="end", size=11)
+
+    for index, (name, values) in enumerate(series.items()):
+        color = PALETTE[index % len(PALETTE)]
+        path_points = " ".join(
+            f"{to_xy(x, y)[0]:.1f},{to_xy(x, y)[1]:.1f}" for x, y in values
+        )
+        canvas.add(
+            f'<polyline points="{path_points}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        for x, y in values:
+            px, py = to_xy(x, y)
+            canvas.add(f'<circle cx="{px:.1f}" cy="{py:.1f}" r="3" fill="{color}"/>')
+        canvas.text(
+            WIDTH - MARGIN_RIGHT - 6,
+            MARGIN_TOP + 16 + 16 * index,
+            name,
+            anchor="end",
+            size=11,
+            color=color,
+        )
+    return canvas.render()
+
+
+def save_svg(svg: str, path: str) -> None:
+    """Write an SVG document to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(svg)
+        handle.write("\n")

@@ -1,0 +1,100 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmarks print paper-style tables (rows = algorithms or swept
+values, columns = metrics) next to the paper's reference numbers, so that
+``pytest benchmarks/ --benchmark-only`` output is directly comparable to
+the publication.  No external dependency — just aligned monospace text.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+Cell = Union[str, float, int, None]
+
+
+def format_cell(value: Cell, precision: int = 2) -> str:
+    """Human-friendly cell formatting: trims trailing zeros on floats."""
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return str(value)
+    text = f"{value:.{precision}f}"
+    if "." in text:
+        text = text.rstrip("0").rstrip(".")
+    return text if text not in ("", "-") else "0"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    *,
+    title: Optional[str] = None,
+    precision: int = 2,
+) -> str:
+    """Render an aligned monospace table.
+
+    The first column is left-aligned (labels), the rest right-aligned
+    (numbers), matching the layout of the paper's Tables 1-2.
+    """
+    formatted = [[format_cell(cell, precision) for cell in row] for row in rows]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in formatted))
+        if formatted
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        """Format one table row with column padding."""
+        pieces = []
+        for col, cell in enumerate(cells):
+            if col == 0:
+                pieces.append(cell.ljust(widths[col]))
+            else:
+                pieces.append(cell.rjust(widths[col]))
+        return "  ".join(pieces)
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    header_line = line([str(h) for h in headers])
+    out.append(header_line)
+    out.append("-" * len(header_line))
+    out.extend(line(row) for row in formatted)
+    return "\n".join(out)
+
+
+def comparison_table(
+    measured: dict[str, float],
+    reference: dict[str, float],
+    *,
+    title: Optional[str] = None,
+    measured_label: str = "measured",
+    reference_label: str = "paper",
+) -> str:
+    """Side-by-side "paper vs measured" table for one metric.
+
+    Rows are ordered by the measured value so the winner is on top, making
+    the shape comparison (who wins, by what factor) immediate.
+    """
+    names = sorted(measured, key=measured.__getitem__)
+    rows: list[list[Cell]] = []
+    for name in names:
+        paper_value = reference.get(name)
+        ratio: Cell = None
+        if paper_value not in (None, 0):
+            ratio = measured[name] / paper_value
+        rows.append([name, measured[name], paper_value, ratio])
+    return render_table(
+        ["algorithm", measured_label, reference_label, "ratio"],
+        rows,
+        title=title,
+    )

@@ -1,0 +1,374 @@
+"""Command-line interface: experiments, sweeps and scheduling from a shell.
+
+Installed as the ``repro`` console script (also runnable as
+``python -m repro.cli``).  Subcommands:
+
+``repro compare``
+    Run the Section 3.1 base comparison and print every figure's table,
+    measured next to the paper's published values.
+``repro sweep-nodes`` / ``repro sweep-interval``
+    The Table 1 / Table 2 working-time sweeps.
+``repro generate``
+    Generate an environment and write it to JSON (archival input).
+``repro schedule``
+    Run one two-phase batch scheduling cycle on a generated or loaded
+    environment and print the assignments plus an ASCII Gantt chart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import comparison_table, render_table
+from repro.analysis.gantt import render_gantt
+from repro.analysis.paper_reference import FIGURE_REFERENCES
+from repro.core import CSA, Criterion
+from repro.environment import EnvironmentConfig, EnvironmentGenerator
+from repro.io import load_environment, save_environment
+from repro.scheduling import BatchScheduler
+from repro.simulation import (
+    ExperimentConfig,
+    run_comparison,
+    sweep_interval_lengths,
+    sweep_node_counts,
+)
+from repro.simulation.jobgen import JobGenerator
+
+FIGURE_TITLES = {
+    Criterion.START_TIME: "Fig. 2(a) average start time",
+    Criterion.RUNTIME: "Fig. 2(b) average runtime",
+    Criterion.FINISH_TIME: "Fig. 3(a) average finish time",
+    Criterion.PROCESSOR_TIME: "Fig. 3(b) average CPU usage time",
+    Criterion.COST: "Fig. 4 average execution cost",
+}
+
+
+def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        environment=EnvironmentConfig(node_count=args.nodes),
+        cycles=args.cycles,
+        seed=args.seed,
+    )
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Handler of the ``repro compare`` subcommand."""
+    config = _experiment_config(args)
+    print(
+        f"running {config.cycles} cycles on {args.nodes} nodes "
+        f"(seed {args.seed}) ..."
+    )
+    result = run_comparison(config)
+    print(
+        f"slots/cycle {result.slot_count.mean:.1f} (paper 472.6); "
+        f"CSA alternatives/cycle {result.csa.alternatives.mean:.1f} (paper 57)"
+    )
+    for criterion, title in FIGURE_TITLES.items():
+        means = result.all_means(criterion)
+        print()
+        print(comparison_table(means, FIGURE_REFERENCES[criterion], title=title))
+    if args.latex:
+        from repro.analysis.latex import latex_comparison
+
+        blocks = []
+        for criterion, title in FIGURE_TITLES.items():
+            blocks.append(
+                latex_comparison(
+                    result.all_means(criterion),
+                    FIGURE_REFERENCES[criterion],
+                    caption=title,
+                    label=f"tab:{criterion.value}",
+                )
+            )
+        with open(args.latex, "w", encoding="utf-8") as handle:
+            handle.write("\n\n".join(blocks))
+            handle.write("\n")
+        print(f"wrote LaTeX tables to {args.latex}")
+    return 0
+
+
+def _print_timing_study(study, parameter_label: str) -> None:
+    headers = [parameter_label] + [str(int(row.parameter)) for row in study.rows]
+    rows = [
+        ["slots"] + [round(row.slot_count.mean, 1) for row in study.rows],
+        ["CSA alternatives"]
+        + [round(row.csa_alternatives.mean, 1) for row in study.rows],
+        ["CSA (ms)"] + [round(row.csa_seconds.mean * 1e3, 2) for row in study.rows],
+    ]
+    for name in ("AMP", "MinRunTime", "MinFinish", "MinProcTime", "MinCost"):
+        rows.append([f"{name} (ms)"] + [round(row.mean_ms(name), 3) for row in study.rows])
+    print(render_table(headers, rows))
+
+
+def cmd_sweep_nodes(args: argparse.Namespace) -> int:
+    """Handler of the ``repro sweep-nodes`` subcommand."""
+    config = _experiment_config(args)
+    counts = [int(value) for value in args.counts.split(",")]
+    study = sweep_node_counts(config, counts, args.reps)
+    _print_timing_study(study, "CPU nodes")
+    return 0
+
+
+def cmd_sweep_interval(args: argparse.Namespace) -> int:
+    """Handler of the ``repro sweep-interval`` subcommand."""
+    config = _experiment_config(args)
+    lengths = [float(value) for value in args.lengths.split(",")]
+    study = sweep_interval_lengths(config, lengths, args.reps)
+    _print_timing_study(study, "interval")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Handler of the ``repro generate`` subcommand."""
+    config = EnvironmentConfig(node_count=args.nodes, seed=args.seed)
+    environment = EnvironmentGenerator(config).generate()
+    save_environment(environment, args.output)
+    print(
+        f"wrote {args.output}: {args.nodes} nodes, "
+        f"{len(environment.slots())} slots, "
+        f"load {environment.utilization():.0%}"
+    )
+    return 0
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    """Handler of the ``repro schedule`` subcommand."""
+    if args.env:
+        environment = load_environment(args.env)
+    else:
+        environment = EnvironmentGenerator(
+            EnvironmentConfig(node_count=args.nodes, seed=args.seed)
+        ).generate()
+    generator = JobGenerator(seed=args.seed)
+    batch = generator.generate_batch(args.jobs)
+    scheduler = BatchScheduler(
+        search=CSA(max_alternatives=args.alternatives),
+        criterion=Criterion[args.criterion.upper()],
+    )
+    report = scheduler.run_cycle(batch, environment)
+    summary = report.summary()
+    print(
+        f"scheduled {summary['scheduled_jobs']:.0f}/{len(batch)} jobs, "
+        f"cost {summary['total_cost']:.1f}, makespan {summary['makespan']:.1f}"
+    )
+    for job in batch:
+        window = report.scheduled.get(job.job_id)
+        if window is None:
+            print(f"  {job.job_id:<10} prio {job.priority} -> deferred")
+        else:
+            print(
+                f"  {job.job_id:<10} prio {job.priority} -> start {window.start:7.1f} "
+                f"finish {window.finish:7.1f} cost {window.total_cost:8.1f}"
+            )
+    if args.gantt:
+        print()
+        print(render_gantt(environment, list(report.scheduled.values())))
+    return 0
+
+
+def cmd_presets(args: argparse.Namespace) -> int:
+    """Handler of the ``repro presets`` subcommand."""
+    from repro.environment import PRESETS, EnvironmentGenerator, preset
+
+    rows = []
+    for name in sorted(PRESETS):
+        config = preset(name, node_count=args.nodes, seed=args.seed)
+        environment = EnvironmentGenerator(config).generate()
+        rows.append(
+            [
+                name,
+                f"{config.performance_range[0]}-{config.performance_range[1]}",
+                f"{config.load.load_range[0]:.0%}-{config.load.load_range[1]:.0%}",
+                f"{config.pricing.exponent:g}/{config.pricing.sigma:g}",
+                len(environment.slots()),
+                f"{environment.utilization():.0%}",
+            ]
+        )
+    print(
+        render_table(
+            ["preset", "perf", "load range", "price exp/sigma", "slots", "util"],
+            rows,
+            title=f"environment presets ({args.nodes} nodes, seed {args.seed})",
+        )
+    )
+    return 0
+
+
+def cmd_flow(args: argparse.Namespace) -> int:
+    """Handler of the ``repro flow`` subcommand."""
+    from repro.scheduling import BatchScheduler, FlowConfig, JobFlowSimulation
+    from repro.simulation import FlowTrace, JobGenerator
+
+    config = FlowConfig(
+        cycles=args.cycles,
+        arrivals_per_cycle=args.arrivals,
+        environment=EnvironmentConfig(node_count=args.nodes),
+        seed=args.seed,
+    )
+    scheduler = BatchScheduler(
+        search=CSA(max_alternatives=args.alternatives),
+        criterion=Criterion[args.criterion.upper()],
+    )
+    trace = FlowTrace() if args.trace else None
+    simulation = JobFlowSimulation(
+        config,
+        scheduler=scheduler,
+        job_generator=JobGenerator(seed=args.seed),
+        trace=trace,
+    )
+    result = simulation.run()
+    rows = [
+        [
+            stats.cycle,
+            stats.submitted,
+            stats.scheduled,
+            stats.deferred,
+            stats.dropped,
+            round(stats.total_cost, 1),
+            round(stats.makespan, 1),
+        ]
+        for stats in result.cycles
+    ]
+    print(
+        render_table(
+            ["cycle", "submitted", "scheduled", "deferred", "dropped", "cost", "makespan"],
+            rows,
+            title=(
+                f"job flow: {args.cycles} cycles x {args.arrivals} arrivals, "
+                f"policy {args.criterion}"
+            ),
+        )
+    )
+    print(
+        f"\nthroughput {result.throughput:.2f} jobs/cycle, "
+        f"drop rate {result.drop_rate:.0%}, "
+        f"mean cost {result.cost.mean:.1f}, "
+        f"mean wait {result.waiting_cycles.mean:.2f} cycles, "
+        f"service fairness {result.fairness.service_fairness:.2f}"
+    )
+    if trace is not None:
+        trace.save(args.trace)
+        print(f"wrote event trace to {args.trace} ({len(trace.events)} events)")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Handler of the ``repro report`` subcommand."""
+    from repro.analysis.report import build_report
+
+    config = _experiment_config(args)
+    print(f"running {config.cycles} cycles for the report ...")
+    result = run_comparison(config)
+    node_study = interval_study = None
+    if args.reps > 0:
+        print("running the Table 1 / Table 2 sweeps ...")
+        node_study = sweep_node_counts(config, (50, 100, 200), args.reps)
+        interval_study = sweep_interval_lengths(
+            config, (600.0, 1200.0, 2400.0), args.reps
+        )
+    text = build_report(result, node_study, interval_study)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command-line interface definition."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Slot selection & co-allocation experiments (PaCT 2013 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser("compare", help="run the Figs. 2-4 comparison")
+    compare.add_argument("--cycles", type=int, default=200)
+    compare.add_argument("--nodes", type=int, default=100)
+    compare.add_argument("--seed", type=int, default=2013)
+    compare.add_argument(
+        "--latex", help="also write the figure tables as LaTeX to this path"
+    )
+    compare.set_defaults(func=cmd_compare)
+
+    nodes = sub.add_parser("sweep-nodes", help="the Table 1 working-time sweep")
+    nodes.add_argument("--counts", default="50,100,200,300,400")
+    nodes.add_argument("--reps", type=int, default=20)
+    nodes.add_argument("--cycles", type=int, default=1)
+    nodes.add_argument("--nodes", type=int, default=100)
+    nodes.add_argument("--seed", type=int, default=2013)
+    nodes.set_defaults(func=cmd_sweep_nodes)
+
+    interval = sub.add_parser(
+        "sweep-interval", help="the Table 2 working-time sweep"
+    )
+    interval.add_argument("--lengths", default="600,1200,1800,2400,3000,3600")
+    interval.add_argument("--reps", type=int, default=20)
+    interval.add_argument("--cycles", type=int, default=1)
+    interval.add_argument("--nodes", type=int, default=100)
+    interval.add_argument("--seed", type=int, default=2013)
+    interval.set_defaults(func=cmd_sweep_interval)
+
+    generate = sub.add_parser("generate", help="generate an environment JSON")
+    generate.add_argument("--nodes", type=int, default=100)
+    generate.add_argument("--seed", type=int, default=None)
+    generate.add_argument("-o", "--output", required=True)
+    generate.set_defaults(func=cmd_generate)
+
+    schedule = sub.add_parser("schedule", help="run one batch scheduling cycle")
+    schedule.add_argument("--env", help="environment JSON (else generate fresh)")
+    schedule.add_argument("--nodes", type=int, default=60)
+    schedule.add_argument("--seed", type=int, default=7)
+    schedule.add_argument("--jobs", type=int, default=5)
+    schedule.add_argument("--alternatives", type=int, default=15)
+    schedule.add_argument(
+        "--criterion",
+        default="finish_time",
+        choices=[criterion.value for criterion in Criterion],
+    )
+    schedule.add_argument("--gantt", action="store_true", help="draw an ASCII Gantt")
+    schedule.set_defaults(func=cmd_schedule)
+
+    presets = sub.add_parser("presets", help="list environment presets")
+    presets.add_argument("--nodes", type=int, default=100)
+    presets.add_argument("--seed", type=int, default=1)
+    presets.set_defaults(func=cmd_presets)
+
+    flow = sub.add_parser("flow", help="run a multi-cycle job-flow simulation")
+    flow.add_argument("--cycles", type=int, default=6)
+    flow.add_argument("--arrivals", type=int, default=4)
+    flow.add_argument("--nodes", type=int, default=50)
+    flow.add_argument("--seed", type=int, default=7)
+    flow.add_argument("--alternatives", type=int, default=10)
+    flow.add_argument(
+        "--criterion",
+        default="finish_time",
+        choices=[criterion.value for criterion in Criterion],
+    )
+    flow.add_argument("--trace", help="write a JSON event trace to this path")
+    flow.set_defaults(func=cmd_flow)
+
+    report = sub.add_parser(
+        "report", help="write a markdown reproduction report (Figs. 2-4 + sweeps)"
+    )
+    report.add_argument("--cycles", type=int, default=200)
+    report.add_argument("--nodes", type=int, default=100)
+    report.add_argument("--seed", type=int, default=2013)
+    report.add_argument("--reps", type=int, default=0,
+                        help="timing-sweep repetitions (0 skips Tables 1-2)")
+    report.add_argument("-o", "--output", required=True)
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

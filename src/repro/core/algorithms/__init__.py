@@ -1,0 +1,31 @@
+"""Concrete slot-selection algorithms (AEP family, CSA, baselines)."""
+
+from repro.core.algorithms.amp import AMP
+from repro.core.algorithms.backfill import RigidBackfill
+from repro.core.algorithms.base import JobLike, SlotSelectionAlgorithm
+from repro.core.algorithms.csa import CSA
+from repro.core.algorithms.exhaustive import Exhaustive
+from repro.core.algorithms.first_fit import FirstFit
+from repro.core.algorithms.mincost import MinCost
+from repro.core.algorithms.minenergy import MinEnergy
+from repro.core.algorithms.minfinish import MinFinish
+from repro.core.algorithms.minidle import BalancedEdgeExtractor, MinIdle
+from repro.core.algorithms.minproctime import MinProcTime
+from repro.core.algorithms.minruntime import MinRunTime
+
+__all__ = [
+    "AMP",
+    "CSA",
+    "Exhaustive",
+    "FirstFit",
+    "JobLike",
+    "MinCost",
+    "MinEnergy",
+    "MinFinish",
+    "MinIdle",
+    "BalancedEdgeExtractor",
+    "MinProcTime",
+    "MinRunTime",
+    "RigidBackfill",
+    "SlotSelectionAlgorithm",
+]

@@ -1,0 +1,49 @@
+"""Common interface of all slot-selection algorithms."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Union
+
+from repro.model.job import Job, ResourceRequest
+from repro.model.slotpool import SlotPool
+from repro.model.window import Window
+
+JobLike = Union[Job, ResourceRequest]
+
+
+class SlotSelectionAlgorithm(abc.ABC):
+    """A strategy that selects co-allocation windows from a slot pool.
+
+    Concrete algorithms differ in the criterion they optimize and in
+    whether they produce a single window (the AEP family) or a list of
+    disjoint alternatives (CSA).  ``select`` never mutates the pool;
+    callers decide when to commit a window via
+    :meth:`repro.model.SlotPool.cut_window`.
+    """
+
+    #: Short name used in tables, figures and logs.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select(self, job: JobLike, pool: SlotPool) -> Optional[Window]:
+        """The best window for ``job`` by this algorithm's criterion.
+
+        Returns ``None`` when the pool holds no feasible window.
+        """
+
+    def find_alternatives(
+        self, job: JobLike, pool: SlotPool, limit: Optional[int] = None
+    ) -> list[Window]:
+        """Alternative windows for ``job`` (disjoint where applicable).
+
+        The default implementation returns the single ``select`` result;
+        CSA overrides this with the multi-alternative search.
+        """
+        window = self.select(job, pool)
+        if window is None:
+            return []
+        return [window]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,79 @@
+"""Optimization criteria for co-allocation windows.
+
+Section 2.1: "one can define a criterion crW on which the best matching
+window alternative is chosen: this can be a criterion for a minimum cost, a
+minimum execution runtime or, for example, a minimum energy consumption."
+
+All criteria are *minimized*.  :class:`Criterion` doubles as the selection
+key the CSA scheme applies to its list of alternatives and as the metric
+key of the simulation harness.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.model.window import Window
+
+
+class Criterion(Enum):
+    """A window characteristic to minimize."""
+
+    START_TIME = "start_time"
+    FINISH_TIME = "finish_time"
+    RUNTIME = "runtime"
+    PROCESSOR_TIME = "processor_time"
+    COST = "cost"
+    ENERGY = "energy"
+    IDLE_TIME = "idle_time"
+
+    def evaluate(self, window: Window) -> float:
+        """The criterion value of ``window`` (lower is better)."""
+        if self is Criterion.START_TIME:
+            return window.start
+        if self is Criterion.FINISH_TIME:
+            return window.finish
+        if self is Criterion.RUNTIME:
+            return window.runtime
+        if self is Criterion.PROCESSOR_TIME:
+            return window.processor_time
+        if self is Criterion.COST:
+            return window.total_cost
+        if self is Criterion.ENERGY:
+            return window.total_energy
+        if self is Criterion.IDLE_TIME:
+            return window.idle_time
+        raise ValueError(f"unhandled criterion {self!r}")  # pragma: no cover
+
+    @property
+    def label(self) -> str:
+        """Human-readable name used by tables and reports."""
+        return {
+            Criterion.START_TIME: "start time",
+            Criterion.FINISH_TIME: "finish time",
+            Criterion.RUNTIME: "runtime",
+            Criterion.PROCESSOR_TIME: "processor time",
+            Criterion.COST: "total cost",
+            Criterion.ENERGY: "energy",
+            Criterion.IDLE_TIME: "idle time",
+        }[self]
+
+
+def best_window(windows, criterion: Criterion) -> Window:
+    """The window minimizing ``criterion`` (first wins ties).
+
+    This is the CSA selection step: "only alternatives with the extreme
+    value of the given criterion will be selected, so the optimization will
+    take place at the selection process".
+    """
+    iterator = iter(windows)
+    try:
+        best = next(iterator)
+    except StopIteration:
+        raise ValueError("best_window() requires at least one window") from None
+    best_value = criterion.evaluate(best)
+    for window in iterator:
+        value = criterion.evaluate(window)
+        if value < best_value:
+            best, best_value = window, value
+    return best

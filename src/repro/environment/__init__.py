@@ -1,0 +1,32 @@
+"""Synthetic distributed-computing environments (Section 3.1 of the paper)."""
+
+from repro.environment.distributions import (
+    hypergeometric_fraction,
+    partition_total,
+    positive_normal,
+    uniform_int,
+)
+from repro.environment.generator import Environment, EnvironmentConfig, EnvironmentGenerator
+from repro.environment.load import (
+    DEFAULT_MIN_LOCAL_JOB_LENGTH,
+    LoadModel,
+    build_timeline,
+)
+from repro.environment.presets import PRESETS, preset
+from repro.environment.pricing import MarketPricing
+
+__all__ = [
+    "build_timeline",
+    "DEFAULT_MIN_LOCAL_JOB_LENGTH",
+    "Environment",
+    "EnvironmentConfig",
+    "EnvironmentGenerator",
+    "hypergeometric_fraction",
+    "LoadModel",
+    "MarketPricing",
+    "preset",
+    "PRESETS",
+    "partition_total",
+    "positive_normal",
+    "uniform_int",
+]

@@ -1,0 +1,97 @@
+"""Named environment presets for sensitivity studies.
+
+The paper evaluates one environment family (Section 3.1).  Its qualitative
+claims — which criterion wins what, by how much — implicitly depend on the
+family's load level, heterogeneity and pricing noise.  These presets vary
+one axis at a time around the paper's base point so the sensitivity
+benchmarks can show where each algorithm's advantage grows or collapses
+(e.g. with homogeneous nodes MinRunTime loses its edge entirely; under
+high load the window supply, and with it CSA's alternative count, dries
+up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.environment.generator import EnvironmentConfig
+from repro.environment.load import LoadModel
+from repro.environment.pricing import MarketPricing
+from repro.model.errors import ConfigurationError
+
+
+def paper_base(node_count: int = 100, seed=None) -> EnvironmentConfig:
+    """The Section 3.1 environment."""
+    return EnvironmentConfig(node_count=node_count, seed=seed)
+
+
+def low_load(node_count: int = 100, seed=None) -> EnvironmentConfig:
+    """Lightly loaded nodes: initial utilization in [2%, 15%]."""
+    return replace(
+        paper_base(node_count, seed), load=LoadModel(load_range=(0.02, 0.15))
+    )
+
+
+def high_load(node_count: int = 100, seed=None) -> EnvironmentConfig:
+    """Heavily loaded nodes: initial utilization in [50%, 85%]."""
+    return replace(
+        paper_base(node_count, seed), load=LoadModel(load_range=(0.50, 0.85))
+    )
+
+
+def homogeneous(node_count: int = 100, seed=None) -> EnvironmentConfig:
+    """Identical node speeds: performance fixed at the base mean (6).
+
+    With equal speeds every window has the same runtime profile, so the
+    runtime/finish criteria lose their meaning and only price noise
+    differentiates windows.
+    """
+    return replace(paper_base(node_count, seed), performance_range=(6, 6))
+
+
+def extreme_heterogeneity(node_count: int = 100, seed=None) -> EnvironmentConfig:
+    """A wider speed spread than the paper's: performance ~ U{1..20}."""
+    return replace(paper_base(node_count, seed), performance_range=(1, 20))
+
+
+def noisy_market(node_count: int = 100, seed=None) -> EnvironmentConfig:
+    """Chaotic pricing: triple the paper-calibrated deviation.
+
+    More mispriced nodes widen the cost spread MinCost can exploit.
+    """
+    base = paper_base(node_count, seed)
+    return replace(base, pricing=replace(base.pricing, sigma=0.3))
+
+
+def literal_proportional_pricing(node_count: int = 100, seed=None) -> EnvironmentConfig:
+    """The literal "proportional to performance" pricing (exponent 1.0).
+
+    Kept as a preset so the calibration argument of
+    :mod:`repro.environment.pricing` can be demonstrated: under this
+    pricing the budget stops binding on fast nodes and MinRunTime's
+    runtime collapses toward the hardware limit.
+    """
+    base = paper_base(node_count, seed)
+    return replace(base, pricing=replace(base.pricing, exponent=1.0))
+
+
+PRESETS = {
+    "paper-base": paper_base,
+    "low-load": low_load,
+    "high-load": high_load,
+    "homogeneous": homogeneous,
+    "extreme-heterogeneity": extreme_heterogeneity,
+    "noisy-market": noisy_market,
+    "literal-pricing": literal_proportional_pricing,
+}
+
+
+def preset(name: str, node_count: int = 100, seed=None) -> EnvironmentConfig:
+    """Look up a preset by name (see :data:`PRESETS`)."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown environment preset {name!r}; available: {sorted(PRESETS)}"
+        ) from None
+    return factory(node_count=node_count, seed=seed)

@@ -1,0 +1,97 @@
+"""Free-market pricing of heterogeneous nodes.
+
+Section 3.1: "The resource usage cost was formed proportionally to their
+performance with an element of normally distributed deviation in order to
+simulate a free market pricing model."
+
+We implement a slightly generalized power law::
+
+    price_per_unit = factor * performance**exponent * (1 + N(0, sigma))
+
+clipped from below at a small positive floor.
+
+Why an exponent above 1 (the default is 1.5)
+--------------------------------------------
+With a strictly linear rate the *per-task* cost is flat in performance —
+a task on a fast node costs the same as on a slow one, because it finishes
+proportionally sooner.  Under that model the user budget of the paper's
+base experiment (S = 1500 for five tasks of nominal length 150) can never
+exclude the fastest nodes, yet the paper states explicitly that the budget
+"generally will not allow using the most expensive (and usually the most
+efficient) CPU nodes" and measures MinRunTime at a runtime of 33 (i.e. the
+fastest *affordable* nodes have performance ~4.5, not 10).  A mildly
+super-linear rate makes fast nodes pricier per unit of work, reproducing
+all the qualitative facts of Section 3.2:
+
+* the cheapest tasks sit on slow nodes (MinCost "tries to use relatively
+  cheap and (usually) less productive CPU nodes");
+* the fastest nodes exceed the per-task budget share, capping MinRunTime;
+* a typical mixed window costs just about the whole budget, matching the
+  reported clustering of AMP / MinFinish / MinRunTime / CSA costs near S.
+
+The exponent and deviation are configuration, not hard-coded behaviour:
+``exponent=1.0`` recovers the literal proportional model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.errors import ConfigurationError
+
+#: Defaults calibrated against the paper's base experiment (see module
+#: docstring and EXPERIMENTS.md).
+DEFAULT_PRICE_FACTOR = 1.0
+DEFAULT_PRICE_EXPONENT = 1.5
+DEFAULT_PRICE_SIGMA = 0.1
+DEFAULT_PRICE_FLOOR = 0.05
+
+
+@dataclass(frozen=True)
+class MarketPricing:
+    """Pricing policy: rate is a noisy power law of node performance.
+
+    Parameters
+    ----------
+    factor:
+        Scale of the price per time unit.
+    exponent:
+        Power of performance in the rate; 1.0 is the literal
+        "proportional" reading, the default 1.5 is the calibrated value
+        (see module docstring).
+    sigma:
+        Relative standard deviation of the multiplicative normal
+        deviation.
+    floor:
+        Lowest admissible price per time unit (prices stay positive).
+    """
+
+    factor: float = DEFAULT_PRICE_FACTOR
+    exponent: float = DEFAULT_PRICE_EXPONENT
+    sigma: float = DEFAULT_PRICE_SIGMA
+    floor: float = DEFAULT_PRICE_FLOOR
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ConfigurationError(f"price factor must be positive, got {self.factor}")
+        if self.exponent <= 0:
+            raise ConfigurationError(
+                f"price exponent must be positive, got {self.exponent}"
+            )
+        if self.sigma < 0:
+            raise ConfigurationError(f"price sigma must be >= 0, got {self.sigma}")
+        if self.floor <= 0:
+            raise ConfigurationError(f"price floor must be positive, got {self.floor}")
+
+    def price_for(self, performance: float, rng: np.random.Generator) -> float:
+        """Draw the price per time unit for a node of ``performance``."""
+        if performance <= 0:
+            raise ConfigurationError(f"performance must be positive, got {performance}")
+        deviation = 1.0 + float(rng.normal(0.0, self.sigma))
+        return max(self.floor, self.factor * performance**self.exponent * deviation)
+
+    def expected_price(self, performance: float) -> float:
+        """Mean price per time unit for ``performance`` (ignoring the floor)."""
+        return self.factor * performance**self.exponent

@@ -1,0 +1,18 @@
+"""Execution replay on non-dedicated resources (disturbance robustness)."""
+
+from repro.execution.disturbance import PoissonDisturbances, Preemption
+from repro.execution.replay import (
+    ExecutionReport,
+    JobOutcome,
+    TaskOutcome,
+    replay_execution,
+)
+
+__all__ = [
+    "ExecutionReport",
+    "JobOutcome",
+    "PoissonDisturbances",
+    "Preemption",
+    "replay_execution",
+    "TaskOutcome",
+]

@@ -1,0 +1,75 @@
+"""Disturbance models for non-dedicated resources.
+
+The paper's environment is *non-dedicated*: local and high-priority jobs
+own the nodes, and the broker only reserves the published gaps.  Between
+the moment a window is committed and the moment it runs, more local work
+can arrive and preempt the reservation.  The paper factors this risk out
+of its experiments (the slot lists are snapshots), but any deployment of
+the algorithms has to live with it — so the execution simulator models it
+explicitly, and a benchmark quantifies how each selection criterion's
+windows degrade under it.
+
+A disturbance model samples, per node, a set of preemption events: local
+jobs that arrive at random times and suspend whatever reservation is
+running (suspend/resume semantics — the task loses the preempted time and
+finishes late).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Preemption:
+    """One local-job arrival on a node: suspends work for ``length``."""
+
+    arrival: float
+    length: float
+
+
+@dataclass(frozen=True)
+class PoissonDisturbances:
+    """Poisson local-job arrivals with uniformly distributed lengths.
+
+    Parameters
+    ----------
+    rate:
+        Expected arrivals per node per time unit.  The paper's base
+        interval is 600 units, so ``rate=0.001`` means ~0.6 local
+        arrivals per node per cycle.
+    length_range:
+        Uniform bounds of a local job's length; the default floor matches
+        the paper's minimum local-job length of 10.
+    """
+
+    rate: float = 0.001
+    length_range: tuple[float, float] = (10.0, 40.0)
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ConfigurationError(f"rate must be >= 0, got {self.rate}")
+        low, high = self.length_range
+        if low <= 0 or high < low:
+            raise ConfigurationError(f"invalid length_range {self.length_range}")
+
+    def sample(
+        self, horizon: float, rng: np.random.Generator
+    ) -> list[Preemption]:
+        """Preemption events on one node over ``[0, horizon)``."""
+        if horizon <= 0 or self.rate == 0:
+            return []
+        count = int(rng.poisson(self.rate * horizon))
+        events = [
+            Preemption(
+                arrival=float(rng.uniform(0.0, horizon)),
+                length=float(rng.uniform(*self.length_range)),
+            )
+            for _ in range(count)
+        ]
+        events.sort(key=lambda event: event.arrival)
+        return events

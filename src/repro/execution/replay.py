@@ -1,0 +1,237 @@
+"""Execution replay: what committed windows actually experience.
+
+Given an environment, a set of committed windows (one per job) and a
+disturbance model, replay the execution per node with suspend/resume
+semantics:
+
+* a task starts at its planned window start, unless its node is still
+  busy finishing an earlier (delayed) reservation — then it starts when
+  the node frees up;
+* a local preemption arriving while a task runs suspends it for the
+  preemption's length; preemptions arriving while the node is idle (or
+  inside another preemption) delay whatever is pending;
+* a job finishes when its last task finishes.
+
+The replay produces per-job and aggregate statistics (delay, slowdown,
+preemption counts) that the robustness benchmark compares across
+selection criteria: windows on many slow nodes expose more node-hours to
+disturbance than compact windows on few fast nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.execution.disturbance import PoissonDisturbances, Preemption
+from repro.model.window import Window
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Actual execution of one window leg."""
+
+    job_id: str
+    node_id: int
+    planned_start: float
+    planned_end: float
+    actual_start: float
+    actual_end: float
+    preempted_time: float
+    preemption_count: int
+
+    @property
+    def delay(self) -> float:
+        """Actual finish minus planned finish."""
+        return self.actual_end - self.planned_end
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """Actual execution of one job's window."""
+
+    job_id: str
+    planned_finish: float
+    actual_finish: float
+    tasks: tuple[TaskOutcome, ...]
+
+    @property
+    def delay(self) -> float:
+        """Actual finish minus planned finish."""
+        return self.actual_finish - self.planned_finish
+
+    @property
+    def slowdown(self) -> float:
+        """Actual / planned job duration (1.0 = undisturbed)."""
+        planned_start = min(task.planned_start for task in self.tasks)
+        planned = self.planned_finish - planned_start
+        actual = self.actual_finish - planned_start
+        if planned <= 0:
+            return 1.0
+        return actual / planned
+
+    @property
+    def preemption_count(self) -> int:
+        """Local-job preemptions absorbed."""
+        return sum(task.preemption_count for task in self.tasks)
+
+
+@dataclass
+class ExecutionReport:
+    """Aggregate view of one replay."""
+
+    jobs: dict[str, JobOutcome] = field(default_factory=dict)
+
+    @property
+    def mean_delay(self) -> float:
+        """Mean job delay over the replay."""
+        if not self.jobs:
+            return 0.0
+        return float(np.mean([outcome.delay for outcome in self.jobs.values()]))
+
+    @property
+    def mean_slowdown(self) -> float:
+        """Mean actual/planned duration ratio."""
+        if not self.jobs:
+            return 1.0
+        return float(np.mean([outcome.slowdown for outcome in self.jobs.values()]))
+
+    @property
+    def disturbed_fraction(self) -> float:
+        """Fraction of jobs that finished later than planned."""
+        if not self.jobs:
+            return 0.0
+        disturbed = sum(1 for outcome in self.jobs.values() if outcome.delay > 1e-9)
+        return disturbed / len(self.jobs)
+
+    def total_preemptions(self) -> int:
+        """Preemptions absorbed across all jobs."""
+        return sum(outcome.preemption_count for outcome in self.jobs.values())
+
+
+def _replay_node(
+    reservations: list[tuple[str, float, float]],
+    preemptions: list[Preemption],
+) -> list[TaskOutcome]:
+    """Replay one node: planned (job, start, duration) + preemptions.
+
+    Reservations are executed in planned-start order; each absorbs the
+    preempted time that arrives while it runs, pushing itself (and any
+    queued successors) later.
+    """
+    outcomes: list[TaskOutcome] = []
+    free_at = 0.0
+    pending = sorted(preemptions, key=lambda event: event.arrival)
+    index = 0
+
+    for job_id, planned_start, duration in sorted(
+        reservations, key=lambda item: item[1]
+    ):
+        actual_start = max(planned_start, free_at)
+        remaining = duration
+        clock = actual_start
+        preempted_time = 0.0
+        hits = 0
+        while True:
+            # Preemptions that arrive before this task's current end.
+            if index < len(pending) and pending[index].arrival < clock + remaining:
+                event = pending[index]
+                index += 1
+                if event.arrival < clock:
+                    # Arrived while the node was idle or already suspended:
+                    # the full length delays the task from its start.
+                    preempted_time += event.length
+                    remaining += 0.0
+                    clock += event.length
+                    hits += 1
+                    continue
+                # Runs until the preemption arrives, then suspends.
+                progressed = event.arrival - clock
+                remaining -= progressed
+                clock = event.arrival + event.length
+                preempted_time += event.length
+                hits += 1
+                continue
+            break
+        actual_end = clock + remaining
+        outcomes.append(
+            TaskOutcome(
+                job_id=job_id,
+                node_id=-1,  # filled by the caller
+                planned_start=planned_start,
+                planned_end=planned_start + duration,
+                actual_start=actual_start,
+                actual_end=actual_end,
+                preempted_time=preempted_time,
+                preemption_count=hits,
+            )
+        )
+        free_at = actual_end
+    return outcomes
+
+
+def replay_execution(
+    assignments: dict[str, Window],
+    model: Optional[PoissonDisturbances] = None,
+    rng: Optional[np.random.Generator] = None,
+    horizon: Optional[float] = None,
+) -> ExecutionReport:
+    """Replay the committed windows under a disturbance model.
+
+    Parameters
+    ----------
+    assignments:
+        Job id -> committed window (e.g. ``CycleReport.scheduled``).
+    model:
+        Disturbance model; the default is a light Poisson load.
+    rng:
+        Randomness source (seed it for reproducible replays).
+    horizon:
+        Time horizon for disturbance sampling; defaults to 2x the latest
+        planned finish, so delayed tails can still be disturbed.
+    """
+    model = model if model is not None else PoissonDisturbances()
+    rng = rng if rng is not None else np.random.default_rng()
+
+    per_node: dict[int, list[tuple[str, float, float]]] = {}
+    for job_id, window in assignments.items():
+        for ws in window.slots:
+            per_node.setdefault(ws.slot.node.node_id, []).append(
+                (job_id, window.start, ws.required_time)
+            )
+
+    if horizon is None:
+        latest = max(
+            (window.finish for window in assignments.values()), default=0.0
+        )
+        horizon = 2.0 * latest if latest > 0 else 0.0
+
+    task_outcomes: dict[str, list[TaskOutcome]] = {job_id: [] for job_id in assignments}
+    for node_id, reservations in per_node.items():
+        preemptions = model.sample(horizon, rng)
+        for outcome in _replay_node(reservations, preemptions):
+            task_outcomes[outcome.job_id].append(
+                TaskOutcome(
+                    job_id=outcome.job_id,
+                    node_id=node_id,
+                    planned_start=outcome.planned_start,
+                    planned_end=outcome.planned_end,
+                    actual_start=outcome.actual_start,
+                    actual_end=outcome.actual_end,
+                    preempted_time=outcome.preempted_time,
+                    preemption_count=outcome.preemption_count,
+                )
+            )
+
+    report = ExecutionReport()
+    for job_id, window in assignments.items():
+        tasks = tuple(task_outcomes[job_id])
+        report.jobs[job_id] = JobOutcome(
+            job_id=job_id,
+            planned_finish=window.finish,
+            actual_finish=max(task.actual_end for task in tasks),
+            tasks=tasks,
+        )
+    return report

@@ -1,0 +1,42 @@
+"""Domain model: nodes, slots, jobs, windows, timelines and slot pools."""
+
+from repro.model.errors import (
+    AllocationError,
+    ConfigurationError,
+    InvalidIntervalError,
+    InvalidRequestError,
+    ModelError,
+    ReproError,
+    SchedulingError,
+    WindowValidationError,
+)
+from repro.model.job import Job, JobBatch, ResourceRequest
+from repro.model.resource import CpuNode, NodeSpec, matches_spec
+from repro.model.slot import TIME_EPSILON, Slot
+from repro.model.slotpool import SlotPool
+from repro.model.timeline import Timeline
+from repro.model.window import COST_EPSILON, Window, WindowSlot
+
+__all__ = [
+    "AllocationError",
+    "ConfigurationError",
+    "COST_EPSILON",
+    "CpuNode",
+    "InvalidIntervalError",
+    "InvalidRequestError",
+    "Job",
+    "JobBatch",
+    "matches_spec",
+    "ModelError",
+    "NodeSpec",
+    "ReproError",
+    "ResourceRequest",
+    "SchedulingError",
+    "Slot",
+    "SlotPool",
+    "TIME_EPSILON",
+    "Timeline",
+    "Window",
+    "WindowSlot",
+    "WindowValidationError",
+]

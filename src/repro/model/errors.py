@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch every domain failure with a single ``except`` clause while still
+being able to distinguish model-validation problems from scheduling
+problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ModelError(ReproError):
+    """An entity of the domain model was constructed with invalid data."""
+
+
+class InvalidIntervalError(ModelError):
+    """A time interval was given with ``end`` not after ``start``."""
+
+    def __init__(self, start: float, end: float) -> None:
+        super().__init__(f"invalid interval: start={start!r} must be < end={end!r}")
+        self.start = start
+        self.end = end
+
+
+class InvalidRequestError(ModelError):
+    """A :class:`~repro.model.job.ResourceRequest` field is out of range."""
+
+
+class WindowValidationError(ModelError):
+    """A co-allocation window violates one of its structural invariants.
+
+    Raised by :meth:`repro.model.window.Window.validate` with a message that
+    names the violated invariant (synchronous start, distinct nodes, budget,
+    slot containment, ...).
+    """
+
+
+class AllocationError(ReproError):
+    """A window could not be carved out of the slot pool it refers to."""
+
+
+class SchedulingError(ReproError):
+    """The batch scheduling scheme could not complete a cycle."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation or environment configuration value is inconsistent."""

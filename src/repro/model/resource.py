@@ -1,0 +1,152 @@
+"""Computational resources: heterogeneous, non-dedicated CPU nodes.
+
+The paper's environment is a set of CPU nodes that differ in *performance*
+(an abstract speed factor: the same task runs ``reference/performance``
+times the nominal duration) and in *price per unit of occupied time*
+(formed by a free-market pricing model, roughly proportional to
+performance).  Nodes are non-dedicated: local, higher-priority jobs occupy
+parts of the scheduling interval, and only the remaining gaps are offered
+to the broker as slots.
+
+Besides speed and price every node carries a small set of hardware /
+software characteristics (clock speed, RAM, disk, operating system) because
+the AEP scan first filters slots through a ``properHardwareAndSoftware``
+predicate (Section 2.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.model.errors import ModelError
+
+#: Power-model constants used by :meth:`CpuNode.power`.  The quadratic term
+#: reflects the usual CMOS rule of thumb that dynamic power grows roughly
+#: quadratically with the clock/performance level; the constant term is the
+#: idle floor.  The paper only mentions "minimum energy consumption" as an
+#: example criterion, so the exact constants are free parameters.
+DEFAULT_IDLE_POWER = 1.0
+DEFAULT_DYNAMIC_POWER_FACTOR = 0.05
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static hardware/software description of a node.
+
+    These fields exist so that resource requests can express the
+    characteristics mentioned in the paper's resource-request description
+    ("clock speed, RAM volume, disk space, operating system etc.").
+    """
+
+    clock_speed: float = 1.0  # GHz
+    ram: int = 4096  # MiB
+    disk: int = 100  # GiB
+    os: str = "linux"
+
+    def __post_init__(self) -> None:
+        if self.clock_speed <= 0:
+            raise ModelError(f"clock_speed must be positive, got {self.clock_speed}")
+        if self.ram < 0 or self.disk < 0:
+            raise ModelError("ram and disk must be non-negative")
+
+
+@dataclass(frozen=True)
+class CpuNode:
+    """A single heterogeneous CPU node offered to the virtual organization.
+
+    Parameters
+    ----------
+    node_id:
+        Unique identifier within one environment.
+    performance:
+        Relative speed factor ``p > 0``.  A task whose nominal duration is
+        ``t`` at reference performance ``r`` runs for ``t * r / p`` on this
+        node (see :meth:`task_runtime`).
+    price_per_unit:
+        Cost charged per unit of reserved time on this node.
+    spec:
+        Hardware/software characteristics used for request matching.
+    """
+
+    node_id: int
+    performance: float
+    price_per_unit: float
+    spec: NodeSpec = field(default_factory=NodeSpec)
+
+    def __post_init__(self) -> None:
+        if self.performance <= 0:
+            raise ModelError(f"performance must be positive, got {self.performance}")
+        if self.price_per_unit < 0:
+            raise ModelError(f"price_per_unit must be >= 0, got {self.price_per_unit}")
+
+    def task_runtime(self, reservation_time: float, reference_performance: float = 1.0) -> float:
+        """Duration of a task on this node.
+
+        ``reservation_time`` is the task duration measured on a node of
+        ``reference_performance``; heterogeneity scales it by the
+        performance ratio.  This is the quantity the paper calls "the length
+        of each slot in the window is determined by the performance rate of
+        the node on which it is allocated".
+        """
+        if reservation_time < 0:
+            raise ModelError(f"reservation_time must be >= 0, got {reservation_time}")
+        if reference_performance <= 0:
+            raise ModelError(
+                f"reference_performance must be positive, got {reference_performance}"
+            )
+        return reservation_time * reference_performance / self.performance
+
+    def usage_cost(self, duration: float) -> float:
+        """Cost of reserving this node for ``duration`` time units."""
+        if duration < 0:
+            raise ModelError(f"duration must be >= 0, got {duration}")
+        return self.price_per_unit * duration
+
+    def power(
+        self,
+        idle_power: float = DEFAULT_IDLE_POWER,
+        dynamic_factor: float = DEFAULT_DYNAMIC_POWER_FACTOR,
+    ) -> float:
+        """Electrical power drawn while busy (arbitrary units).
+
+        Used by the ``MinEnergy`` criterion.  Energy of a task equals
+        ``power() * task_runtime(...)``, which is U-shaped in performance:
+        slow nodes take long, fast nodes burn more per unit of time.
+        """
+        return idle_power + dynamic_factor * self.performance**2
+
+    def energy_cost(self, reservation_time: float, reference_performance: float = 1.0) -> float:
+        """Energy consumed by one task of the given nominal duration."""
+        return self.power() * self.task_runtime(reservation_time, reference_performance)
+
+
+def matches_spec(
+    node: CpuNode,
+    *,
+    min_performance: float = 0.0,
+    min_clock_speed: float = 0.0,
+    min_ram: int = 0,
+    min_disk: int = 0,
+    required_os: Optional[str] = None,
+    max_price_per_unit: Optional[float] = None,
+) -> bool:
+    """Check a node against hardware/software requirements.
+
+    This is the ``properHardwareAndSoftware`` predicate of the AEP pseudo
+    code.  ``max_price_per_unit`` implements the "maximal resource price per
+    time unit F" of the resource request; ``None`` disables the check.
+    """
+    if node.performance < min_performance:
+        return False
+    if node.spec.clock_speed < min_clock_speed:
+        return False
+    if node.spec.ram < min_ram:
+        return False
+    if node.spec.disk < min_disk:
+        return False
+    if required_os is not None and node.spec.os != required_os:
+        return False
+    if max_price_per_unit is not None and node.price_per_unit > max_price_per_unit:
+        return False
+    return True

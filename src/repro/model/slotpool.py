@@ -1,0 +1,159 @@
+"""The ordered slot list ("slot pool") the selection algorithms scan.
+
+The AEP family requires the list of all available slots *ordered by
+non-decreasing start time* — that ordering is what makes a single linear
+scan sufficient.  The pool maintains that order, and implements the
+"cutting" operation of the CSA scheme: once a window is allocated, the
+reserved spans are removed from the affected slots and the usable
+remainders are re-inserted, so the next search sees only genuinely free
+time.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.model.errors import AllocationError
+from repro.model.slot import TIME_EPSILON, Slot
+from repro.model.window import Window
+
+
+@dataclass
+class SlotPool:
+    """A mutable, start-time-ordered collection of free slots.
+
+    Parameters
+    ----------
+    min_usable_length:
+        Remainders shorter than this are dropped when a window is cut out.
+        The paper's environment has local jobs of length >= 10, so by
+        default any positive remainder is kept; raising the threshold is the
+        "cutting policy" ablation discussed in DESIGN.md.
+    """
+
+    min_usable_length: float = TIME_EPSILON
+    _slots: list[tuple[tuple[float, float, int], Slot]] = field(default_factory=list)
+
+    @classmethod
+    def from_slots(cls, slots: Iterable[Slot], min_usable_length: float = TIME_EPSILON) -> "SlotPool":
+        """Build a pool from an iterable of slots."""
+        pool = cls(min_usable_length=min_usable_length)
+        for slot in slots:
+            pool.add(slot)
+        return pool
+
+    # ------------------------------------------------------------------
+    # Collection protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __iter__(self) -> Iterator[Slot]:
+        """Iterate slots by non-decreasing start time."""
+        return (slot for _, slot in self._slots)
+
+    def ordered(self) -> list[Slot]:
+        """The slots as a list, ordered by non-decreasing start time."""
+        return [slot for _, slot in self._slots]
+
+    def __contains__(self, slot: Slot) -> bool:
+        return any(existing == slot for _, existing in self._slots)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, slot: Slot) -> None:
+        """Insert a slot, keeping the start-time order."""
+        if slot.length >= self.min_usable_length - TIME_EPSILON:
+            insort(self._slots, (slot.sort_key(), slot))
+
+    def remove(self, slot: Slot) -> None:
+        """Remove one slot; raises :class:`AllocationError` if absent."""
+        entry = (slot.sort_key(), slot)
+        index = self._find(entry)
+        if index is None:
+            raise AllocationError(f"slot not in pool: {slot!r}")
+        del self._slots[index]
+
+    def _find(self, entry: tuple[tuple[float, float, int], Slot]) -> Optional[int]:
+        from bisect import bisect_left
+
+        index = bisect_left(self._slots, entry)
+        while index < len(self._slots) and self._slots[index][0] == entry[0]:
+            if self._slots[index][1] == entry[1]:
+                return index
+            index += 1
+        return None
+
+    def cut_window(self, window: Window, mode: str = "split") -> None:
+        """Remove a window's reservations from the pool.
+
+        This is the operation the CSA scheme performs between consecutive
+        AMP runs so that the alternatives it accumulates are disjoint (the
+        "cutting" of reference [17]).  Two policies:
+
+        * ``mode="split"`` — carve the span ``[window.start, window.start +
+          required_time)`` out of each used slot and re-insert remainders
+          of at least ``min_usable_length``.  Maximizes slot reuse; this is
+          what a final allocation does.
+        * ``mode="consume"`` — drop each used slot entirely.  This is the
+          coarser policy whose alternative counts match the paper's CSA
+          statistics (~57 alternatives from ~470 slots in the base
+          environment); see DESIGN.md's cutting-policy ablation.
+        """
+        if mode not in ("split", "consume"):
+            raise ValueError(f"unknown cut mode {mode!r}")
+        for ws in window.slots:
+            if not ws.fits_from(window.start):
+                raise AllocationError(
+                    f"window leg on node {ws.slot.node.node_id} does not fit its slot"
+                )
+            self.remove(ws.slot)
+            if mode == "consume":
+                continue
+            reservation_start = window.start
+            reservation_end = window.start + ws.required_time
+            for remainder in ws.slot.split(
+                reservation_start, reservation_end, self.min_usable_length
+            ):
+                self.add(remainder)
+
+    def copy(self) -> "SlotPool":
+        """A shallow copy (slots are immutable, so this is fully safe)."""
+        twin = SlotPool(min_usable_length=self.min_usable_length)
+        twin._slots = list(self._slots)
+        return twin
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def total_free_time(self) -> float:
+        """Sum of all slot lengths in the pool."""
+        return sum(slot.length for slot in self)
+
+    def by_node(self) -> dict[int, list[Slot]]:
+        """Slots grouped by node id (each group start-ordered)."""
+        groups: dict[int, list[Slot]] = {}
+        for slot in self:
+            groups.setdefault(slot.node.node_id, []).append(slot)
+        return groups
+
+    def node_count(self) -> int:
+        """Number of distinct nodes contributing at least one slot."""
+        return len({slot.node.node_id for slot in self})
+
+    def assert_disjoint_per_node(self) -> None:
+        """Invariant check: slots of one node never overlap.
+
+        Primarily used by the test suite and by debugging sessions; a pool
+        produced by the environment generator and mutated only through
+        :meth:`cut_window` always satisfies it.
+        """
+        for node_id, slots in self.by_node().items():
+            for left, right in zip(slots, slots[1:]):
+                if left.overlaps(right):
+                    raise AllocationError(
+                        f"overlapping slots on node {node_id}: {left!r} / {right!r}"
+                    )

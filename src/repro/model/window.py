@@ -1,0 +1,211 @@
+"""Co-allocation windows — the object the slot-selection algorithms return.
+
+A *window* is a set of ``n`` slots on distinct nodes reserved from a common
+(synchronous) start time.  Because nodes are heterogeneous, each task
+occupies its node for a different duration, so the window has the "rough
+right edge" of the paper's Fig. 1.  The window's aggregate characteristics
+(start, finish, runtime, processor time, cost, energy) are exactly the
+criteria the evaluated algorithms optimize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.model.errors import WindowValidationError
+from repro.model.job import ResourceRequest
+from repro.model.slot import TIME_EPSILON, Slot
+
+#: Relative slack admitted when comparing costs against the budget, to keep
+#: float summation order from flipping feasibility decisions.
+COST_EPSILON = 1e-6
+
+
+@dataclass(frozen=True)
+class WindowSlot:
+    """One leg of a window: a slot plus the reservation carved out of it.
+
+    ``required_time`` is the task duration on the slot's node and ``cost``
+    the usage cost of that duration; both are precomputed once when the slot
+    enters the AEP extended window, so criterion extractors work on plain
+    numbers.
+    """
+
+    slot: Slot
+    required_time: float
+    cost: float
+
+    @classmethod
+    def for_request(cls, slot: Slot, request: ResourceRequest) -> "WindowSlot":
+        """Build the window leg for ``slot`` under ``request``."""
+        duration = request.task_runtime_on(slot.node)
+        return cls(slot=slot, required_time=duration, cost=slot.node.usage_cost(duration))
+
+    def fits_from(self, start: float) -> bool:
+        """Whether the reservation fits into the slot when started at ``start``."""
+        return self.slot.remaining_from(start) >= self.required_time - TIME_EPSILON
+
+    def energy(self) -> float:
+        """Energy drawn by the task on this leg (see :meth:`CpuNode.power`)."""
+        return self.slot.node.power() * self.required_time
+
+
+@dataclass(frozen=True)
+class Window:
+    """A co-allocation of ``len(slots)`` tasks starting at ``start``."""
+
+    start: float
+    slots: tuple[WindowSlot, ...]
+
+    def __post_init__(self) -> None:
+        if not self.slots:
+            raise WindowValidationError("a window must contain at least one slot")
+
+    # ------------------------------------------------------------------
+    # Aggregate characteristics (the optimization criteria of Section 3).
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of co-allocated slots ``n``."""
+        return len(self.slots)
+
+    @property
+    def runtime(self) -> float:
+        """Execution time: the length of the longest composing reservation.
+
+        "The time length of an allocated window W is defined by the
+        execution time of the task that is using the slowest CPU node."
+        """
+        return max(ws.required_time for ws in self.slots)
+
+    @property
+    def finish(self) -> float:
+        """Completion time of the window: ``start + runtime``."""
+        return self.start + self.runtime
+
+    @property
+    def processor_time(self) -> float:
+        """Total node (CPU) time: the sum of the reservations' lengths."""
+        return sum(ws.required_time for ws in self.slots)
+
+    @property
+    def total_cost(self) -> float:
+        """Total allocation cost: the sum of the individual slot costs."""
+        return sum(ws.cost for ws in self.slots)
+
+    @property
+    def total_energy(self) -> float:
+        """Total energy consumption of the co-allocation."""
+        return sum(ws.energy() for ws in self.slots)
+
+    @property
+    def idle_time(self) -> float:
+        """Co-allocation waste: node-time reserved but idle.
+
+        In a tightly coupled parallel job every task effectively occupies
+        its allocation until the *longest* task finishes (early tasks
+        block on the stragglers), so a leg of duration ``t`` wastes
+        ``runtime - t`` node-time units — the area above the "rough right
+        edge" of the paper's Fig. 1.  Zero iff all legs run equally long.
+        """
+        runtime = self.runtime
+        return sum(runtime - ws.required_time for ws in self.slots)
+
+    def nodes(self) -> list[int]:
+        """Identifiers of the nodes used, in slot order."""
+        return [ws.slot.node.node_id for ws in self.slots]
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, request: Optional[ResourceRequest] = None) -> None:
+        """Check the structural invariants of a co-allocation window.
+
+        Raises :class:`WindowValidationError` naming the violated invariant.
+        When ``request`` is given, also checks the request-level constraints
+        (size, budget, per-node durations and hardware matching, deadline).
+        """
+        node_ids = self.nodes()
+        if len(set(node_ids)) != len(node_ids):
+            raise WindowValidationError(f"window reuses nodes: {sorted(node_ids)}")
+        for ws in self.slots:
+            if ws.required_time < 0:
+                raise WindowValidationError(
+                    f"negative required_time {ws.required_time} on node "
+                    f"{ws.slot.node.node_id}"
+                )
+            if not ws.slot.can_host(max(self.start, ws.slot.start), 0.0) or not ws.fits_from(
+                self.start
+            ):
+                raise WindowValidationError(
+                    f"slot on node {ws.slot.node.node_id} cannot host "
+                    f"[{self.start}, {self.start + ws.required_time}): slot is "
+                    f"[{ws.slot.start}, {ws.slot.end})"
+                )
+            if self.start < ws.slot.start - TIME_EPSILON:
+                raise WindowValidationError(
+                    f"window start {self.start} precedes slot start {ws.slot.start} "
+                    f"on node {ws.slot.node.node_id}"
+                )
+        if request is not None:
+            if self.size != request.node_count:
+                raise WindowValidationError(
+                    f"window has {self.size} slots, request needs {request.node_count}"
+                )
+            budget = request.effective_budget
+            if self.total_cost > budget * (1.0 + COST_EPSILON) + COST_EPSILON:
+                raise WindowValidationError(
+                    f"window cost {self.total_cost} exceeds budget {budget}"
+                )
+            for ws in self.slots:
+                expected = request.task_runtime_on(ws.slot.node)
+                if abs(ws.required_time - expected) > TIME_EPSILON:
+                    raise WindowValidationError(
+                        f"required_time {ws.required_time} on node "
+                        f"{ws.slot.node.node_id} does not match request "
+                        f"({expected})"
+                    )
+                if not request.node_matches(ws.slot.node):
+                    raise WindowValidationError(
+                        f"node {ws.slot.node.node_id} fails the hardware/software "
+                        "requirements of the request"
+                    )
+            if request.deadline is not None and self.finish > request.deadline + TIME_EPSILON:
+                raise WindowValidationError(
+                    f"window finishes at {self.finish}, after the deadline "
+                    f"{request.deadline}"
+                )
+
+    def is_valid(self, request: Optional[ResourceRequest] = None) -> bool:
+        """Boolean twin of :meth:`validate`."""
+        try:
+            self.validate(request)
+        except WindowValidationError:
+            return False
+        return True
+
+    def conflicts_with(self, other: "Window") -> bool:
+        """Whether two windows claim overlapping time on a common node.
+
+        Used by the batch combination selector to reject slot combinations
+        that reuse the same physical time span.
+        """
+        mine = {
+            ws.slot.node.node_id: (self.start, self.start + ws.required_time)
+            for ws in self.slots
+        }
+        for ws in other.slots:
+            span = mine.get(ws.slot.node.node_id)
+            if span is None:
+                continue
+            other_start, other_end = other.start, other.start + ws.required_time
+            if span[0] < other_end - TIME_EPSILON and other_start < span[1] - TIME_EPSILON:
+                return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Window(start={self.start:g}, n={self.size}, runtime={self.runtime:g}, "
+            f"cost={self.total_cost:g}, nodes={self.nodes()})"
+        )

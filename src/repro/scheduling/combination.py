@@ -1,0 +1,194 @@
+"""Phase two of the batch scheduling scheme: combination selection.
+
+During every cycle of job-batch scheduling two problems are solved
+(Section 1): "1) selecting an alternative set of slots that meet the
+requirements; 2) choosing a slot combination that would be the efficient or
+optimal in terms of the whole job batch execution".  The slot-selection
+algorithms of :mod:`repro.core` solve problem 1; this module solves
+problem 2: pick exactly one alternative per job so that
+
+* no two chosen windows claim overlapping time on the same node,
+* an optional VO-level budget on the combined cost is respected,
+* the sum of a criterion over the chosen windows is minimized.
+
+Two solvers are provided: a fast greedy pass in priority order (the
+production default) and an exact branch-and-bound used as a reference on
+small batches.  Jobs whose every alternative conflicts with earlier
+choices are left unscheduled for the cycle, as in the VO model where an
+unallocated job waits for the next scheduling cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.criteria import Criterion
+from repro.model.errors import SchedulingError
+from repro.model.job import Job
+from repro.model.window import Window
+
+
+@dataclass(frozen=True)
+class CombinationChoice:
+    """The outcome of phase two for one batch."""
+
+    assignments: dict[str, Window]  # job_id -> chosen window
+    total_value: float
+    unscheduled: tuple[str, ...] = ()
+
+    @property
+    def scheduled_count(self) -> int:
+        """Number of jobs that received a window."""
+        return len(self.assignments)
+
+    def total_cost(self) -> float:
+        """Combined cost of the chosen windows."""
+        return sum(window.total_cost for window in self.assignments.values())
+
+    def makespan(self) -> float:
+        """Latest finish time among the chosen windows."""
+        if not self.assignments:
+            return 0.0
+        return max(window.finish for window in self.assignments.values())
+
+
+def _conflicts_with_any(window: Window, chosen: Sequence[Window]) -> bool:
+    return any(window.conflicts_with(other) for other in chosen)
+
+
+def greedy_combination(
+    jobs: Sequence[Job],
+    alternatives: dict[str, Sequence[Window]],
+    criterion: Criterion = Criterion.COST,
+    vo_budget: Optional[float] = None,
+) -> CombinationChoice:
+    """Greedy phase-two selection in priority order.
+
+    For each job (highest priority first) pick the alternative with the
+    smallest criterion value that does not conflict with already chosen
+    windows and fits the remaining VO budget.  Linear in the total number
+    of alternatives; the scheme the metascheduler uses on-line.
+    """
+    ordered = sorted(jobs, key=lambda job: -job.priority)
+    chosen: list[Window] = []
+    assignments: dict[str, Window] = {}
+    unscheduled: list[str] = []
+    remaining_budget = float("inf") if vo_budget is None else vo_budget
+    total_value = 0.0
+    for job in ordered:
+        options = alternatives.get(job.job_id, ())
+        ranked = sorted(options, key=criterion.evaluate)
+        selected: Optional[Window] = None
+        for window in ranked:
+            if window.total_cost > remaining_budget + 1e-9:
+                continue
+            if _conflicts_with_any(window, chosen):
+                continue
+            selected = window
+            break
+        if selected is None:
+            unscheduled.append(job.job_id)
+            continue
+        chosen.append(selected)
+        assignments[job.job_id] = selected
+        remaining_budget -= selected.total_cost
+        total_value += criterion.evaluate(selected)
+    return CombinationChoice(
+        assignments=assignments,
+        total_value=total_value,
+        unscheduled=tuple(unscheduled),
+    )
+
+
+@dataclass
+class _SearchState:
+    best_value: float = float("inf")
+    best_scheduled: int = -1
+    best_assignments: dict[str, Window] = field(default_factory=dict)
+
+
+def optimal_combination(
+    jobs: Sequence[Job],
+    alternatives: dict[str, Sequence[Window]],
+    criterion: Criterion = Criterion.COST,
+    vo_budget: Optional[float] = None,
+    max_nodes_expanded: int = 200_000,
+) -> CombinationChoice:
+    """Exact phase-two selection by branch and bound.
+
+    Maximizes the number of scheduled jobs first, then minimizes the total
+    criterion value — the lexicographic objective the VO administrator
+    cares about.  Exponential in the worst case; ``max_nodes_expanded``
+    bounds the search and raises :class:`SchedulingError` when exceeded, to
+    keep misuse loud.
+    """
+    ordered = sorted(jobs, key=lambda job: -job.priority)
+    state = _SearchState()
+    budget = float("inf") if vo_budget is None else vo_budget
+    expanded = 0
+
+    options_by_job: list[tuple[Job, list[Window]]] = [
+        (job, sorted(alternatives.get(job.job_id, ()), key=criterion.evaluate))
+        for job in ordered
+    ]
+
+    def visit(
+        index: int,
+        chosen: list[Window],
+        assignments: dict[str, Window],
+        value: float,
+        cost: float,
+    ) -> None:
+        """Depth-first branch-and-bound recursion."""
+        nonlocal expanded
+        expanded += 1
+        if expanded > max_nodes_expanded:
+            raise SchedulingError(
+                f"optimal_combination exceeded {max_nodes_expanded} search nodes; "
+                "use greedy_combination for batches of this size"
+            )
+        if index == len(options_by_job):
+            scheduled = len(assignments)
+            if scheduled > state.best_scheduled or (
+                scheduled == state.best_scheduled and value < state.best_value
+            ):
+                state.best_scheduled = scheduled
+                state.best_value = value
+                state.best_assignments = dict(assignments)
+            return
+        # Bound: even scheduling every remaining job cannot beat the best.
+        remaining = len(options_by_job) - index
+        if len(assignments) + remaining < state.best_scheduled:
+            return
+        job, options = options_by_job[index]
+        for window in options:
+            if cost + window.total_cost > budget + 1e-9:
+                continue
+            if _conflicts_with_any(window, chosen):
+                continue
+            chosen.append(window)
+            assignments[job.job_id] = window
+            visit(
+                index + 1,
+                chosen,
+                assignments,
+                value + criterion.evaluate(window),
+                cost + window.total_cost,
+            )
+            chosen.pop()
+            del assignments[job.job_id]
+        # Also consider leaving the job unscheduled.
+        visit(index + 1, chosen, assignments, value, cost)
+
+    visit(0, [], {}, 0.0, 0.0)
+    scheduled_ids = set(state.best_assignments)
+    unscheduled = tuple(job.job_id for job in ordered if job.job_id not in scheduled_ids)
+    total_value = (
+        state.best_value if state.best_scheduled > 0 else 0.0
+    )
+    return CombinationChoice(
+        assignments=state.best_assignments,
+        total_value=total_value,
+        unscheduled=unscheduled,
+    )

@@ -1,0 +1,132 @@
+"""Advance-reservation ledger over an environment.
+
+The grid systems the paper positions itself against (its refs [10-12])
+co-allocate via *advance reservations*: a window is not just selected but
+booked, and bookings can later be cancelled (user withdraws, better offer
+found, co-allocation partner failed).  The ledger tracks the window each
+job booked, commits it onto the node timelines, and can release it again —
+returning the spans to the published slots for subsequent cycles.
+
+This closes the loop the paper leaves open between "selecting an
+alternative" and "holding the resources": the metascheduler books phase-2
+winners, and a deferred-then-rescheduled job can atomically swap its
+booking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.environment.generator import Environment
+from repro.model.errors import SchedulingError
+from repro.model.window import Window
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """One booked co-allocation."""
+
+    reservation_id: str
+    job_id: str
+    window: Window
+
+    @property
+    def spans(self) -> list[tuple[int, float, float]]:
+        """(node_id, start, end) triples this reservation holds."""
+        return [
+            (
+                ws.slot.node.node_id,
+                self.window.start,
+                self.window.start + ws.required_time,
+            )
+            for ws in self.window.slots
+        ]
+
+
+@dataclass
+class ReservationLedger:
+    """Book, query and cancel window reservations on one environment."""
+
+    environment: Environment
+    _active: dict[str, Reservation] = field(default_factory=dict)
+    _counter: int = 0
+
+    def book(self, job_id: str, window: Window) -> Reservation:
+        """Commit ``window`` onto the timelines and record the booking.
+
+        Raises :class:`SchedulingError` if any span is no longer free
+        (e.g. local load arrived since selection) — in that case nothing
+        is committed (all-or-nothing).
+        """
+        for node_id, start, end in (
+            (ws.slot.node.node_id, window.start, window.start + ws.required_time)
+            for ws in window.slots
+        ):
+            timeline = self.environment.timelines.get(node_id)
+            if timeline is None:
+                raise SchedulingError(f"unknown node {node_id} in window for {job_id}")
+            if not timeline.is_free(start, end):
+                raise SchedulingError(
+                    f"cannot book job {job_id}: [{start:g}, {end:g}) on node "
+                    f"{node_id} is no longer free"
+                )
+        self.environment.commit_window(window)
+        self._counter += 1
+        reservation = Reservation(
+            reservation_id=f"rsv-{self._counter}", job_id=job_id, window=window
+        )
+        self._active[reservation.reservation_id] = reservation
+        return reservation
+
+    def cancel(self, reservation_id: str) -> None:
+        """Release a booking; its spans return to the free pool."""
+        reservation = self._active.pop(reservation_id, None)
+        if reservation is None:
+            raise SchedulingError(f"unknown reservation {reservation_id!r}")
+        for node_id, start, end in reservation.spans:
+            self.environment.timelines[node_id].remove_busy(start, end)
+
+    def rebook(self, reservation_id: str, window: Window) -> Reservation:
+        """Atomically replace a booking with a new window.
+
+        Cancels the old booking first (so the new window may reuse its
+        spans); if booking the new window fails, the old booking is
+        restored and the error propagates.
+        """
+        old = self._active.get(reservation_id)
+        if old is None:
+            raise SchedulingError(f"unknown reservation {reservation_id!r}")
+        self.cancel(reservation_id)
+        try:
+            return self.book(old.job_id, window)
+        except SchedulingError:
+            restored = self.book(old.job_id, old.window)
+            self._active[reservation_id] = Reservation(
+                reservation_id=reservation_id,
+                job_id=old.job_id,
+                window=old.window,
+            )
+            del self._active[restored.reservation_id]
+            raise
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get(self, reservation_id: str) -> Optional[Reservation]:
+        """The active reservation with this id, or ``None``."""
+        return self._active.get(reservation_id)
+
+    def for_job(self, job_id: str) -> list[Reservation]:
+        """Active reservations held by one job."""
+        return [r for r in self._active.values() if r.job_id == job_id]
+
+    def active(self) -> list[Reservation]:
+        """All active reservations."""
+        return list(self._active.values())
+
+    def booked_time(self) -> float:
+        """Total node-time currently held by active reservations."""
+        return sum(
+            reservation.window.processor_time for reservation in self._active.values()
+        )

@@ -1,0 +1,204 @@
+"""Multi-cycle job-flow simulation: the VO's steady-state behaviour.
+
+The paper's economic model targets *job-flow level scheduling*: batches of
+user jobs arrive over time, each cycle schedules what fits, deferred jobs
+wait for the next cycle, and the resource picture keeps changing under
+local load.  This driver wires the pieces — job arrivals
+(:class:`~repro.simulation.JobGenerator`), the two-phase
+:class:`~repro.scheduling.BatchScheduler`, between-cycle churn
+(:mod:`repro.scheduling.updates`) — into a reproducible simulation with
+per-cycle and aggregate statistics, so VO policies (the phase-two
+criterion, the search algorithm, budgets) can be compared end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.environment.generator import Environment, EnvironmentConfig, EnvironmentGenerator
+from repro.model.errors import ConfigurationError
+from repro.model.job import Job, JobBatch
+from repro.scheduling.metascheduler import BatchScheduler
+from repro.scheduling.updates import UpdateModel, apply_updates
+from repro.analysis.fairness import FairnessReport
+from repro.simulation.jobgen import JobGenerator
+from repro.simulation.metrics import RunningStat
+from repro.simulation.trace import DEFERRED, DROPPED, SCHEDULED, FlowTrace
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """Parameters of a job-flow simulation."""
+
+    cycles: int = 10
+    arrivals_per_cycle: int = 4
+    max_deferrals: int = 3
+    environment: EnvironmentConfig = field(default_factory=lambda: EnvironmentConfig(node_count=60))
+    updates: Optional[UpdateModel] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.cycles < 1:
+            raise ConfigurationError(f"cycles must be >= 1, got {self.cycles}")
+        if self.arrivals_per_cycle < 0:
+            raise ConfigurationError(
+                f"arrivals_per_cycle must be >= 0, got {self.arrivals_per_cycle}"
+            )
+        if self.max_deferrals < 0:
+            raise ConfigurationError(
+                f"max_deferrals must be >= 0, got {self.max_deferrals}"
+            )
+
+
+@dataclass
+class CycleStats:
+    """Per-cycle record of a flow simulation."""
+
+    cycle: int
+    submitted: int
+    scheduled: int
+    deferred: int
+    dropped: int
+    total_cost: float
+    makespan: float
+    free_time_after: float
+
+
+@dataclass
+class FlowResult:
+    """Aggregate outcome of a job-flow simulation."""
+
+    cycles: list[CycleStats] = field(default_factory=list)
+    scheduled_total: int = 0
+    dropped_total: int = 0
+    cost: RunningStat = field(default_factory=RunningStat)
+    waiting_cycles: RunningStat = field(default_factory=RunningStat)
+    #: Attempt-weighted per-owner service: a deferred job contributes one
+    #: submission per cycle it waited, so owners whose jobs linger score a
+    #: lower service rate.
+    fairness: FairnessReport = field(default_factory=FairnessReport)
+
+    @property
+    def throughput(self) -> float:
+        """Scheduled jobs per cycle."""
+        if not self.cycles:
+            return 0.0
+        return self.scheduled_total / len(self.cycles)
+
+    @property
+    def drop_rate(self) -> float:
+        """Dropped jobs as a fraction of all resolved jobs."""
+        total = self.scheduled_total + self.dropped_total
+        if total == 0:
+            return 0.0
+        return self.dropped_total / total
+
+
+class JobFlowSimulation:
+    """Drives batches of arriving jobs through repeated scheduling cycles.
+
+    Deferred jobs re-enter the next cycle's batch with a priority boost
+    (ageing); a job deferred more than ``max_deferrals`` times is dropped,
+    which models users walking away — and keeps the backlog bounded when
+    the environment saturates.
+    """
+
+    def __init__(
+        self,
+        config: FlowConfig,
+        scheduler: Optional[BatchScheduler] = None,
+        job_generator: Optional[JobGenerator] = None,
+        trace: Optional[FlowTrace] = None,
+    ):
+        self.config = config
+        self.scheduler = scheduler if scheduler is not None else BatchScheduler()
+        self.trace = trace
+        self._rng = np.random.default_rng(config.seed)
+        self.job_generator = (
+            job_generator
+            if job_generator is not None
+            else JobGenerator(rng=self._rng)
+        )
+        self.environment: Environment = EnvironmentGenerator(
+            config.environment, rng=self._rng
+        ).generate()
+        self._backlog: list[tuple[Job, int]] = []  # (job, deferral count)
+        self._arrival_cycle: dict[str, int] = {}
+
+    def _build_batch(self, cycle: int) -> JobBatch:
+        batch = JobBatch()
+        for job, deferrals in self._backlog:
+            # Ageing: each deferral bumps the priority.
+            batch.add(
+                Job(
+                    job.job_id,
+                    job.request,
+                    priority=job.priority + deferrals,
+                    owner=job.owner,
+                )
+            )
+        for _ in range(self.config.arrivals_per_cycle):
+            job = self.job_generator.generate_job(
+                job_id=f"c{cycle}-{self.job_generator._counter}"
+            )
+            batch.add(job)
+            self._arrival_cycle[job.job_id] = cycle
+        return batch
+
+    def run_cycle(self, cycle: int, result: FlowResult) -> CycleStats:
+        """Run one cycle: build the batch, schedule, account, churn."""
+        batch = self._build_batch(cycle)
+        deferral_count = {job.job_id: count for job, count in self._backlog}
+        report = self.scheduler.run_cycle(batch, self.environment)
+
+        dropped = 0
+        new_backlog: list[tuple[Job, int]] = []
+        for job in batch.jobs:
+            window = report.scheduled.get(job.job_id)
+            result.fairness.record(job, window)
+            if window is not None:
+                result.scheduled_total += 1
+                result.cost.add(window.total_cost)
+                result.waiting_cycles.add(
+                    float(cycle - self._arrival_cycle.get(job.job_id, cycle))
+                )
+                if self.trace is not None:
+                    self.trace.record(cycle, job, SCHEDULED, window)
+                continue
+            deferrals = deferral_count.get(job.job_id, 0) + 1
+            if deferrals > self.config.max_deferrals:
+                dropped += 1
+                result.dropped_total += 1
+                if self.trace is not None:
+                    self.trace.record(cycle, job, DROPPED)
+            else:
+                new_backlog.append((job, deferrals))
+                if self.trace is not None:
+                    self.trace.record(cycle, job, DEFERRED)
+        self._backlog = new_backlog
+
+        if self.config.updates is not None:
+            apply_updates(self.environment, self.config.updates, self._rng)
+
+        stats = CycleStats(
+            cycle=cycle,
+            submitted=len(batch),
+            scheduled=report.choice.scheduled_count,
+            deferred=len(new_backlog),
+            dropped=dropped,
+            total_cost=report.choice.total_cost(),
+            makespan=report.choice.makespan(),
+            free_time_after=self.environment.slot_pool().total_free_time(),
+        )
+        result.cycles.append(stats)
+        return stats
+
+    def run(self) -> FlowResult:
+        """Run the configured number of cycles and return the aggregates."""
+        result = FlowResult()
+        for cycle in range(self.config.cycles):
+            self.run_cycle(cycle, result)
+        return result

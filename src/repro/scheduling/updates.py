@@ -1,0 +1,152 @@
+"""Dynamic environment updates between scheduling cycles.
+
+"During each scheduling cycle the sets of available slots are updated
+based on the information from local resource managers" (Section 1).  The
+paper's experiments regenerate the whole environment per cycle; a live VO
+instead *evolves*: local jobs arrive and consume free time, finished local
+jobs release time, and nodes join or leave the resource pool.  This module
+applies such update batches to an :class:`~repro.environment.Environment`
+in place, so multi-cycle studies can run against a persistent, changing
+resource picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.environment.generator import Environment
+from repro.model.errors import ConfigurationError, ModelError
+from repro.model.timeline import Timeline
+
+
+@dataclass(frozen=True)
+class UpdateStats:
+    """What one update pass changed."""
+
+    local_jobs_added: int
+    time_consumed: float
+    nodes_joined: tuple[int, ...]
+    nodes_left: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class UpdateModel:
+    """Stochastic model of between-cycle resource churn.
+
+    Parameters
+    ----------
+    local_job_rate:
+        Expected number of new local jobs per node per cycle.
+    local_job_length_range:
+        Uniform bounds of a new local job's length.
+    node_join_rate / node_leave_rate:
+        Expected number of nodes joining/leaving the VO per cycle.  A
+        leaving node's remaining free time disappears from the published
+        slots (its timeline is marked fully busy); joining nodes arrive
+        empty.
+    placement_attempts:
+        How many random placements to try per new local job before giving
+        up (the node may simply be too full).
+    """
+
+    local_job_rate: float = 0.5
+    local_job_length_range: tuple[float, float] = (10.0, 60.0)
+    node_join_rate: float = 0.0
+    node_leave_rate: float = 0.0
+    placement_attempts: int = 8
+
+    def __post_init__(self) -> None:
+        if self.local_job_rate < 0:
+            raise ConfigurationError(
+                f"local_job_rate must be >= 0, got {self.local_job_rate}"
+            )
+        low, high = self.local_job_length_range
+        if low <= 0 or high < low:
+            raise ConfigurationError(
+                f"invalid local_job_length_range {self.local_job_length_range}"
+            )
+        if self.node_join_rate < 0 or self.node_leave_rate < 0:
+            raise ConfigurationError("node join/leave rates must be >= 0")
+        if self.placement_attempts < 1:
+            raise ConfigurationError(
+                f"placement_attempts must be >= 1, got {self.placement_attempts}"
+            )
+
+
+def _place_local_job(
+    timeline: Timeline, length: float, rng: np.random.Generator, attempts: int
+) -> bool:
+    """Try to place one local job into a free gap of the timeline."""
+    gaps = [
+        (start, end)
+        for start, end in timeline.free_intervals(length)
+    ]
+    if not gaps:
+        return False
+    for _ in range(attempts):
+        start, end = gaps[int(rng.integers(0, len(gaps)))]
+        offset = float(rng.uniform(start, max(start, end - length)))
+        if timeline.is_free(offset, offset + length):
+            timeline.add_busy(offset, offset + length)
+            return True
+    return False
+
+
+def apply_updates(
+    environment: Environment,
+    model: UpdateModel,
+    rng: Optional[np.random.Generator] = None,
+) -> UpdateStats:
+    """Apply one between-cycle update pass to ``environment`` in place."""
+    rng = rng if rng is not None else np.random.default_rng()
+    added = 0
+    consumed = 0.0
+
+    # New local jobs claim free time on surviving nodes.
+    for node in environment.nodes:
+        timeline = environment.timelines[node.node_id]
+        arrivals = int(rng.poisson(model.local_job_rate))
+        for _ in range(arrivals):
+            length = float(rng.uniform(*model.local_job_length_range))
+            if _place_local_job(timeline, length, rng, model.placement_attempts):
+                added += 1
+                consumed += length
+
+    # Node churn.
+    left: list[int] = []
+    leave_count = min(int(rng.poisson(model.node_leave_rate)), len(environment.nodes) - 1)
+    if leave_count > 0:
+        victims = rng.choice(len(environment.nodes), size=leave_count, replace=False)
+        for index in sorted((int(v) for v in victims), reverse=True):
+            node = environment.nodes[index]
+            timeline = environment.timelines[node.node_id]
+            for start, end in timeline.free_intervals(1e-9):
+                timeline.add_busy(start, end)
+            left.append(node.node_id)
+
+    joined: list[int] = []
+    join_count = int(rng.poisson(model.node_join_rate))
+    if join_count > 0:
+        from repro.environment.generator import EnvironmentGenerator
+
+        generator = EnvironmentGenerator(environment.config, rng=rng)
+        next_id = max(node.node_id for node in environment.nodes) + 1
+        for offset in range(join_count):
+            node = generator.generate_node(next_id + offset)
+            environment.nodes.append(node)
+            environment.timelines[node.node_id] = Timeline(
+                node,
+                environment.config.interval_start,
+                environment.config.interval_end,
+            )
+            joined.append(node.node_id)
+
+    return UpdateStats(
+        local_jobs_added=added,
+        time_consumed=consumed,
+        nodes_joined=tuple(joined),
+        nodes_left=tuple(left),
+    )

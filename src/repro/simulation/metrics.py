@@ -1,0 +1,138 @@
+"""Metric collection for the simulation studies.
+
+Each evaluated algorithm produces (at most) one window per cycle; the
+studies aggregate the five characteristics the paper's Figs. 2-4 report —
+start time, runtime, finish time, processor time, total cost — plus energy
+and the find rate.  Aggregation is streaming (Welford), so 5000-cycle runs
+need O(1) memory per metric.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.criteria import Criterion
+from repro.model.window import Window
+
+#: The characteristics reported in the paper's figures, in figure order.
+REPORTED_CRITERIA = (
+    Criterion.START_TIME,
+    Criterion.RUNTIME,
+    Criterion.FINISH_TIME,
+    Criterion.PROCESSOR_TIME,
+    Criterion.COST,
+)
+
+
+@dataclass
+class RunningStat:
+    """Streaming mean/variance accumulator (Welford's algorithm)."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one value into the running aggregates."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance; 0 for fewer than two samples."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        if self.count == 0:
+            return math.inf
+        return self.std / math.sqrt(self.count)
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation confidence interval for the mean."""
+        half = z * self.sem
+        return (self.mean - half, self.mean + half)
+
+
+@dataclass
+class WindowStats:
+    """Aggregated window characteristics for one algorithm."""
+
+    attempts: int = 0
+    found: int = 0
+    metrics: dict[Criterion, RunningStat] = field(
+        default_factory=lambda: {criterion: RunningStat() for criterion in Criterion}
+    )
+
+    def observe(self, window: Optional[Window]) -> None:
+        """Record one cycle's outcome (``None`` = no feasible window)."""
+        self.attempts += 1
+        if window is None:
+            return
+        self.found += 1
+        for criterion, stat in self.metrics.items():
+            stat.add(criterion.evaluate(window))
+
+    @property
+    def find_rate(self) -> float:
+        """Fraction of attempts that produced a window."""
+        if self.attempts == 0:
+            return 0.0
+        return self.found / self.attempts
+
+    def mean(self, criterion: Criterion) -> float:
+        """Mean of one criterion over the observed windows."""
+        return self.metrics[criterion].mean
+
+    def as_row(self) -> dict[str, float]:
+        """Flat mapping used by table rendering and tests."""
+        row = {"found": float(self.found), "find_rate": self.find_rate}
+        for criterion in Criterion:
+            row[criterion.value] = self.metrics[criterion].mean
+        return row
+
+
+@dataclass
+class CsaStats:
+    """CSA bookkeeping: alternative counts plus per-criterion selections.
+
+    For every reported criterion the paper selects, among the alternatives
+    CSA collected in a cycle, the one that is extreme *by that criterion* —
+    so CSA contributes one :class:`WindowStats` per criterion, whose
+    diagonal (the criterion it was selected by) is what Figs. 2-4 plot.
+    """
+
+    alternatives: RunningStat = field(default_factory=RunningStat)
+    selections: dict[Criterion, WindowStats] = field(
+        default_factory=lambda: {criterion: WindowStats() for criterion in Criterion}
+    )
+
+    def observe(self, windows: list[Window]) -> None:
+        """Record one cycle's alternative list."""
+        self.alternatives.add(float(len(windows)))
+        for criterion, stats in self.selections.items():
+            if not windows:
+                stats.observe(None)
+                continue
+            best = min(windows, key=criterion.evaluate)
+            stats.observe(best)
+
+    def diagonal(self, criterion: Criterion) -> float:
+        """Mean of the criterion over its own best-by selections."""
+        return self.selections[criterion].mean(criterion)

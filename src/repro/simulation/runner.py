@@ -1,0 +1,103 @@
+"""Multi-cycle comparison runner — the engine behind Figs. 2-4.
+
+Runs the paper's base experiment for a configured number of cycles and
+aggregates, per algorithm, the five reported window characteristics plus
+the CSA alternative statistics.  All randomness flows from the experiment
+seed, so results are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.algorithms.base import SlotSelectionAlgorithm
+from repro.core.criteria import Criterion
+from repro.model.job import Job
+from repro.simulation.config import ExperimentConfig
+from repro.simulation.experiment import make_generator, paper_algorithm_suite, run_cycle
+from repro.simulation.metrics import CsaStats, RunningStat, WindowStats
+
+
+@dataclass
+class ComparisonResult:
+    """Aggregated outcome of a multi-cycle comparison study."""
+
+    config: ExperimentConfig
+    algorithms: dict[str, WindowStats] = field(default_factory=dict)
+    csa: CsaStats = field(default_factory=CsaStats)
+    slot_count: RunningStat = field(default_factory=RunningStat)
+    cycles_run: int = 0
+
+    def mean_of(self, algorithm_name: str, criterion: Criterion) -> float:
+        """Mean criterion value of one algorithm's selected windows."""
+        return self.algorithms[algorithm_name].mean(criterion)
+
+    def csa_mean_of(self, criterion: Criterion) -> float:
+        """CSA's mean for ``criterion`` when selecting by that criterion."""
+        return self.csa.diagonal(criterion)
+
+    def all_means(self, criterion: Criterion) -> dict[str, float]:
+        """Criterion means of every algorithm plus CSA's diagonal value."""
+        means = {
+            name: stats.mean(criterion) for name, stats in self.algorithms.items()
+        }
+        means["CSA"] = self.csa_mean_of(criterion)
+        return means
+
+    def ranking(self, criterion: Criterion) -> list[str]:
+        """Algorithm names ordered best (smallest mean) first."""
+        means = self.all_means(criterion)
+        return sorted(means, key=means.__getitem__)
+
+
+def run_comparison(
+    config: ExperimentConfig,
+    algorithms: Optional[Sequence[SlotSelectionAlgorithm]] = None,
+    *,
+    include_csa: bool = True,
+    validate: bool = False,
+    job: Optional[Job] = None,
+) -> ComparisonResult:
+    """Run ``config.cycles`` independent scheduling cycles and aggregate.
+
+    Parameters
+    ----------
+    config:
+        The study configuration (environment model, base job, cycle count).
+    algorithms:
+        Algorithms to compare; the paper's suite by default.
+    include_csa:
+        Also run the CSA multi-alternative search each cycle (dominates the
+        running time, exactly as in the paper).
+    validate:
+        Validate every returned window against the request (for tests).
+    job:
+        Override the predefined base job.
+    """
+    generator = make_generator(config)
+    if algorithms is None:
+        algorithms = paper_algorithm_suite(rng=generator.rng)
+    target_job = job if job is not None else config.base_job()
+
+    result = ComparisonResult(config=config)
+    for algorithm in algorithms:
+        result.algorithms[algorithm.name] = WindowStats()
+
+    for _ in range(config.cycles):
+        outcome = run_cycle(
+            generator,
+            target_job,
+            algorithms,
+            include_csa=include_csa,
+            validate=validate,
+        )
+        for algorithm in algorithms:
+            result.algorithms[algorithm.name].observe(outcome.windows[algorithm.name])
+        if include_csa:
+            result.csa.observe(outcome.csa_alternatives)
+        result.slot_count.add(float(outcome.slot_count))
+        result.cycles_run += 1
+    return result

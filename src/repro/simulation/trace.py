@@ -1,0 +1,139 @@
+"""Structured event traces of job-flow simulations.
+
+A flow simulation compresses each cycle into aggregates; for post-hoc
+analysis (per-job timelines, owner billing, debugging a starved job) the
+full event stream matters.  ``FlowTrace`` records one event per job per
+cycle — scheduled (with the window's characteristics), deferred, or
+dropped — and exports to plain JSON.
+
+Attach a trace via ``JobFlowSimulation(..., trace=FlowTrace())``; it adds
+negligible overhead and is entirely optional.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+from repro.model.job import Job
+from repro.model.window import Window
+
+#: Event kinds, in lifecycle order.
+SCHEDULED, DEFERRED, DROPPED = "scheduled", "deferred", "dropped"
+
+
+@dataclass(frozen=True)
+class FlowEvent:
+    """One job outcome in one cycle."""
+
+    cycle: int
+    job_id: str
+    owner: str
+    event: str
+    priority: int
+    window_start: Optional[float] = None
+    window_finish: Optional[float] = None
+    window_cost: Optional[float] = None
+    window_nodes: Optional[tuple[int, ...]] = None
+
+
+@dataclass
+class FlowTrace:
+    """Append-only event log of one flow simulation."""
+
+    events: list[FlowEvent] = field(default_factory=list)
+
+    def record(
+        self, cycle: int, job: Job, event: str, window: Optional[Window] = None
+    ) -> None:
+        """Append one observation."""
+        if event not in (SCHEDULED, DEFERRED, DROPPED):
+            raise ValueError(f"unknown flow event kind {event!r}")
+        if event == SCHEDULED and window is None:
+            raise ValueError("scheduled events require the window")
+        self.events.append(
+            FlowEvent(
+                cycle=cycle,
+                job_id=job.job_id,
+                owner=job.owner,
+                event=event,
+                priority=job.priority,
+                window_start=window.start if window else None,
+                window_finish=window.finish if window else None,
+                window_cost=window.total_cost if window else None,
+                window_nodes=tuple(window.nodes()) if window else None,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def for_job(self, job_id: str) -> list[FlowEvent]:
+        """The lifecycle of one job, in cycle order."""
+        return [event for event in self.events if event.job_id == job_id]
+
+    def by_kind(self, kind: str) -> list[FlowEvent]:
+        """All events of one kind."""
+        return [event for event in self.events if event.event == kind]
+
+    def cycles(self) -> list[int]:
+        """The cycles that produced at least one event."""
+        return sorted({event.cycle for event in self.events})
+
+    def owner_spend(self) -> dict[str, float]:
+        """Total money spent per owner (scheduled windows only)."""
+        spend: dict[str, float] = {}
+        for event in self.by_kind(SCHEDULED):
+            spend[event.owner] = spend.get(event.owner, 0.0) + (
+                event.window_cost or 0.0
+            )
+        return spend
+
+    def waiting_profile(self) -> dict[str, int]:
+        """Deferral count per eventually-scheduled job."""
+        waits: dict[str, int] = {}
+        for event in self.events:
+            if event.event == DEFERRED:
+                waits[event.job_id] = waits.get(event.job_id, 0) + 1
+        scheduled = {event.job_id for event in self.by_kind(SCHEDULED)}
+        return {job_id: count for job_id, count in waits.items() if job_id in scheduled}
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON representation."""
+        return {
+            "format_version": 1,
+            "events": [asdict(event) for event in self.events],
+        }
+
+    def save(self, path: str) -> None:
+        """Write to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "FlowTrace":
+        """Read back what :meth:`save` wrote."""
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        trace = cls()
+        for raw in payload["events"]:
+            nodes = raw.get("window_nodes")
+            trace.events.append(
+                FlowEvent(
+                    cycle=int(raw["cycle"]),
+                    job_id=raw["job_id"],
+                    owner=raw["owner"],
+                    event=raw["event"],
+                    priority=int(raw["priority"]),
+                    window_start=raw.get("window_start"),
+                    window_finish=raw.get("window_finish"),
+                    window_cost=raw.get("window_cost"),
+                    window_nodes=tuple(nodes) if nodes is not None else None,
+                )
+            )
+        return trace

@@ -1,0 +1,88 @@
+"""Unit tests for the fairness metrics."""
+
+import pytest
+
+from repro.analysis import (
+    FairnessReport,
+    fairness_of_assignments,
+    jain_index,
+)
+from repro.model import Job, ResourceRequest, Window, WindowSlot
+from tests.conftest import make_slot
+
+
+def window(node_id=0, price=2.0):
+    request = ResourceRequest(node_count=1, reservation_time=20.0)
+    slot = make_slot(node_id, 0.0, 100.0, 4.0, price)
+    return Window(start=0.0, slots=(WindowSlot.for_request(slot, request),))
+
+
+def job(job_id, owner):
+    return Job(job_id, ResourceRequest(node_count=1, reservation_time=20.0), owner=owner)
+
+
+class TestJainIndex:
+    def test_equal_shares_are_perfectly_fair(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_taker_is_one_over_k(self):
+        assert jain_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero_are_fair(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_scale_invariant(self):
+        assert jain_index([1.0, 2.0, 3.0]) == pytest.approx(
+            jain_index([10.0, 20.0, 30.0])
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([-1.0, 2.0])
+
+    def test_bounds(self):
+        values = [1.0, 4.0, 9.0, 16.0]
+        index = jain_index(values)
+        assert 1.0 / len(values) <= index <= 1.0
+
+
+class TestFairnessReport:
+    def test_record_and_rates(self):
+        report = FairnessReport()
+        report.record(job("a1", "alice"), window(0))
+        report.record(job("a2", "alice"), None)
+        report.record(job("b1", "bob"), window(1))
+        alice = report.owners["alice"]
+        assert alice.submitted == 2
+        assert alice.scheduled == 1
+        assert alice.service_rate == pytest.approx(0.5)
+        assert report.owners["bob"].service_rate == 1.0
+
+    def test_even_service_is_fair(self):
+        report = FairnessReport()
+        for owner in ("alice", "bob", "carol"):
+            report.record(job(f"{owner}-1", owner), window())
+        assert report.service_fairness == pytest.approx(1.0)
+        assert report.resource_fairness == pytest.approx(1.0)
+
+    def test_starving_one_owner_reduces_fairness(self):
+        report = FairnessReport()
+        report.record(job("a1", "alice"), window())
+        report.record(job("b1", "bob"), None)
+        assert report.service_fairness < 1.0
+        assert report.resource_fairness < 1.0
+
+    def test_as_rows_sorted_by_owner(self):
+        report = FairnessReport()
+        report.record(job("z1", "zoe"), window())
+        report.record(job("a1", "amy"), window())
+        rows = report.as_rows()
+        assert [row[0] for row in rows] == ["amy", "zoe"]
+
+    def test_fairness_of_assignments_helper(self):
+        jobs = [job("a1", "alice"), job("b1", "bob")]
+        assignments = {"a1": window(0)}
+        report = fairness_of_assignments(jobs, assignments)
+        assert report.owners["alice"].scheduled == 1
+        assert report.owners["bob"].scheduled == 0

@@ -1,0 +1,87 @@
+"""Unit tests for the ASCII Gantt renderers."""
+
+import pytest
+
+from repro.analysis import render_gantt, render_window
+from repro.core import AMP
+from repro.environment import EnvironmentConfig, EnvironmentGenerator
+from repro.model import Job, ResourceRequest
+
+
+@pytest.fixture(scope="module")
+def environment():
+    return EnvironmentGenerator(EnvironmentConfig(node_count=15, seed=3)).generate()
+
+
+@pytest.fixture(scope="module")
+def window(environment):
+    job = Job("j", ResourceRequest(node_count=3, reservation_time=100.0, budget=2000.0))
+    selected = AMP().select(job, environment.slot_pool())
+    assert selected is not None
+    return selected
+
+
+class TestRenderGantt:
+    def test_renders_all_busy_nodes_by_default(self, environment):
+        text = render_gantt(environment)
+        busy_nodes = [
+            node_id
+            for node_id, timeline in environment.timelines.items()
+            if timeline.busy_intervals
+        ]
+        lines = text.splitlines()
+        # header + rows + legend
+        assert len(lines) == len(busy_nodes) + 2
+
+    def test_busy_glyphs_present(self, environment):
+        assert "#" in render_gantt(environment)
+
+    def test_window_overlay_marks_reservations(self, environment, window):
+        with_window = render_gantt(environment, [window], legend=False)
+        assert "=" in with_window
+        assert "=" not in render_gantt(environment, legend=False)
+
+    def test_node_filter(self, environment):
+        text = render_gantt(environment, node_ids=[0, 1], legend=False)
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + two rows
+
+    def test_width_respected(self, environment):
+        text = render_gantt(environment, width=40, node_ids=[0], legend=False)
+        row = text.splitlines()[1]
+        left, _, rest = row.partition("|")
+        body = rest.rstrip("|")
+        assert len(body) == 40
+
+    def test_legend_toggle(self, environment):
+        assert "legend" in render_gantt(environment)
+        assert "legend" not in render_gantt(environment, legend=False)
+
+    def test_reservation_proportions(self, environment, window):
+        # The reserved glyph count is roughly proportional to the
+        # reservation's share of the interval.
+        text = render_gantt(environment, [window], width=100, legend=False)
+        total_reserved_glyphs = text.count("=")
+        expected = sum(
+            100 * ws.required_time / environment.config.interval_length
+            for ws in window.slots
+        )
+        assert total_reserved_glyphs == pytest.approx(expected, abs=window.size * 2)
+
+
+class TestRenderWindow:
+    def test_rows_per_leg(self, window):
+        text = render_window(window)
+        assert len(text.splitlines()) == window.size + 1
+
+    def test_rough_right_edge_visible(self, window):
+        # Legs are sorted longest first; the first leg's bar is the longest.
+        lines = render_window(window, width=50).splitlines()[1:]
+        bars = [line.count("=") for line in lines]
+        assert bars == sorted(bars, reverse=True)
+        assert bars[0] == 50  # the longest leg spans the full width
+
+    def test_header_mentions_aggregates(self, window):
+        header = render_window(window).splitlines()[0]
+        assert "runtime" in header
+        assert "cost" in header

@@ -1,0 +1,83 @@
+"""Unit tests for text histograms and summaries."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import histogram, quantile, summarize
+
+
+class TestQuantile:
+    def test_median_odd(self):
+        assert quantile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert quantile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [3.0, 1.0, 2.0]
+        ordered = sorted(values)
+        assert quantile(ordered, 0.0) == 1.0
+        assert quantile(ordered, 1.0) == 3.0
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        values = sorted(rng.normal(size=101))
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+            assert quantile(values, q) == pytest.approx(
+                float(np.quantile(values, q))
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+
+class TestSummarize:
+    def test_basic(self):
+        summary = summarize([4.0, 1.0, 3.0, 2.0])
+        assert summary.count == 4
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.median == pytest.approx(2.5)
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.iqr == pytest.approx(summary.q3 - summary.q1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestHistogram:
+    def test_counts_sum_to_sample_size(self):
+        rng = np.random.default_rng(1)
+        values = list(rng.normal(50, 10, size=200))
+        text = histogram(values, bins=8)
+        counts = [
+            int(line.split("|")[0].split()[-1])
+            for line in text.splitlines()
+            if line.strip().startswith("[")
+        ]
+        assert sum(counts) == 200
+
+    def test_title_and_summary_line(self):
+        text = histogram([1.0, 2.0, 3.0], bins=3, title="demo")
+        assert text.splitlines()[0] == "demo"
+        assert "median=" in text.splitlines()[-1]
+
+    def test_constant_sample(self):
+        text = histogram([5.0] * 10, bins=4)
+        assert "n=10" in text
+
+    def test_peak_bin_fills_width(self):
+        values = [1.0] * 9 + [10.0]
+        text = histogram(values, bins=2, width=20)
+        bars = [line.split("|")[1] for line in text.splitlines() if "|" in line]
+        assert max(len(bar) for bar in bars) == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram([], bins=3)
+        with pytest.raises(ValueError):
+            histogram([1.0], bins=0)

@@ -1,0 +1,73 @@
+"""Unit tests for LaTeX table export."""
+
+import pytest
+
+from repro.analysis.latex import escape, latex_comparison, latex_table
+
+
+class TestEscape:
+    def test_specials_escaped(self):
+        assert escape("a&b") == r"a\&b"
+        assert escape("50%") == r"50\%"
+        assert escape("x_y") == r"x\_y"
+        assert escape("{z}") == r"\{z\}"
+
+    def test_backslash(self):
+        assert escape("a\\b") == r"a\textbackslash{}b"
+
+    def test_plain_text_unchanged(self):
+        assert escape("MinRunTime 33.0") == "MinRunTime 33.0"
+
+
+class TestLatexTable:
+    @pytest.fixture
+    def table(self):
+        return latex_table(
+            ["algorithm", "runtime"],
+            [["AMP", 55.9], ["Min_Cost", 75.0]],
+            caption="Fig. 2(b) 50% load",
+            label="tab:runtime",
+        )
+
+    def test_environments_present(self, table):
+        assert table.startswith(r"\begin{table}")
+        assert table.endswith(r"\end{table}")
+        assert r"\begin{tabular}{lr}" in table
+        assert r"\toprule" in table and r"\bottomrule" in table
+
+    def test_rows_rendered_and_escaped(self, table):
+        assert r"AMP & 55.9 \\" in table
+        assert r"Min\_Cost & 75 \\" in table
+
+    def test_caption_and_label(self, table):
+        assert r"\caption{Fig. 2(b) 50\% load}" in table
+        assert r"\label{tab:runtime}" in table
+
+    def test_no_caption_or_label_by_default(self):
+        table = latex_table(["a"], [["x"]])
+        assert r"\caption" not in table
+        assert r"\label" not in table
+
+    def test_column_spec_matches_header_count(self):
+        table = latex_table(["a", "b", "c"], [["x", 1, 2]])
+        assert r"\begin{tabular}{lrr}" in table
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            latex_table(["a", "b"], [["only"]])
+
+
+class TestLatexComparison:
+    def test_sorted_by_measured_with_ratio(self):
+        table = latex_comparison(
+            {"B": 2.0, "A": 1.0}, {"A": 2.0, "B": 2.0}, label="tab:x"
+        )
+        lines = table.splitlines()
+        a_index = next(i for i, line in enumerate(lines) if line.strip().startswith("A"))
+        b_index = next(i for i, line in enumerate(lines) if line.strip().startswith("B"))
+        assert a_index < b_index
+        assert "0.5" in lines[a_index]  # ratio 1/2
+
+    def test_missing_reference_dash(self):
+        table = latex_comparison({"A": 2.0}, {})
+        assert "A & 2 & - & -" in table

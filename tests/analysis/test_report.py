@@ -1,0 +1,117 @@
+"""Unit tests for the markdown report generator."""
+
+import pytest
+
+from repro.analysis.report import build_report
+from repro.environment import EnvironmentConfig
+from repro.simulation import (
+    ExperimentConfig,
+    run_comparison,
+    sweep_node_counts,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ExperimentConfig(
+        environment=EnvironmentConfig(node_count=40),
+        node_count_requested=3,
+        reservation_time=100.0,
+        budget=1000.0,
+        cycles=6,
+        seed=17,
+    )
+    return run_comparison(config)
+
+
+class TestBuildReport:
+    def test_contains_every_figure_section(self, result):
+        text = build_report(result)
+        for fragment in (
+            "Fig. 2 (a)",
+            "Fig. 2 (b)",
+            "Fig. 3 (a)",
+            "Fig. 3 (b)",
+            "Fig. 4",
+        ):
+            assert fragment in text
+
+    def test_mentions_every_algorithm(self, result):
+        text = build_report(result)
+        for name in ("AMP", "MinFinish", "MinCost", "MinRunTime", "MinProcTime", "CSA"):
+            assert name in text
+
+    def test_shape_checks_rendered_as_checklist(self, result):
+        text = build_report(result)
+        assert "## Shape checks" in text
+        assert "- [" in text
+
+    def test_amp_advantage_section(self, result):
+        text = build_report(result)
+        assert "Advantage of single AEP runs over AMP" in text
+        assert "%" in text
+
+    def test_header_records_setup(self, result):
+        text = build_report(result, title="My run")
+        assert text.startswith("# My run")
+        assert "6 scheduling cycles" in text
+        assert "seed 17" in text
+
+    def test_timing_sections_optional(self, result):
+        assert "Table 1" not in build_report(result)
+        config = result.config
+        study = sweep_node_counts(config, (20, 30), 1)
+        text = build_report(result, node_study=study)
+        assert "Table 1" in text
+        assert "Table 2" not in text
+
+    def test_markdown_tables_well_formed(self, result):
+        text = build_report(result)
+        for line in text.splitlines():
+            if line.startswith("|") and not line.startswith("|---"):
+                # Every table row has the same shape: leading and trailing
+                # pipes.
+                assert line.endswith("|")
+
+
+class TestCliReport:
+    def test_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "report.md")
+        code = main(
+            [
+                "report",
+                "--cycles",
+                "3",
+                "--nodes",
+                "30",
+                "--seed",
+                "2",
+                "-o",
+                path,
+            ]
+        )
+        assert code == 0
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        assert "Fig. 4" in text
+
+
+class TestTimingSectionsBoth:
+    def test_interval_only(self, result):
+        from repro.simulation import sweep_interval_lengths
+
+        study = sweep_interval_lengths(result.config, (600.0, 1200.0), 1)
+        text = build_report(result, interval_study=study)
+        assert "Table 2" in text
+        assert "Table 1" not in text
+
+    def test_both_sections(self, result):
+        from repro.simulation import sweep_interval_lengths, sweep_node_counts
+
+        nodes = sweep_node_counts(result.config, (20, 30), 1)
+        intervals = sweep_interval_lengths(result.config, (600.0, 1200.0), 1)
+        text = build_report(result, node_study=nodes, interval_study=intervals)
+        assert "Table 1" in text
+        assert "Table 2" in text

@@ -1,0 +1,102 @@
+"""Unit tests for the qualitative shape checks (Section 3.2-3.3 claims)."""
+
+import pytest
+
+from repro.analysis import (
+    CRITERION_OWNERS,
+    advantage_over_amp,
+    check_best_on_own_criterion,
+    check_budget_usage,
+    check_early_starters,
+    check_late_algorithms,
+)
+from repro.analysis.paper_reference import (
+    CSA_BASE_ALTERNATIVES,
+    FIG2A_START_TIME,
+    FIG4_COST,
+    TABLE1_MS,
+    TABLE2_MS,
+)
+from repro.core import Criterion
+from repro.environment import EnvironmentConfig
+from repro.simulation import ExperimentConfig, run_comparison
+
+
+@pytest.fixture(scope="module")
+def result():
+    """A modest but statistically meaningful base-experiment run."""
+    config = ExperimentConfig(
+        environment=EnvironmentConfig(node_count=100),
+        cycles=25,
+        seed=2013,
+    )
+    return run_comparison(config)
+
+
+class TestCriterionOwners:
+    def test_every_reported_criterion_has_an_owner(self):
+        assert set(CRITERION_OWNERS) == {
+            Criterion.START_TIME,
+            Criterion.FINISH_TIME,
+            Criterion.RUNTIME,
+            Criterion.PROCESSOR_TIME,
+            Criterion.COST,
+        }
+
+
+class TestShapeChecksOnRealRun:
+    def test_each_algorithm_best_on_own_criterion(self, result):
+        verdicts = check_best_on_own_criterion(result)
+        failing = [str(v) for v in verdicts if not v.holds]
+        assert not failing, failing
+
+    def test_budget_usage(self, result):
+        verdicts = check_budget_usage(result, budget=1500.0)
+        failing = [str(v) for v in verdicts if not v.holds]
+        assert not failing, failing
+
+    def test_early_starters(self, result):
+        verdict = check_early_starters(result)
+        assert verdict.holds, str(verdict)
+
+    def test_late_algorithms_ordering(self, result):
+        verdict = check_late_algorithms(result)
+        assert verdict.holds, str(verdict)
+
+    def test_advantage_over_amp_positive_where_paper_reports_it(self, result):
+        improvements = advantage_over_amp(result)
+        # The paper reports a 10-50% advantage of each AEP scheme over AMP
+        # on its own criterion; at minimum the advantage must be positive
+        # for runtime, finish time, processor time and cost.
+        for criterion in (
+            Criterion.FINISH_TIME,
+            Criterion.RUNTIME,
+            Criterion.PROCESSOR_TIME,
+            Criterion.COST,
+        ):
+            assert improvements[criterion] > 0.0, criterion
+
+
+class TestPaperReferenceIntegrity:
+    def test_reference_tables_have_consistent_lengths(self):
+        for name, series in TABLE1_MS.items():
+            assert len(series) == 5, name
+        for name, series in TABLE2_MS.items():
+            assert len(series) == 6, name
+
+    def test_fig2a_has_all_six_schemes(self):
+        assert set(FIG2A_START_TIME) == {
+            "AMP",
+            "MinFinish",
+            "CSA",
+            "MinRunTime",
+            "MinCost",
+            "MinProcTime",
+        }
+
+    def test_fig4_budget_consistency(self):
+        # Every reported cost respects the user budget of 1500.
+        assert all(value <= 1500.0 for value in FIG4_COST.values())
+
+    def test_csa_alternatives_positive(self):
+        assert CSA_BASE_ALTERNATIVES == 57.0

@@ -1,0 +1,114 @@
+"""Unit tests for the statistical comparison utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import relative_difference_ci, welch_t_test
+from repro.analysis.stats import _student_t_sf
+from repro.simulation import RunningStat
+
+
+def stat_of(values):
+    stat = RunningStat()
+    for value in values:
+        stat.add(float(value))
+    return stat
+
+
+class TestStudentTSurvival:
+    def test_zero_statistic_is_half(self):
+        assert _student_t_sf(0.0, 10.0) == pytest.approx(0.5)
+
+    def test_symmetric(self):
+        assert _student_t_sf(-1.5, 8.0) == pytest.approx(
+            1.0 - _student_t_sf(1.5, 8.0)
+        )
+
+    def test_known_value(self):
+        # t = 2.228, df = 10 is the classical 97.5% quantile.
+        assert _student_t_sf(2.228, 10.0) == pytest.approx(0.025, abs=1e-3)
+
+    def test_large_df_approaches_normal(self):
+        assert _student_t_sf(1.96, 100000.0) == pytest.approx(0.025, abs=1e-3)
+
+    def test_rejects_bad_df(self):
+        with pytest.raises(ValueError):
+            _student_t_sf(1.0, 0.0)
+
+
+class TestWelch:
+    def test_identical_samples_not_significant(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(10, 2, size=200)
+        result = welch_t_test(stat_of(values), stat_of(values))
+        assert result.p_value == pytest.approx(1.0, abs=1e-9)
+        assert not result.significant()
+
+    def test_clearly_different_means_significant(self):
+        rng = np.random.default_rng(1)
+        a = stat_of(rng.normal(10, 1, size=100))
+        b = stat_of(rng.normal(15, 1, size=100))
+        result = welch_t_test(a, b)
+        assert result.significant(0.001)
+        assert result.mean_difference < 0
+
+    def test_overlapping_noisy_means_not_significant(self):
+        rng = np.random.default_rng(2)
+        a = stat_of(rng.normal(10, 5, size=10))
+        b = stat_of(rng.normal(10.5, 5, size=10))
+        result = welch_t_test(a, b)
+        assert result.p_value > 0.05
+
+    def test_matches_scipy_when_available(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(3)
+        a = rng.normal(5, 2, size=40)
+        b = rng.normal(6, 3, size=60)
+        ours = welch_t_test(stat_of(a), stat_of(b))
+        reference = scipy_stats.ttest_ind(a, b, equal_var=False)
+        assert ours.statistic == pytest.approx(reference.statistic, rel=1e-6)
+        assert ours.p_value == pytest.approx(reference.pvalue, rel=1e-4)
+
+    def test_constant_identical_distributions(self):
+        a = stat_of([3.0, 3.0, 3.0])
+        b = stat_of([3.0, 3.0])
+        result = welch_t_test(a, b)
+        assert result.p_value == 1.0
+
+    def test_constant_different_distributions(self):
+        a = stat_of([3.0, 3.0, 3.0])
+        b = stat_of([4.0, 4.0])
+        result = welch_t_test(a, b)
+        assert result.p_value == 0.0
+        assert result.significant()
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            welch_t_test(stat_of([1.0]), stat_of([1.0, 2.0]))
+
+
+class TestRelativeDifference:
+    def test_point_estimate(self):
+        a = stat_of([12.0] * 50)
+        b = stat_of([10.0] * 50)
+        estimate, low, high = relative_difference_ci(a, b)
+        assert estimate == pytest.approx(0.2)
+        assert low == pytest.approx(0.2)  # zero variance
+        assert high == pytest.approx(0.2)
+
+    def test_interval_contains_truth_usually(self):
+        rng = np.random.default_rng(4)
+        hits = 0
+        for _ in range(50):
+            a = stat_of(rng.normal(12, 2, size=80))
+            b = stat_of(rng.normal(10, 2, size=80))
+            _, low, high = relative_difference_ci(a, b)
+            if low <= 0.2 <= high:
+                hits += 1
+        assert hits >= 40  # ~95% coverage, generous slack
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            relative_difference_ci(stat_of([1.0, 2.0]), stat_of([0.0, 0.0]))

@@ -1,0 +1,146 @@
+"""Unit tests for the SVG chart renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.svgplot import bar_chart, line_chart, save_svg, _ticks
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestTicks:
+    def test_covers_range(self):
+        ticks = _ticks(0.0, 97.0)
+        assert ticks[0] <= 0.0
+        assert ticks[-1] >= 97.0
+
+    def test_reasonable_count(self):
+        assert 3 <= len(_ticks(0.0, 1234.0)) <= 10
+
+    def test_degenerate_range(self):
+        ticks = _ticks(5.0, 5.0)
+        assert len(ticks) >= 2
+
+
+class TestBarChart:
+    @pytest.fixture
+    def svg(self):
+        return bar_chart(
+            "demo",
+            {"AMP": 10.0, "MinCost": 25.0},
+            y_label="units",
+            reference={"AMP": 12.0},
+        )
+
+    def test_valid_xml(self, svg):
+        root = parse(svg)
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_bar_per_category(self, svg):
+        root = parse(svg)
+        bars = [
+            rect
+            for rect in root.iter(f"{SVG_NS}rect")
+            if rect.get("fill") not in ("white", "none")
+        ]
+        assert len(bars) == 2
+
+    def test_bar_heights_proportional(self, svg):
+        root = parse(svg)
+        bars = [
+            rect
+            for rect in root.iter(f"{SVG_NS}rect")
+            if rect.get("fill") not in ("white", "none")
+        ]
+        heights = sorted(float(bar.get("height")) for bar in bars)
+        assert heights[1] == pytest.approx(heights[0] * 2.5, rel=0.01)
+
+    def test_reference_marker_drawn(self, svg):
+        root = parse(svg)
+        dashed = [
+            line
+            for line in root.iter(f"{SVG_NS}line")
+            if line.get("stroke-dasharray")
+        ]
+        assert len(dashed) == 1
+        assert "paper" in svg
+
+    def test_labels_present(self, svg):
+        assert "AMP" in svg
+        assert "MinCost" in svg
+        assert "demo" in svg
+
+    def test_no_reference_no_dashes(self):
+        svg = bar_chart("x", {"A": 1.0})
+        root = parse(svg)
+        dashed = [
+            line
+            for line in root.iter(f"{SVG_NS}line")
+            if line.get("stroke-dasharray")
+        ]
+        assert dashed == []
+
+
+class TestLineChart:
+    @pytest.fixture
+    def svg(self):
+        return line_chart(
+            "scaling",
+            {
+                "AMP": [(50.0, 1.0), (100.0, 2.0), (200.0, 4.0)],
+                "CSA": [(50.0, 10.0), (100.0, 50.0), (200.0, 400.0)],
+            },
+            x_label="nodes",
+            y_label="ms",
+        )
+
+    def test_valid_xml(self, svg):
+        parse(svg)
+
+    def test_one_polyline_per_series(self, svg):
+        root = parse(svg)
+        polylines = list(root.iter(f"{SVG_NS}polyline"))
+        assert len(polylines) == 2
+
+    def test_markers_per_point(self, svg):
+        root = parse(svg)
+        circles = list(root.iter(f"{SVG_NS}circle"))
+        assert len(circles) == 6
+
+    def test_series_legend(self, svg):
+        assert "AMP" in svg
+        assert "CSA" in svg
+
+    def test_monotone_series_renders_monotone_pixels(self, svg):
+        root = parse(svg)
+        polyline = next(iter(root.iter(f"{SVG_NS}polyline")))
+        points = [
+            tuple(float(value) for value in pair.split(","))
+            for pair in polyline.get("points").split()
+        ]
+        xs = [x for x, _ in points]
+        ys = [y for _, y in points]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys, reverse=True)  # growing values go up (smaller y)
+
+    def test_log_scale(self):
+        svg = line_chart(
+            "log", {"s": [(1.0, 1.0), (2.0, 1000.0)]}, log_y=True
+        )
+        parse(svg)
+
+    def test_empty_series(self):
+        parse(line_chart("empty", {}))
+
+
+class TestSaveSvg:
+    def test_writes_file(self, tmp_path):
+        path = str(tmp_path / "chart.svg")
+        save_svg(bar_chart("x", {"A": 1.0}), path)
+        with open(path, encoding="utf-8") as handle:
+            parse(handle.read())

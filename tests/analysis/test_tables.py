@@ -1,0 +1,82 @@
+"""Unit tests for the text table renderer."""
+
+import pytest
+
+from repro.analysis import comparison_table, format_cell, render_table
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+    def test_int(self):
+        assert format_cell(42) == "42"
+
+    def test_float_trims_zeros(self):
+        assert format_cell(1.50) == "1.5"
+        assert format_cell(2.00) == "2"
+
+    def test_precision(self):
+        assert format_cell(3.14159, precision=3) == "3.142"
+
+    def test_zero(self):
+        assert format_cell(0.0) == "0"
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(
+            ["name", "value"],
+            [["AMP", 1.0], ["MinCost", 20.5]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        assert set(lines[2]) == {"-"}
+        assert lines[3].startswith("AMP")
+
+    def test_columns_aligned(self):
+        text = render_table(["a", "bbbb"], [["x", 1], ["yyyy", 22]])
+        lines = text.splitlines()
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows padded to the same width
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_numbers_right_aligned(self):
+        text = render_table(["name", "v"], [["x", 5], ["y", 12345]])
+        lines = text.splitlines()
+        assert lines[-1].endswith("12345")
+        assert lines[-2].endswith("    5")
+
+
+class TestComparisonTable:
+    def test_rows_sorted_by_measured(self):
+        text = comparison_table(
+            {"B": 2.0, "A": 1.0}, {"A": 1.1, "B": 2.2}, title="t"
+        )
+        lines = text.splitlines()
+        assert lines[3].startswith("A")
+        assert lines[4].startswith("B")
+
+    def test_ratio_computed(self):
+        text = comparison_table({"A": 2.0}, {"A": 1.0})
+        assert "2" in text.splitlines()[-1]
+
+    def test_missing_reference_shows_dash(self):
+        text = comparison_table({"A": 2.0}, {})
+        assert "-" in text.splitlines()[-1]
+
+    def test_zero_reference_gives_no_ratio(self):
+        text = comparison_table({"A": 2.0}, {"A": 0.0})
+        assert text.splitlines()[-1].rstrip().endswith("-")

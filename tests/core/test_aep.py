@@ -1,0 +1,228 @@
+"""Unit tests for the generic AEP scan."""
+
+import pytest
+
+from repro.core import aep_scan, request_of
+from repro.core.extractors import EarliestStartExtractor, MinTotalCostExtractor
+from repro.model import Job, ResourceRequest, SlotPool
+from tests.conftest import make_slot
+
+
+def pool_of(*slots):
+    return SlotPool.from_slots(slots)
+
+
+class TestRequestOf:
+    def test_accepts_job(self):
+        request = ResourceRequest(node_count=1, reservation_time=1.0)
+        assert request_of(Job("j", request)) is request
+
+    def test_accepts_bare_request(self):
+        request = ResourceRequest(node_count=1, reservation_time=1.0)
+        assert request_of(request) is request
+
+
+class TestScanBasics:
+    def test_finds_simple_window(self):
+        pool = pool_of(
+            make_slot(0, 0.0, 50.0), make_slot(1, 0.0, 50.0)
+        )
+        request = ResourceRequest(node_count=2, reservation_time=20.0, budget=100.0)
+        result = aep_scan(request, pool, EarliestStartExtractor())
+        assert result is not None
+        assert result.window.start == pytest.approx(0.0)
+        assert result.window.size == 2
+
+    def test_returns_none_when_insufficient_slots(self):
+        pool = pool_of(make_slot(0, 0.0, 50.0))
+        request = ResourceRequest(node_count=2, reservation_time=20.0)
+        assert aep_scan(request, pool, EarliestStartExtractor()) is None
+
+    def test_rejects_unsorted_input(self):
+        slots = [make_slot(0, 10.0, 50.0), make_slot(1, 0.0, 50.0)]
+        request = ResourceRequest(node_count=1, reservation_time=5.0)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            aep_scan(request, slots, EarliestStartExtractor())
+
+    def test_accepts_plain_sorted_list(self):
+        slots = [make_slot(0, 0.0, 50.0), make_slot(1, 5.0, 50.0)]
+        request = ResourceRequest(node_count=2, reservation_time=20.0)
+        result = aep_scan(request, slots, EarliestStartExtractor())
+        assert result is not None
+        assert result.window.start == pytest.approx(5.0)
+
+    def test_steps_counted(self):
+        pool = pool_of(
+            make_slot(0, 0.0, 50.0), make_slot(1, 0.0, 50.0), make_slot(2, 0.0, 50.0)
+        )
+        request = ResourceRequest(node_count=2, reservation_time=20.0)
+        result = aep_scan(request, pool, MinTotalCostExtractor())
+        assert result.steps == 2  # extraction attempted at slots 2 and 3
+
+
+class TestWindowStartSemantics:
+    def test_window_anchored_at_latest_member_start(self):
+        # Second node only becomes available at t=30.
+        pool = pool_of(make_slot(0, 0.0, 100.0), make_slot(1, 30.0, 100.0))
+        request = ResourceRequest(node_count=2, reservation_time=20.0)
+        result = aep_scan(request, pool, EarliestStartExtractor())
+        assert result.window.start == pytest.approx(30.0)
+
+    def test_dead_candidates_pruned(self):
+        # Node 0's slot ends before node 1's begins; no synchronous pair.
+        pool = pool_of(make_slot(0, 0.0, 10.0), make_slot(1, 20.0, 100.0))
+        request = ResourceRequest(node_count=2, reservation_time=20.0)
+        assert aep_scan(request, pool, EarliestStartExtractor()) is None
+
+    def test_slot_too_short_for_its_task_is_skipped(self):
+        # perf 4 -> task 5 units; a 3-unit slot can never host it.
+        pool = pool_of(
+            make_slot(0, 0.0, 3.0), make_slot(1, 0.0, 50.0), make_slot(2, 0.0, 50.0)
+        )
+        request = ResourceRequest(node_count=2, reservation_time=20.0)
+        result = aep_scan(request, pool, EarliestStartExtractor())
+        assert set(result.window.nodes()) == {1, 2}
+
+    def test_candidate_usable_from_later_start(self):
+        # Node 0's slot [0, 12) can host a 5-unit task from t=7 (ends 12).
+        pool = pool_of(make_slot(0, 0.0, 12.0), make_slot(1, 7.0, 100.0))
+        request = ResourceRequest(node_count=2, reservation_time=20.0)
+        result = aep_scan(request, pool, EarliestStartExtractor())
+        assert result.window.start == pytest.approx(7.0)
+
+    def test_candidate_expired_by_later_start(self):
+        # From t=8 node 0's slot retains only 4 units < 5 required.
+        pool = pool_of(make_slot(0, 0.0, 12.0), make_slot(1, 8.0, 100.0))
+        request = ResourceRequest(node_count=2, reservation_time=20.0)
+        assert aep_scan(request, pool, EarliestStartExtractor()) is None
+
+
+class TestFilters:
+    def test_hardware_filter_applied(self):
+        pool = pool_of(
+            make_slot(0, 0.0, 50.0, performance=2.0),
+            make_slot(1, 0.0, 50.0, performance=8.0),
+            make_slot(2, 10.0, 50.0, performance=8.0),
+        )
+        request = ResourceRequest(
+            node_count=2, reservation_time=20.0, min_performance=5.0
+        )
+        result = aep_scan(request, pool, EarliestStartExtractor())
+        assert set(result.window.nodes()) == {1, 2}
+        assert result.window.start == pytest.approx(10.0)
+
+    def test_price_cap_filter_applied(self):
+        pool = pool_of(
+            make_slot(0, 0.0, 50.0, price=10.0),
+            make_slot(1, 0.0, 50.0, price=1.0),
+            make_slot(2, 5.0, 50.0, price=1.0),
+        )
+        request = ResourceRequest(
+            node_count=2, reservation_time=20.0, max_price_per_unit=2.0
+        )
+        result = aep_scan(request, pool, EarliestStartExtractor())
+        assert 0 not in result.window.nodes()
+
+    def test_deadline_excludes_slow_legs(self):
+        # perf 1 -> 20 units (misses deadline 12); perf 4 -> 5 units (ok).
+        pool = pool_of(
+            make_slot(0, 0.0, 50.0, performance=1.0),
+            make_slot(1, 0.0, 50.0, performance=4.0),
+            make_slot(2, 0.0, 50.0, performance=4.0),
+        )
+        request = ResourceRequest(
+            node_count=2, reservation_time=20.0, deadline=12.0
+        )
+        result = aep_scan(request, pool, EarliestStartExtractor())
+        assert 0 not in result.window.nodes()
+        assert result.window.finish <= 12.0 + 1e-9
+
+    def test_deadline_tightens_with_window_start(self):
+        # Fast nodes available only from t=9; task 5 units -> finish 14 > 12.
+        pool = pool_of(
+            make_slot(1, 9.0, 50.0, performance=4.0),
+            make_slot(2, 9.0, 50.0, performance=4.0),
+        )
+        request = ResourceRequest(node_count=2, reservation_time=20.0, deadline=12.0)
+        assert aep_scan(request, pool, EarliestStartExtractor()) is None
+
+    def test_budget_infeasible_everywhere(self):
+        pool = pool_of(
+            make_slot(0, 0.0, 50.0, price=10.0), make_slot(1, 0.0, 50.0, price=10.0)
+        )
+        request = ResourceRequest(node_count=2, reservation_time=20.0, budget=50.0)
+        assert aep_scan(request, pool, EarliestStartExtractor()) is None
+
+
+class TestStopAtFirst:
+    def test_stop_at_first_returns_first_feasible(self):
+        pool = pool_of(
+            make_slot(0, 0.0, 50.0, price=1.0),
+            make_slot(1, 0.0, 50.0, price=1.0),
+            make_slot(2, 20.0, 90.0, price=0.01),
+            make_slot(3, 20.0, 90.0, price=0.01),
+        )
+        request = ResourceRequest(node_count=2, reservation_time=20.0, budget=100.0)
+        result = aep_scan(request, pool, EarliestStartExtractor(), stop_at_first=True)
+        assert result.window.start == pytest.approx(0.0)
+
+    def test_full_scan_keeps_best_value(self):
+        pool = pool_of(
+            make_slot(0, 0.0, 50.0, price=1.0),
+            make_slot(1, 0.0, 50.0, price=1.0),
+            make_slot(2, 20.0, 90.0, price=0.01),
+            make_slot(3, 20.0, 90.0, price=0.01),
+        )
+        request = ResourceRequest(node_count=2, reservation_time=20.0, budget=100.0)
+        result = aep_scan(request, pool, MinTotalCostExtractor())
+        assert set(result.window.nodes()) == {2, 3}
+
+    def test_ties_keep_earliest(self):
+        pool = pool_of(
+            make_slot(0, 0.0, 50.0, price=1.0),
+            make_slot(1, 0.0, 50.0, price=1.0),
+            make_slot(2, 20.0, 90.0, price=1.0),
+            make_slot(3, 20.0, 90.0, price=1.0),
+        )
+        request = ResourceRequest(node_count=2, reservation_time=20.0, budget=100.0)
+        result = aep_scan(request, pool, MinTotalCostExtractor())
+        assert result.window.start == pytest.approx(0.0)
+
+
+class TestScanCounters:
+    def test_slots_scanned_counts_every_slot(self):
+        pool = pool_of(
+            make_slot(0, 0.0, 50.0),
+            make_slot(1, 5.0, 50.0),
+            make_slot(2, 10.0, 50.0),
+        )
+        request = ResourceRequest(node_count=2, reservation_time=20.0)
+        result = aep_scan(request, pool, MinTotalCostExtractor())
+        assert result.slots_scanned == 3
+
+    def test_candidate_peak_bounded_by_nodes(self):
+        pool = pool_of(*[make_slot(i, 0.0, 50.0) for i in range(6)])
+        request = ResourceRequest(node_count=2, reservation_time=20.0)
+        result = aep_scan(request, pool, MinTotalCostExtractor())
+        assert result.candidate_peak == 6
+
+    def test_peak_reflects_pruning(self):
+        # Slots that expire keep the alive set small.
+        pool = pool_of(
+            make_slot(0, 0.0, 6.0),
+            make_slot(1, 7.0, 13.0),
+            make_slot(2, 14.0, 20.0),
+            make_slot(3, 14.0, 20.0),
+        )
+        request = ResourceRequest(node_count=2, reservation_time=20.0)  # 5 units
+        result = aep_scan(request, pool, MinTotalCostExtractor())
+        assert result is not None
+        assert result.candidate_peak == 2
+
+    def test_stop_at_first_reports_partial_scan(self):
+        pool = pool_of(*[make_slot(i, float(i), 50.0) for i in range(6)])
+        request = ResourceRequest(node_count=2, reservation_time=20.0)
+        result = aep_scan(
+            request, pool, EarliestStartExtractor(), stop_at_first=True
+        )
+        assert result.slots_scanned == 2  # stopped as soon as feasible

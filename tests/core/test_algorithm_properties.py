@@ -1,0 +1,168 @@
+"""Property-style tests: algorithms vs the exhaustive reference optimum.
+
+On random small pools, every algorithm's window must validate against the
+request, the optimal criterion algorithms must match :class:`Exhaustive`,
+and heuristics must never beat the exact optimum.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AMP,
+    CSA,
+    Criterion,
+    Exhaustive,
+    MinCost,
+    MinEnergy,
+    MinFinish,
+    MinProcTime,
+    MinRunTime,
+)
+from repro.model import ResourceRequest
+from tests.conftest import random_small_pool
+
+TRIALS = 30
+
+
+def random_request(rng):
+    return ResourceRequest(
+        node_count=int(rng.integers(2, 4)),
+        reservation_time=float(rng.uniform(5.0, 25.0)),
+        budget=float(rng.uniform(30.0, 200.0)),
+    )
+
+
+@pytest.fixture
+def cases():
+    rng = np.random.default_rng(777)
+    built = []
+    for _ in range(TRIALS):
+        built.append((random_request(rng), random_small_pool(rng), rng))
+    return built
+
+
+def test_every_window_validates(cases):
+    algorithms = [
+        AMP(),
+        AMP(policy="cheapest"),
+        MinCost(),
+        MinRunTime(),
+        MinRunTime(exact=True),
+        MinFinish(),
+        MinFinish(exact=True),
+        MinProcTime(simplified=False),
+        MinEnergy(),
+    ]
+    for request, pool, rng in cases:
+        for algorithm in algorithms:
+            window = algorithm.select(request, pool)
+            if window is not None:
+                window.validate(request)
+
+
+def test_feasibility_is_consistent_across_exact_algorithms(cases):
+    # All algorithms with a cheapest-subset feasibility core agree on
+    # whether any window exists.
+    for request, pool, rng in cases:
+        results = {
+            "amp": AMP(policy="cheapest").select(request, pool),
+            "cost": MinCost().select(request, pool),
+            "runtime": MinRunTime(exact=True).select(request, pool),
+            "exhaustive": Exhaustive(Criterion.COST).select(request, pool),
+        }
+        found = {name: window is not None for name, window in results.items()}
+        assert len(set(found.values())) == 1, found
+
+
+def test_mincost_matches_exhaustive(cases):
+    for request, pool, rng in cases:
+        ours = MinCost().select(request, pool)
+        optimal = Exhaustive(Criterion.COST).select(request, pool)
+        if optimal is None:
+            assert ours is None
+        else:
+            assert ours.total_cost == pytest.approx(optimal.total_cost)
+
+
+def test_minruntime_exact_matches_exhaustive(cases):
+    for request, pool, rng in cases:
+        ours = MinRunTime(exact=True).select(request, pool)
+        optimal = Exhaustive(Criterion.RUNTIME).select(request, pool)
+        if optimal is None:
+            assert ours is None
+        else:
+            assert ours.runtime == pytest.approx(optimal.runtime)
+
+
+def test_minfinish_exact_matches_exhaustive(cases):
+    for request, pool, rng in cases:
+        ours = MinFinish(exact=True).select(request, pool)
+        optimal = Exhaustive(Criterion.FINISH_TIME).select(request, pool)
+        if optimal is None:
+            assert ours is None
+        else:
+            assert ours.finish == pytest.approx(optimal.finish)
+
+
+def test_amp_cheapest_start_matches_exhaustive(cases):
+    for request, pool, rng in cases:
+        ours = AMP(policy="cheapest").select(request, pool)
+        optimal = Exhaustive(Criterion.START_TIME).select(request, pool)
+        if optimal is None:
+            assert ours is None
+        else:
+            assert ours.start == pytest.approx(optimal.start)
+
+
+def test_substitution_heuristic_never_beats_exact(cases):
+    for request, pool, rng in cases:
+        heuristic = MinRunTime(exact=False).select(request, pool)
+        exact = MinRunTime(exact=True).select(request, pool)
+        if heuristic is not None:
+            assert exact is not None
+            assert exact.runtime <= heuristic.runtime + 1e-9
+
+
+def test_amp_first_never_earlier_than_cheapest(cases):
+    for request, pool, rng in cases:
+        first = AMP(policy="first").select(request, pool)
+        cheapest = AMP(policy="cheapest").select(request, pool)
+        if first is not None:
+            assert cheapest is not None
+            assert cheapest.start <= first.start + 1e-9
+
+
+def test_csa_alternatives_disjoint_and_valid(cases):
+    for request, pool, rng in cases:
+        alternatives = CSA().find_alternatives(request, pool)
+        for window in alternatives:
+            window.validate(request)
+        for i, a in enumerate(alternatives):
+            for b in alternatives[i + 1 :]:
+                assert not a.conflicts_with(b)
+
+
+def test_csa_best_start_no_earlier_than_amp(cases):
+    # CSA's first alternative IS the AMP window, so its best start time
+    # equals AMP's.
+    for request, pool, rng in cases:
+        amp_window = AMP().select(request, pool)
+        alternatives = CSA().find_alternatives(request, pool)
+        if amp_window is None:
+            assert alternatives == []
+        else:
+            assert min(w.start for w in alternatives) == pytest.approx(
+                amp_window.start
+            )
+
+
+def test_minproctime_opt_never_beaten_by_simplified(cases):
+    for request, pool, rng in cases:
+        optimizing = MinProcTime(simplified=False).select(request, pool)
+        simplified = MinProcTime(
+            simplified=True, rng=np.random.default_rng(1)
+        ).select(request, pool)
+        if simplified is not None:
+            assert optimizing is not None
+            assert optimizing.processor_time <= simplified.processor_time + 1e-9

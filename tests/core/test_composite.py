@@ -1,0 +1,187 @@
+"""Unit tests for the composite (multi-criteria) selection strategies."""
+
+import pytest
+
+from repro.core import (
+    Criterion,
+    constrained_best,
+    dominates,
+    lexicographic_choice,
+    pareto_front,
+    weighted_choice,
+)
+from repro.core.composite import normalize
+from repro.model import ResourceRequest, Window, WindowSlot
+from tests.conftest import make_slot
+
+
+def window(start, performance, price, node_id=0, reservation=20.0):
+    slot = make_slot(node_id, start, start + 200.0, performance, price)
+    request = ResourceRequest(node_count=1, reservation_time=reservation)
+    return Window(start=start, slots=(WindowSlot.for_request(slot, request),))
+
+
+@pytest.fixture
+def trio():
+    """Three windows spanning a cost/speed/start trade-off.
+
+    early_cheap_slow : start 0,  runtime 20, cost 10
+    early_fast_pricey: start 0,  runtime 2,  cost 18
+    late_balanced    : start 50, runtime 5,  cost 10
+    """
+    return {
+        "early_cheap_slow": window(0.0, 1.0, 0.5, node_id=0),
+        "early_fast_pricey": window(0.0, 10.0, 9.0, node_id=1),
+        "late_balanced": window(50.0, 4.0, 2.0, node_id=2),
+    }
+
+
+class TestNormalize:
+    def test_spans_unit_interval(self):
+        assert normalize([2.0, 4.0, 6.0]) == [0.0, 0.5, 1.0]
+
+    def test_constant_input(self):
+        assert normalize([3.0, 3.0]) == [0.0, 0.0]
+
+
+class TestWeightedChoice:
+    def test_pure_cost_weight_picks_cheapest(self, trio):
+        chosen = weighted_choice(
+            list(trio.values()), {Criterion.COST: 1.0}
+        )
+        assert chosen.total_cost == pytest.approx(10.0)
+
+    def test_pure_runtime_weight_picks_fastest(self, trio):
+        chosen = weighted_choice(list(trio.values()), {Criterion.RUNTIME: 1.0})
+        assert chosen is trio["early_fast_pricey"]
+
+    def test_balanced_weights_pick_compromise(self, trio):
+        chosen = weighted_choice(
+            list(trio.values()),
+            {Criterion.RUNTIME: 1.0, Criterion.COST: 1.0, Criterion.START_TIME: 0.1},
+        )
+        assert chosen is trio["late_balanced"]
+
+    def test_zero_weight_criterion_ignored(self, trio):
+        chosen = weighted_choice(
+            list(trio.values()), {Criterion.COST: 1.0, Criterion.START_TIME: 0.0}
+        )
+        assert chosen.total_cost == pytest.approx(10.0)
+
+    def test_empty_windows_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_choice([], {Criterion.COST: 1.0})
+
+    def test_empty_weights_rejected(self, trio):
+        with pytest.raises(ValueError):
+            weighted_choice(list(trio.values()), {})
+
+    def test_negative_weight_rejected(self, trio):
+        with pytest.raises(ValueError):
+            weighted_choice(list(trio.values()), {Criterion.COST: -1.0})
+
+    def test_all_zero_weights_rejected(self, trio):
+        with pytest.raises(ValueError):
+            weighted_choice(list(trio.values()), {Criterion.COST: 0.0})
+
+
+class TestLexicographicChoice:
+    def test_primary_criterion_dominates(self, trio):
+        chosen = lexicographic_choice(
+            list(trio.values()), [Criterion.START_TIME, Criterion.RUNTIME]
+        )
+        # Two windows start at 0; the faster one wins the tie-break.
+        assert chosen is trio["early_fast_pricey"]
+
+    def test_secondary_breaks_exact_ties(self, trio):
+        chosen = lexicographic_choice(
+            list(trio.values()), [Criterion.START_TIME, Criterion.COST]
+        )
+        assert chosen is trio["early_cheap_slow"]
+
+    def test_tolerance_widens_the_tie(self, trio):
+        # With a huge tolerance on cost, everything survives to the
+        # runtime round, which the fast window wins.
+        chosen = lexicographic_choice(
+            list(trio.values()),
+            [Criterion.COST, Criterion.RUNTIME],
+            tolerance=1.0,
+        )
+        assert chosen is trio["early_fast_pricey"]
+
+    def test_strict_tolerance_stops_early(self, trio):
+        chosen = lexicographic_choice(
+            list(trio.values()), [Criterion.COST, Criterion.RUNTIME], tolerance=0.0
+        )
+        # Cost-10 windows: cheap_slow and late_balanced; runtime favours
+        # the latter.
+        assert chosen is trio["late_balanced"]
+
+    def test_validation(self, trio):
+        with pytest.raises(ValueError):
+            lexicographic_choice([], [Criterion.COST])
+        with pytest.raises(ValueError):
+            lexicographic_choice(list(trio.values()), [])
+        with pytest.raises(ValueError):
+            lexicographic_choice(list(trio.values()), [Criterion.COST], tolerance=-0.1)
+
+
+class TestPareto:
+    def test_dominance(self, trio):
+        better = trio["late_balanced"]
+        # A window strictly worse on both axes.
+        worse = window(60.0, 3.0, 2.5, node_id=3)  # runtime 6.67, cost 16.67
+        assert dominates(better, worse, [Criterion.RUNTIME, Criterion.COST])
+        assert not dominates(worse, better, [Criterion.RUNTIME, Criterion.COST])
+
+    def test_no_self_domination(self, trio):
+        w = trio["late_balanced"]
+        assert not dominates(w, w, [Criterion.RUNTIME, Criterion.COST])
+
+    def test_front_keeps_tradeoff_windows(self, trio):
+        front = pareto_front(
+            list(trio.values()), [Criterion.RUNTIME, Criterion.COST]
+        )
+        assert trio["early_fast_pricey"] in front
+        assert trio["late_balanced"] in front
+        # cheap_slow ties late_balanced on cost but is slower -> dominated.
+        assert trio["early_cheap_slow"] not in front
+
+    def test_front_with_third_axis_rescues_window(self, trio):
+        front = pareto_front(
+            list(trio.values()),
+            [Criterion.RUNTIME, Criterion.COST, Criterion.START_TIME],
+        )
+        # cheap_slow beats late_balanced on start time -> non-dominated.
+        assert set(map(id, front)) == set(map(id, trio.values()))
+
+    def test_single_criterion_front_is_the_minimum(self, trio):
+        front = pareto_front(list(trio.values()), [Criterion.COST])
+        assert all(w.total_cost == pytest.approx(10.0) for w in front)
+
+    def test_empty_input(self):
+        assert pareto_front([], [Criterion.COST]) == []
+
+    def test_requires_criteria(self, trio):
+        with pytest.raises(ValueError):
+            pareto_front(list(trio.values()), [])
+
+
+class TestConstrainedBest:
+    def test_limit_filters_then_optimizes(self, trio):
+        chosen = constrained_best(
+            list(trio.values()), Criterion.RUNTIME, {Criterion.COST: 12.0}
+        )
+        assert chosen is trio["late_balanced"]
+
+    def test_unsatisfiable_limits(self, trio):
+        assert (
+            constrained_best(
+                list(trio.values()), Criterion.RUNTIME, {Criterion.COST: 1.0}
+            )
+            is None
+        )
+
+    def test_no_limits_is_plain_minimum(self, trio):
+        chosen = constrained_best(list(trio.values()), Criterion.RUNTIME, {})
+        assert chosen is trio["early_fast_pricey"]

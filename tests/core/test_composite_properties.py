@@ -1,0 +1,100 @@
+"""Hypothesis property tests for the multi-criteria combinators."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Criterion,
+    constrained_best,
+    dominates,
+    lexicographic_choice,
+    pareto_front,
+    weighted_choice,
+)
+from repro.model import ResourceRequest, Window, WindowSlot
+from tests.conftest import make_slot
+
+CRITERIA = (Criterion.RUNTIME, Criterion.COST, Criterion.START_TIME)
+
+
+@st.composite
+def window_lists(draw):
+    count = draw(st.integers(min_value=1, max_value=8))
+    windows = []
+    for index in range(count):
+        performance = draw(st.integers(min_value=1, max_value=10))
+        price = draw(st.floats(min_value=0.2, max_value=8.0, allow_nan=False))
+        start = draw(st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+        request = ResourceRequest(node_count=1, reservation_time=20.0)
+        slot = make_slot(index, start, start + 200.0, float(performance), price)
+        windows.append(
+            Window(start=start, slots=(WindowSlot.for_request(slot, request),))
+        )
+    return windows
+
+
+@given(windows=window_lists())
+@settings(max_examples=150, deadline=None)
+def test_pareto_front_is_mutually_non_dominating(windows):
+    front = pareto_front(windows, list(CRITERIA))
+    assert front  # at least one non-dominated window always exists
+    for a in front:
+        for b in front:
+            assert not dominates(a, b, list(CRITERIA))
+
+
+@given(windows=window_lists())
+@settings(max_examples=150, deadline=None)
+def test_every_excluded_window_is_dominated(windows):
+    front = pareto_front(windows, list(CRITERIA))
+    front_ids = set(map(id, front))
+    for window in windows:
+        if id(window) in front_ids:
+            continue
+        assert any(dominates(member, window, list(CRITERIA)) for member in windows)
+
+
+@given(windows=window_lists())
+@settings(max_examples=150, deadline=None)
+def test_single_criterion_optima_are_on_the_front(windows):
+    front = pareto_front(windows, list(CRITERIA))
+    for criterion in CRITERIA:
+        best_value = min(criterion.evaluate(w) for w in windows)
+        front_best = min(criterion.evaluate(w) for w in front)
+        # dominates() treats values within 1e-9 as ties, so the front's
+        # optimum may sit an epsilon above the global one.
+        assert front_best <= best_value + 1e-8
+
+
+@given(windows=window_lists(), data=st.data())
+@settings(max_examples=150, deadline=None)
+def test_weighted_choice_returns_member_and_respects_pure_weights(windows, data):
+    criterion = data.draw(st.sampled_from(CRITERIA))
+    chosen = weighted_choice(windows, {criterion: 1.0})
+    assert any(chosen is w for w in windows)
+    assert criterion.evaluate(chosen) == min(criterion.evaluate(w) for w in windows)
+
+
+@given(windows=window_lists(), data=st.data())
+@settings(max_examples=150, deadline=None)
+def test_lexicographic_first_criterion_always_optimal(windows, data):
+    order = data.draw(st.permutations(list(CRITERIA)))
+    chosen = lexicographic_choice(windows, order, tolerance=0.0)
+    primary = order[0]
+    # tolerance=0 still admits a 1e-12 float-noise tie band by design.
+    assert primary.evaluate(chosen) <= min(
+        primary.evaluate(w) for w in windows
+    ) + 1e-9
+
+
+@given(windows=window_lists(), data=st.data())
+@settings(max_examples=150, deadline=None)
+def test_constrained_best_respects_limits(windows, data):
+    limit = data.draw(st.floats(min_value=1.0, max_value=400.0, allow_nan=False))
+    chosen = constrained_best(windows, Criterion.RUNTIME, {Criterion.COST: limit})
+    feasible = [w for w in windows if w.total_cost <= limit + 1e-9]
+    if not feasible:
+        assert chosen is None
+    else:
+        assert chosen.total_cost <= limit + 1e-9
+        assert chosen.runtime == min(w.runtime for w in feasible)

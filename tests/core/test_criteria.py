@@ -1,0 +1,63 @@
+"""Unit tests for window criteria and CSA-style best-window selection."""
+
+import pytest
+
+from repro.core import Criterion, best_window
+from repro.model import ResourceRequest, Window, WindowSlot
+from tests.conftest import make_slot
+
+
+def simple_window(start, performance, price, reservation=20.0, node_id=0):
+    slot = make_slot(node_id, start, start + 100.0, performance, price)
+    request = ResourceRequest(node_count=1, reservation_time=reservation)
+    return Window(start=start, slots=(WindowSlot.for_request(slot, request),))
+
+
+class TestEvaluate:
+    @pytest.fixture
+    def window(self):
+        return simple_window(start=10.0, performance=4.0, price=2.0)
+
+    def test_start_time(self, window):
+        assert Criterion.START_TIME.evaluate(window) == pytest.approx(10.0)
+
+    def test_runtime(self, window):
+        assert Criterion.RUNTIME.evaluate(window) == pytest.approx(5.0)
+
+    def test_finish_time(self, window):
+        assert Criterion.FINISH_TIME.evaluate(window) == pytest.approx(15.0)
+
+    def test_processor_time(self, window):
+        assert Criterion.PROCESSOR_TIME.evaluate(window) == pytest.approx(5.0)
+
+    def test_cost(self, window):
+        assert Criterion.COST.evaluate(window) == pytest.approx(10.0)
+
+    def test_energy(self, window):
+        assert Criterion.ENERGY.evaluate(window) == pytest.approx(window.total_energy)
+
+    def test_labels_unique(self):
+        labels = {criterion.label for criterion in Criterion}
+        assert len(labels) == len(list(Criterion))
+
+
+class TestBestWindow:
+    def test_picks_minimum(self):
+        early = simple_window(0.0, 4.0, 2.0)
+        late = simple_window(50.0, 4.0, 2.0, node_id=1)
+        assert best_window([late, early], Criterion.START_TIME) is early
+
+    def test_different_criteria_pick_different_windows(self):
+        cheap_slow = simple_window(0.0, 1.0, 0.1)      # runtime 20, cost 2
+        pricey_fast = simple_window(0.0, 10.0, 30.0, node_id=1)  # runtime 2, cost 60
+        assert best_window([cheap_slow, pricey_fast], Criterion.COST) is cheap_slow
+        assert best_window([cheap_slow, pricey_fast], Criterion.RUNTIME) is pricey_fast
+
+    def test_first_wins_ties(self):
+        a = simple_window(0.0, 4.0, 2.0)
+        b = simple_window(0.0, 4.0, 2.0, node_id=1)
+        assert best_window([a, b], Criterion.COST) is a
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            best_window([], Criterion.COST)

@@ -1,0 +1,104 @@
+"""Unit tests for the CSA multi-alternative scheme."""
+
+import pytest
+
+from repro.core import AMP, CSA, Criterion
+from repro.model import ResourceRequest, SlotPool
+from tests.conftest import make_slot
+
+
+def request(n=2, budget=1000.0):
+    return ResourceRequest(node_count=n, reservation_time=20.0, budget=budget)
+
+
+@pytest.fixture
+def stacked_pool():
+    """Three layers of two parallel slots each -> three disjoint windows."""
+    slots = []
+    for layer, start in enumerate((0.0, 40.0, 80.0)):
+        for lane in range(2):
+            slots.append(make_slot(layer * 2 + lane, start, start + 30.0))
+    return SlotPool.from_slots(slots)
+
+
+class TestFindAlternatives:
+    def test_finds_all_disjoint_windows(self, stacked_pool):
+        alternatives = CSA().find_alternatives(request(2), stacked_pool)
+        assert len(alternatives) == 3
+        starts = sorted(window.start for window in alternatives)
+        assert starts == pytest.approx([0.0, 40.0, 80.0])
+
+    def test_alternatives_are_slot_disjoint(self, stacked_pool):
+        alternatives = CSA().find_alternatives(request(2), stacked_pool)
+        for i, a in enumerate(alternatives):
+            for b in alternatives[i + 1 :]:
+                assert not a.conflicts_with(b)
+
+    def test_caller_pool_untouched(self, stacked_pool):
+        size_before = len(stacked_pool)
+        CSA().find_alternatives(request(2), stacked_pool)
+        assert len(stacked_pool) == size_before
+
+    def test_limit_caps_alternatives(self, stacked_pool):
+        alternatives = CSA().find_alternatives(request(2), stacked_pool, limit=2)
+        assert len(alternatives) == 2
+
+    def test_constructor_cap(self, stacked_pool):
+        alternatives = CSA(max_alternatives=1).find_alternatives(
+            request(2), stacked_pool
+        )
+        assert len(alternatives) == 1
+
+    def test_empty_when_infeasible(self, stacked_pool):
+        assert CSA().find_alternatives(request(4), stacked_pool) == []
+
+    def test_first_alternative_matches_amp(self, stacked_pool):
+        amp_window = AMP().select(request(2), stacked_pool)
+        alternatives = CSA().find_alternatives(request(2), stacked_pool)
+        assert alternatives[0].start == amp_window.start
+        assert alternatives[0].nodes() == amp_window.nodes()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CSA(max_alternatives=0)
+        with pytest.raises(ValueError):
+            CSA(cut_mode="bogus")
+
+
+class TestCutModes:
+    def test_split_mode_finds_at_least_as_many(self):
+        # One long slot pair: split-cutting can pack multiple windows into
+        # the same slots, consume-cutting only one.
+        slots = [make_slot(0, 0.0, 100.0), make_slot(1, 0.0, 100.0)]
+        pool = SlotPool.from_slots(slots)
+        consume = CSA(cut_mode="consume").find_alternatives(request(2), pool)
+        split = CSA(cut_mode="split").find_alternatives(request(2), pool)
+        assert len(consume) == 1
+        assert len(split) > len(consume)
+        for i, a in enumerate(split):
+            for b in split[i + 1 :]:
+                assert not a.conflicts_with(b)
+
+
+class TestSelection:
+    def test_select_by_criterion(self, stacked_pool):
+        csa = CSA(criterion=Criterion.START_TIME)
+        window = csa.select(request(2), stacked_pool)
+        assert window.start == pytest.approx(0.0)
+
+    def test_select_by_explicit_criterion(self, stacked_pool):
+        csa = CSA()
+        cheapest = csa.select_by(request(2), stacked_pool, Criterion.COST)
+        fastest = csa.select_by(request(2), stacked_pool, Criterion.RUNTIME)
+        assert cheapest is not None
+        assert fastest is not None
+
+    def test_select_none_when_no_alternatives(self, stacked_pool):
+        assert CSA().select(request(4), stacked_pool) is None
+        assert CSA().select_by(request(4), stacked_pool, Criterion.COST) is None
+
+    def test_selected_is_extreme_among_alternatives(self, stacked_pool):
+        csa = CSA()
+        alternatives = csa.find_alternatives(request(2), stacked_pool)
+        chosen = csa.select_by(request(2), stacked_pool, Criterion.FINISH_TIME)
+        assert chosen.finish == min(w.finish for w in alternatives)

@@ -1,0 +1,163 @@
+"""Edge-case tests across the algorithm suite."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AMP,
+    CSA,
+    Criterion,
+    Exhaustive,
+    FirstFit,
+    MinCost,
+    MinEnergy,
+    MinFinish,
+    MinProcTime,
+    MinRunTime,
+    RigidBackfill,
+)
+from repro.model import ResourceRequest, SlotPool
+from tests.conftest import make_slot
+
+ALL_ALGORITHMS = lambda: [  # noqa: E731 - test helper
+    AMP(),
+    AMP(policy="cheapest"),
+    MinCost(),
+    MinRunTime(),
+    MinRunTime(exact=True),
+    MinFinish(),
+    MinProcTime(rng=np.random.default_rng(0)),
+    MinProcTime(simplified=False),
+    MinEnergy(),
+    FirstFit(),
+    RigidBackfill(),
+]
+
+
+class TestEmptyAndTinyPools:
+    def test_empty_pool(self):
+        request = ResourceRequest(node_count=1, reservation_time=10.0)
+        pool = SlotPool()
+        for algorithm in ALL_ALGORITHMS():
+            assert algorithm.select(request, pool) is None
+        assert CSA().find_alternatives(request, pool) == []
+
+    def test_single_slot_single_task(self):
+        request = ResourceRequest(node_count=1, reservation_time=10.0, budget=100.0)
+        pool = SlotPool.from_slots([make_slot(0, 5.0, 50.0)])
+        window = AMP().select(request, pool)
+        assert window.start == pytest.approx(5.0)
+        assert window.size == 1
+
+    def test_exactly_n_slots(self):
+        # "in the case, when m = n the selection is trivial"
+        request = ResourceRequest(node_count=3, reservation_time=20.0, budget=100.0)
+        pool = SlotPool.from_slots([make_slot(i, 0.0, 50.0) for i in range(3)])
+        for algorithm in ALL_ALGORITHMS():
+            window = algorithm.select(request, pool)
+            assert window is not None
+            assert set(window.nodes()) == {0, 1, 2}
+
+
+class TestRequestVariants:
+    def test_reference_performance_scales_durations(self):
+        pool = SlotPool.from_slots([make_slot(0, 0.0, 100.0, performance=4.0)])
+        fast_ref = ResourceRequest(
+            node_count=1, reservation_time=20.0, reference_performance=2.0
+        )
+        window = AMP().select(fast_ref, pool)
+        # 20 units at reference perf 2 = 40 work units -> 10 on perf 4.
+        assert window.runtime == pytest.approx(10.0)
+
+    def test_price_cap_excluding_everything(self):
+        pool = SlotPool.from_slots([make_slot(0, 0.0, 100.0, price=5.0)])
+        request = ResourceRequest(
+            node_count=1, reservation_time=10.0, max_price_per_unit=1.0
+        )
+        for algorithm in ALL_ALGORITHMS():
+            assert algorithm.select(request, pool) is None
+
+    def test_unlimited_budget(self):
+        pool = SlotPool.from_slots(
+            [make_slot(i, 0.0, 100.0, price=1000.0) for i in range(2)]
+        )
+        request = ResourceRequest(node_count=2, reservation_time=10.0)
+        assert MinCost().select(request, pool) is not None
+
+    def test_budget_derived_from_price_cap(self):
+        # S = F * t_s * n = 3 * 10 * 2 = 60; each task costs 2*2.5=... wait:
+        # perf 4 -> task 2.5 units; price 3 -> cost 7.5 each, total 15 <= 60.
+        pool = SlotPool.from_slots(
+            [make_slot(i, 0.0, 100.0, performance=4.0, price=3.0) for i in range(2)]
+        )
+        request = ResourceRequest(
+            node_count=2, reservation_time=10.0, max_price_per_unit=3.0
+        )
+        window = AMP().select(request, pool)
+        assert window is not None
+        window.validate(request)
+
+    def test_more_tasks_than_nodes(self):
+        pool = SlotPool.from_slots([make_slot(i, 0.0, 100.0) for i in range(3)])
+        request = ResourceRequest(node_count=4, reservation_time=10.0)
+        for algorithm in ALL_ALGORITHMS():
+            assert algorithm.select(request, pool) is None
+
+    def test_deadline_exactly_at_finish(self):
+        pool = SlotPool.from_slots(
+            [make_slot(i, 0.0, 100.0, performance=4.0) for i in range(2)]
+        )
+        # perf 4 -> 5 units; deadline exactly 5.
+        request = ResourceRequest(node_count=2, reservation_time=20.0, deadline=5.0)
+        window = MinFinish().select(request, pool)
+        assert window is not None
+        assert window.finish == pytest.approx(5.0)
+
+    def test_task_longer_than_any_slot(self):
+        pool = SlotPool.from_slots([make_slot(0, 0.0, 10.0, performance=1.0)])
+        request = ResourceRequest(node_count=1, reservation_time=20.0)
+        for algorithm in ALL_ALGORITHMS():
+            assert algorithm.select(request, pool) is None
+
+
+class TestDeterminism:
+    def test_equal_slots_tie_break_deterministic(self):
+        request = ResourceRequest(node_count=2, reservation_time=10.0, budget=100.0)
+        slots = [make_slot(i, 0.0, 50.0) for i in range(5)]
+        pool_a = SlotPool.from_slots(slots)
+        pool_b = SlotPool.from_slots(list(reversed(slots)))
+        window_a = MinCost().select(request, pool_a)
+        window_b = MinCost().select(request, pool_b)
+        assert window_a.nodes() == window_b.nodes()
+
+    def test_algorithms_do_not_mutate_the_pool(self):
+        request = ResourceRequest(node_count=2, reservation_time=10.0, budget=100.0)
+        pool = SlotPool.from_slots([make_slot(i, 0.0, 50.0) for i in range(4)])
+        snapshot = pool.ordered()
+        for algorithm in ALL_ALGORITHMS():
+            algorithm.select(request, pool)
+        CSA().find_alternatives(request, pool)
+        assert pool.ordered() == snapshot
+
+    def test_exhaustive_agrees_on_m_equals_n(self):
+        request = ResourceRequest(node_count=2, reservation_time=10.0, budget=100.0)
+        pool = SlotPool.from_slots([make_slot(i, 0.0, 50.0) for i in range(2)])
+        assert Exhaustive(Criterion.COST).select(request, pool) is not None
+
+
+class TestCsaEdgeCases:
+    def test_csa_single_possible_window(self):
+        request = ResourceRequest(node_count=2, reservation_time=20.0, budget=100.0)
+        pool = SlotPool.from_slots([make_slot(i, 0.0, 30.0) for i in range(2)])
+        alternatives = CSA().find_alternatives(request, pool)
+        assert len(alternatives) == 1
+
+    def test_csa_select_by_every_criterion(self):
+        request = ResourceRequest(node_count=2, reservation_time=20.0, budget=1000.0)
+        slots = [make_slot(i, 0.0, 100.0, performance=float(i + 1)) for i in range(6)]
+        pool = SlotPool.from_slots(slots)
+        csa = CSA()
+        for criterion in Criterion:
+            window = csa.select_by(request, pool, criterion)
+            assert window is not None
+            window.validate(request)

@@ -1,0 +1,79 @@
+"""Equivalence tests for the incrementally sorted fast scans."""
+
+import numpy as np
+import pytest
+
+from repro.core import AMP, MinCost
+from repro.core.fastscan import fast_earliest_start, fast_min_cost
+from repro.model import ResourceRequest
+from tests.conftest import random_small_pool
+
+
+def random_request(rng):
+    return ResourceRequest(
+        node_count=int(rng.integers(1, 4)),
+        reservation_time=float(rng.uniform(5.0, 25.0)),
+        budget=float(rng.uniform(20.0, 200.0)),
+    )
+
+
+class TestEquivalence:
+    def test_min_cost_matches_reference_on_random_pools(self):
+        rng = np.random.default_rng(21)
+        reference = MinCost()
+        for _ in range(60):
+            pool = random_small_pool(rng, node_count=int(rng.integers(3, 12)))
+            request = random_request(rng)
+            slow = reference.select(request, pool)
+            fast = fast_min_cost(request, pool)
+            assert (slow is None) == (fast is None)
+            if slow is not None:
+                assert fast.total_cost == pytest.approx(slow.total_cost)
+                assert fast.size == slow.size
+                fast.validate(request)
+
+    def test_earliest_start_matches_reference_on_random_pools(self):
+        rng = np.random.default_rng(22)
+        reference = AMP(policy="cheapest")
+        for _ in range(60):
+            pool = random_small_pool(rng, node_count=int(rng.integers(3, 12)))
+            request = random_request(rng)
+            slow = reference.select(request, pool)
+            fast = fast_earliest_start(request, pool)
+            assert (slow is None) == (fast is None)
+            if slow is not None:
+                assert fast.start == pytest.approx(slow.start)
+                fast.validate(request)
+
+    def test_min_cost_on_fixture(self, heterogeneous_pool):
+        request = ResourceRequest(node_count=2, reservation_time=20.0, budget=100.0)
+        window = fast_min_cost(request, heterogeneous_pool)
+        assert window.total_cost == pytest.approx(20.0)
+
+    def test_deadline_respected(self, heterogeneous_pool):
+        request = ResourceRequest(
+            node_count=2, reservation_time=20.0, budget=100.0, deadline=10.0
+        )
+        slow = MinCost().select(request, heterogeneous_pool)
+        fast = fast_min_cost(request, heterogeneous_pool)
+        assert (slow is None) == (fast is None)
+        if fast is not None:
+            assert fast.finish <= 10.0 + 1e-9
+            assert fast.total_cost == pytest.approx(slow.total_cost)
+
+    def test_base_environment_equivalence(self):
+        from repro.simulation import paper_base_config
+        from repro.simulation.experiment import make_generator
+
+        config = paper_base_config(cycles=1, seed=55)
+        job = config.base_job()
+        for _ in range(5):
+            pool = make_generator(config).generate().slot_pool()
+            slow = MinCost().select(job, pool)
+            fast = fast_min_cost(job, pool)
+            assert fast.total_cost == pytest.approx(slow.total_cost)
+
+    def test_infeasible_cases(self, heterogeneous_pool):
+        request = ResourceRequest(node_count=2, reservation_time=20.0, budget=5.0)
+        assert fast_min_cost(request, heterogeneous_pool) is None
+        assert fast_earliest_start(request, heterogeneous_pool) is None

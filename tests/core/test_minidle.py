@@ -1,0 +1,106 @@
+"""Unit tests for the MinIdle algorithm and the idle-time criterion."""
+
+import numpy as np
+import pytest
+
+from repro.core import Criterion, Exhaustive, MinIdle, MinCost
+from repro.model import ResourceRequest, SlotPool
+from tests.conftest import make_slot, random_small_pool
+
+
+def request(n=2, budget=1000.0):
+    return ResourceRequest(node_count=n, reservation_time=20.0, budget=budget)
+
+
+class TestIdleTimeCriterion:
+    def test_equal_legs_have_zero_idle(self):
+        pool = SlotPool.from_slots(
+            [make_slot(i, 0.0, 100.0, performance=4.0) for i in range(2)]
+        )
+        window = MinCost().select(request(), pool)
+        assert window.idle_time == pytest.approx(0.0)
+        assert Criterion.IDLE_TIME.evaluate(window) == pytest.approx(0.0)
+
+    def test_rough_edge_idle_value(self):
+        # perf 2 -> 10 units, perf 4 -> 5 units: idle = 10 - 5 = 5.
+        pool = SlotPool.from_slots(
+            [
+                make_slot(0, 0.0, 100.0, performance=2.0),
+                make_slot(1, 0.0, 100.0, performance=4.0),
+            ]
+        )
+        window = MinCost().select(request(), pool)
+        assert window.idle_time == pytest.approx(5.0)
+
+    def test_label(self):
+        assert Criterion.IDLE_TIME.label == "idle time"
+
+
+class TestMinIdle:
+    def test_prefers_equal_speed_nodes(self):
+        # Two perf-4 nodes (idle 0, cost 2*10) vs a perf-10 + perf-4 mix
+        # (idle 3, cheaper).  MinIdle must take the balanced pair.
+        pool = SlotPool.from_slots(
+            [
+                make_slot(0, 0.0, 100.0, performance=4.0, price=2.0),
+                make_slot(1, 0.0, 100.0, performance=4.0, price=2.0),
+                make_slot(2, 0.0, 100.0, performance=10.0, price=0.5),
+            ]
+        )
+        window = MinIdle().select(request(), pool)
+        assert window.idle_time == pytest.approx(0.0)
+        assert set(window.nodes()) == {0, 1}
+
+    def test_budget_forces_imbalance(self):
+        # The balanced pair is unaffordable; the mixed pair is the only
+        # feasible option.
+        pool = SlotPool.from_slots(
+            [
+                make_slot(0, 0.0, 100.0, performance=4.0, price=20.0),  # cost 100
+                make_slot(1, 0.0, 100.0, performance=4.0, price=20.0),  # cost 100
+                make_slot(2, 0.0, 100.0, performance=2.0, price=1.0),   # cost 10
+                make_slot(3, 0.0, 100.0, performance=10.0, price=2.0),  # cost 4
+            ]
+        )
+        window = MinIdle().select(request(budget=50.0), pool)
+        assert window is not None
+        assert window.total_cost <= 50.0
+        assert window.idle_time > 0.0
+
+    def test_matches_exhaustive_without_budget_pressure(self):
+        rng = np.random.default_rng(3)
+        for _ in range(25):
+            pool = random_small_pool(rng, node_count=int(rng.integers(3, 9)))
+            req = ResourceRequest(
+                node_count=int(rng.integers(2, 4)), reservation_time=10.0
+            )
+            ours = MinIdle().select(req, pool)
+            reference = Exhaustive(Criterion.IDLE_TIME).select(req, pool)
+            assert (ours is None) == (reference is None)
+            if ours is not None:
+                # Unconstrained budget: the consecutive sweep is optimal.
+                assert ours.idle_time == pytest.approx(
+                    reference.idle_time, abs=1e-9
+                )
+
+    def test_never_worse_than_mincost_on_idle(self):
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            pool = random_small_pool(rng, node_count=int(rng.integers(3, 9)))
+            req = ResourceRequest(
+                node_count=2,
+                reservation_time=10.0,
+                budget=float(rng.uniform(20.0, 200.0)),
+            )
+            idle_window = MinIdle().select(req, pool)
+            cost_window = MinCost().select(req, pool)
+            assert (idle_window is None) == (cost_window is None)
+            if idle_window is not None:
+                assert idle_window.idle_time <= cost_window.idle_time + 1e-9
+                idle_window.validate(req)
+
+    def test_finds_window_whenever_feasible(self, heterogeneous_pool):
+        req = request(2, budget=21.0)  # tight: only specific pairs fit
+        assert (MinIdle().select(req, heterogeneous_pool) is None) == (
+            MinCost().select(req, heterogeneous_pool) is None
+        )

@@ -1,0 +1,105 @@
+"""Unit tests for the random-variate helpers."""
+
+import numpy as np
+import pytest
+
+from repro.environment import (
+    hypergeometric_fraction,
+    partition_total,
+    positive_normal,
+    uniform_int,
+)
+from repro.model import ConfigurationError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestUniformInt:
+    def test_bounds_inclusive(self, rng):
+        draws = {uniform_int(rng, 2, 4) for _ in range(500)}
+        assert draws == {2, 3, 4}
+
+    def test_degenerate_range(self, rng):
+        assert uniform_int(rng, 7, 7) == 7
+
+    def test_empty_range_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            uniform_int(rng, 5, 4)
+
+    def test_roughly_uniform(self, rng):
+        draws = [uniform_int(rng, 1, 10) for _ in range(5000)]
+        counts = np.bincount(draws, minlength=11)[1:]
+        assert counts.min() > 0.7 * counts.max()
+
+
+class TestHypergeometricFraction:
+    def test_within_range(self, rng):
+        for _ in range(500):
+            value = hypergeometric_fraction(rng, 0.1, 0.5)
+            assert 0.1 <= value <= 0.5
+
+    def test_mean_near_midpoint(self, rng):
+        values = [hypergeometric_fraction(rng, 0.1, 0.5) for _ in range(3000)]
+        assert np.mean(values) == pytest.approx(0.3, abs=0.01)
+
+    def test_degenerate_range(self, rng):
+        assert hypergeometric_fraction(rng, 0.25, 0.25) == pytest.approx(0.25)
+
+    def test_invalid_range_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            hypergeometric_fraction(rng, 0.5, 0.1)
+
+    def test_invalid_urn_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            hypergeometric_fraction(rng, 0.1, 0.5, ngood=1, nbad=1, nsample=40)
+
+    def test_spread_is_not_degenerate(self, rng):
+        values = [hypergeometric_fraction(rng, 0.1, 0.5) for _ in range(2000)]
+        assert np.std(values) > 0.01
+
+
+class TestPositiveNormal:
+    def test_floor_applied(self, rng):
+        values = [positive_normal(rng, 0.0, 5.0, floor=0.5) for _ in range(200)]
+        assert min(values) >= 0.5
+
+    def test_zero_sigma_returns_mean(self, rng):
+        assert positive_normal(rng, 3.0, 0.0, floor=0.1) == pytest.approx(3.0)
+
+    def test_negative_sigma_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            positive_normal(rng, 1.0, -1.0, floor=0.1)
+
+
+class TestPartitionTotal:
+    def test_sums_exactly(self, rng):
+        chunks = partition_total(rng, 100.0, 7, 5.0)
+        assert sum(chunks) == pytest.approx(100.0)
+
+    def test_respects_minimum(self, rng):
+        for _ in range(100):
+            chunks = partition_total(rng, 60.0, 4, 10.0)
+            assert all(chunk >= 10.0 - 1e-9 for chunk in chunks)
+
+    def test_single_part(self, rng):
+        assert partition_total(rng, 42.0, 1, 0.0) == [42.0]
+
+    def test_tight_fit_returns_minimums(self, rng):
+        chunks = partition_total(rng, 30.0, 3, 10.0)
+        assert chunks == pytest.approx([10.0, 10.0, 10.0])
+
+    def test_infeasible_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            partition_total(rng, 10.0, 3, 5.0)
+
+    def test_zero_parts_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            partition_total(rng, 10.0, 0, 1.0)
+
+    def test_zero_minimum_allows_any_split(self, rng):
+        chunks = partition_total(rng, 50.0, 5, 0.0)
+        assert sum(chunks) == pytest.approx(50.0)
+        assert all(chunk >= 0.0 for chunk in chunks)

@@ -1,0 +1,72 @@
+"""Unit tests for the environment presets."""
+
+import pytest
+
+from repro.environment import EnvironmentGenerator, PRESETS, preset
+from repro.model import ConfigurationError
+
+
+class TestPresetLookup:
+    def test_every_preset_constructs(self):
+        for name in PRESETS:
+            config = preset(name, node_count=20, seed=1)
+            assert config.node_count == 20
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown environment preset"):
+            preset("bogus")
+
+    def test_base_is_section31(self):
+        config = preset("paper-base")
+        assert config.node_count == 100
+        assert config.performance_range == (2, 10)
+        assert config.load.load_range == (0.10, 0.50)
+
+
+class TestPresetSemantics:
+    def test_load_presets_change_utilization(self):
+        low = EnvironmentGenerator(preset("low-load", 50, seed=3)).generate()
+        high = EnvironmentGenerator(preset("high-load", 50, seed=3)).generate()
+        assert low.utilization() < 0.20
+        assert high.utilization() > 0.45
+
+    def test_homogeneous_fixes_performance(self):
+        env = EnvironmentGenerator(preset("homogeneous", 30, seed=3)).generate()
+        assert {node.performance for node in env.nodes} == {6.0}
+
+    def test_extreme_heterogeneity_widens_spread(self):
+        env = EnvironmentGenerator(
+            preset("extreme-heterogeneity", 200, seed=3)
+        ).generate()
+        performances = [node.performance for node in env.nodes]
+        assert min(performances) < 2.0
+        assert max(performances) > 10.0
+
+    def test_noisy_market_increases_price_spread(self):
+        import numpy as np
+
+        def price_spread(name):
+            env = EnvironmentGenerator(preset(name, 300, seed=4)).generate()
+            # Compare prices of same-performance nodes to isolate noise.
+            by_perf = {}
+            for node in env.nodes:
+                by_perf.setdefault(node.performance, []).append(node.price_per_unit)
+            spreads = [
+                np.std(prices) / np.mean(prices)
+                for prices in by_perf.values()
+                if len(prices) > 5
+            ]
+            return float(np.mean(spreads))
+
+        assert price_spread("noisy-market") > 2 * price_spread("paper-base")
+
+    def test_literal_pricing_flattens_per_task_cost(self):
+        env = EnvironmentGenerator(preset("literal-pricing", 300, seed=5)).generate()
+        import numpy as np
+
+        per_work = [node.price_per_unit / node.performance for node in env.nodes]
+        # Under exponent 1.0 the per-work price no longer grows with
+        # performance: correlation with performance is ~0.
+        performances = [node.performance for node in env.nodes]
+        correlation = float(np.corrcoef(performances, per_work)[0, 1])
+        assert abs(correlation) < 0.2

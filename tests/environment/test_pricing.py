@@ -1,0 +1,74 @@
+"""Unit tests for the market pricing model."""
+
+import numpy as np
+import pytest
+
+from repro.environment import MarketPricing
+from repro.model import ConfigurationError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ConfigurationError):
+            MarketPricing(factor=0.0)
+
+    def test_rejects_nonpositive_exponent(self):
+        with pytest.raises(ConfigurationError):
+            MarketPricing(exponent=0.0)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            MarketPricing(sigma=-0.1)
+
+    def test_rejects_nonpositive_floor(self):
+        with pytest.raises(ConfigurationError):
+            MarketPricing(floor=0.0)
+
+    def test_rejects_nonpositive_performance(self, rng):
+        with pytest.raises(ConfigurationError):
+            MarketPricing().price_for(0.0, rng)
+
+
+class TestPricing:
+    def test_zero_sigma_is_deterministic(self, rng):
+        pricing = MarketPricing(factor=2.0, exponent=1.0, sigma=0.0)
+        assert pricing.price_for(5.0, rng) == pytest.approx(10.0)
+
+    def test_expected_price_power_law(self):
+        pricing = MarketPricing(factor=2.0, exponent=1.5, sigma=0.0)
+        assert pricing.expected_price(4.0) == pytest.approx(16.0)
+
+    def test_prices_never_below_floor(self, rng):
+        pricing = MarketPricing(factor=0.1, exponent=1.0, sigma=5.0, floor=0.05)
+        prices = [pricing.price_for(1.0, rng) for _ in range(500)]
+        assert min(prices) >= 0.05
+
+    def test_mean_tracks_expected_price(self, rng):
+        pricing = MarketPricing(factor=1.0, exponent=1.5, sigma=0.1)
+        prices = [pricing.price_for(4.0, rng) for _ in range(4000)]
+        assert np.mean(prices) == pytest.approx(pricing.expected_price(4.0), rel=0.02)
+
+    def test_faster_nodes_cost_more_on_average(self, rng):
+        pricing = MarketPricing()
+        slow = np.mean([pricing.price_for(2.0, rng) for _ in range(1000)])
+        fast = np.mean([pricing.price_for(10.0, rng) for _ in range(1000)])
+        assert fast > slow
+
+    def test_superlinear_default_makes_fast_nodes_pricier_per_work_unit(self, rng):
+        # Per unit of *work*: price / performance must grow with performance
+        # under the calibrated default exponent > 1 (see pricing docstring).
+        pricing = MarketPricing(sigma=0.0)
+        slow_per_work = pricing.price_for(2.0, rng) / 2.0
+        fast_per_work = pricing.price_for(10.0, rng) / 10.0
+        assert fast_per_work > slow_per_work
+
+    def test_linear_exponent_is_flat_per_work_unit(self, rng):
+        pricing = MarketPricing(exponent=1.0, sigma=0.0)
+        slow_per_work = pricing.price_for(2.0, rng) / 2.0
+        fast_per_work = pricing.price_for(10.0, rng) / 10.0
+        assert fast_per_work == pytest.approx(slow_per_work)

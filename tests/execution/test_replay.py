@@ -1,0 +1,180 @@
+"""Unit tests for the execution replay on non-dedicated resources."""
+
+import numpy as np
+import pytest
+
+from repro.execution import PoissonDisturbances, Preemption, replay_execution
+from repro.execution.replay import _replay_node
+from repro.model import ConfigurationError, ResourceRequest, Window, WindowSlot
+from tests.conftest import make_slot
+
+
+def window(start=0.0, performance=4.0, node_ids=(0, 1), reservation=20.0):
+    request = ResourceRequest(node_count=len(node_ids), reservation_time=reservation)
+    legs = tuple(
+        WindowSlot.for_request(
+            make_slot(node_id, start, start + 500.0, performance, 2.0), request
+        )
+        for node_id in node_ids
+    )
+    return Window(start=start, slots=legs)
+
+
+class TestDisturbanceModel:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PoissonDisturbances(rate=-1.0)
+        with pytest.raises(ConfigurationError):
+            PoissonDisturbances(length_range=(0.0, 5.0))
+        with pytest.raises(ConfigurationError):
+            PoissonDisturbances(length_range=(10.0, 5.0))
+
+    def test_zero_rate_no_events(self):
+        model = PoissonDisturbances(rate=0.0)
+        assert model.sample(1000.0, np.random.default_rng(0)) == []
+
+    def test_events_sorted_and_in_horizon(self):
+        model = PoissonDisturbances(rate=0.05, length_range=(5.0, 10.0))
+        events = model.sample(500.0, np.random.default_rng(1))
+        assert events
+        arrivals = [event.arrival for event in events]
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 <= arrival <= 500.0 for arrival in arrivals)
+        assert all(5.0 <= event.length <= 10.0 for event in events)
+
+    def test_rate_scales_count(self):
+        rng = np.random.default_rng(2)
+        sparse = np.mean(
+            [len(PoissonDisturbances(rate=0.001).sample(1000.0, rng)) for _ in range(50)]
+        )
+        dense = np.mean(
+            [len(PoissonDisturbances(rate=0.01).sample(1000.0, rng)) for _ in range(50)]
+        )
+        assert dense > 5 * sparse
+
+
+class TestReplayNode:
+    def test_undisturbed_task_runs_as_planned(self):
+        (outcome,) = _replay_node([("job", 10.0, 5.0)], [])
+        assert outcome.actual_start == 10.0
+        assert outcome.actual_end == 15.0
+        assert outcome.preempted_time == 0.0
+        assert outcome.preemption_count == 0
+
+    def test_mid_task_preemption_extends_it(self):
+        (outcome,) = _replay_node(
+            [("job", 0.0, 10.0)], [Preemption(arrival=4.0, length=3.0)]
+        )
+        assert outcome.actual_end == pytest.approx(13.0)
+        assert outcome.preempted_time == pytest.approx(3.0)
+        assert outcome.preemption_count == 1
+
+    def test_preemption_after_task_ignored(self):
+        (outcome,) = _replay_node(
+            [("job", 0.0, 10.0)], [Preemption(arrival=11.0, length=3.0)]
+        )
+        assert outcome.actual_end == pytest.approx(10.0)
+
+    def test_two_preemptions_accumulate(self):
+        (outcome,) = _replay_node(
+            [("job", 0.0, 10.0)],
+            [Preemption(2.0, 1.0), Preemption(8.0, 2.0)],
+        )
+        # 2 run + 1 preempt + 5 run (clock 8) + 2 preempt + 3 run -> 13.
+        assert outcome.actual_end == pytest.approx(13.0)
+        assert outcome.preemption_count == 2
+
+    def test_preemption_during_preemption_window(self):
+        (outcome,) = _replay_node(
+            [("job", 0.0, 10.0)],
+            [Preemption(2.0, 5.0), Preemption(4.0, 2.0)],
+        )
+        # Second event arrives while suspended: adds its full length.
+        assert outcome.actual_end == pytest.approx(17.0)
+
+    def test_delayed_predecessor_pushes_successor(self):
+        outcomes = _replay_node(
+            [("a", 0.0, 10.0), ("b", 12.0, 5.0)],
+            [Preemption(5.0, 10.0)],
+        )
+        first, second = outcomes
+        assert first.actual_end == pytest.approx(20.0)
+        assert second.actual_start == pytest.approx(20.0)
+        assert second.actual_end == pytest.approx(25.0)
+
+
+class TestReplayExecution:
+    def test_no_disturbances_everything_on_time(self):
+        assignments = {"j1": window(0.0), "j2": window(100.0, node_ids=(2, 3))}
+        report = replay_execution(
+            assignments, PoissonDisturbances(rate=0.0), np.random.default_rng(0)
+        )
+        assert report.mean_delay == pytest.approx(0.0)
+        assert report.mean_slowdown == pytest.approx(1.0)
+        assert report.disturbed_fraction == 0.0
+        assert report.total_preemptions() == 0
+
+    def test_disturbances_delay_jobs(self):
+        assignments = {"j1": window(0.0, performance=1.0)}  # 20-unit tasks
+        report = replay_execution(
+            assignments,
+            PoissonDisturbances(rate=0.05, length_range=(10.0, 20.0)),
+            np.random.default_rng(3),
+        )
+        outcome = report.jobs["j1"]
+        assert outcome.actual_finish >= outcome.planned_finish
+        assert report.mean_slowdown >= 1.0
+
+    def test_job_finish_is_max_of_tasks(self):
+        assignments = {"j1": window(0.0, node_ids=(0, 1, 2))}
+        report = replay_execution(
+            assignments,
+            PoissonDisturbances(rate=0.01, length_range=(10.0, 15.0)),
+            np.random.default_rng(5),
+        )
+        outcome = report.jobs["j1"]
+        assert outcome.actual_finish == pytest.approx(
+            max(task.actual_end for task in outcome.tasks)
+        )
+
+    def test_reproducible_with_seed(self):
+        assignments = {"j1": window(0.0), "j2": window(50.0, node_ids=(2, 3))}
+        model = PoissonDisturbances(rate=0.02)
+        a = replay_execution(assignments, model, np.random.default_rng(7))
+        b = replay_execution(assignments, model, np.random.default_rng(7))
+        assert a.mean_delay == pytest.approx(b.mean_delay)
+
+    def test_empty_assignments(self):
+        report = replay_execution({}, PoissonDisturbances(), np.random.default_rng(0))
+        assert report.mean_delay == 0.0
+        assert report.mean_slowdown == 1.0
+
+    def test_more_node_hours_more_exposure(self):
+        # A window on slow nodes (long tasks) accumulates more expected
+        # preempted time than a compact window on fast nodes.
+        model = PoissonDisturbances(rate=0.01, length_range=(10.0, 20.0))
+        slow_delays, fast_delays = [], []
+        for seed in range(40):
+            slow = replay_execution(
+                {"j": window(0.0, performance=1.0)},  # 20-unit tasks
+                model,
+                np.random.default_rng(seed),
+            )
+            fast = replay_execution(
+                {"j": window(0.0, performance=10.0)},  # 2-unit tasks
+                model,
+                np.random.default_rng(seed),
+            )
+            slow_delays.append(slow.mean_delay)
+            fast_delays.append(fast.mean_delay)
+        assert np.mean(slow_delays) > np.mean(fast_delays)
+
+    def test_outcome_properties(self):
+        assignments = {"j1": window(10.0)}
+        report = replay_execution(
+            assignments, PoissonDisturbances(rate=0.0), np.random.default_rng(0)
+        )
+        outcome = report.jobs["j1"]
+        assert outcome.delay == pytest.approx(0.0)
+        assert outcome.preemption_count == 0
+        assert outcome.slowdown == pytest.approx(1.0)

@@ -1,0 +1,98 @@
+"""Hypothesis property tests for the execution replay engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.execution.disturbance import Preemption
+from repro.execution.replay import _replay_node
+
+
+@st.composite
+def node_instances(draw):
+    """Random per-node reservations plus preemption events."""
+    reservation_count = draw(st.integers(min_value=1, max_value=4))
+    reservations = []
+    cursor = 0.0
+    for index in range(reservation_count):
+        gap = draw(st.floats(min_value=0.0, max_value=20.0, allow_nan=False))
+        duration = draw(st.floats(min_value=1.0, max_value=30.0, allow_nan=False))
+        start = cursor + gap
+        reservations.append((f"job{index}", start, duration))
+        cursor = start + duration
+    preemption_count = draw(st.integers(min_value=0, max_value=5))
+    preemptions = sorted(
+        (
+            Preemption(
+                arrival=draw(
+                    st.floats(min_value=0.0, max_value=cursor + 50.0, allow_nan=False)
+                ),
+                length=draw(st.floats(min_value=0.5, max_value=25.0, allow_nan=False)),
+            )
+            for _ in range(preemption_count)
+        ),
+        key=lambda event: event.arrival,
+    )
+    return reservations, preemptions
+
+
+@given(instance=node_instances())
+@settings(max_examples=200, deadline=None)
+def test_tasks_never_finish_early(instance):
+    reservations, preemptions = instance
+    outcomes = _replay_node(reservations, preemptions)
+    for outcome in outcomes:
+        assert outcome.actual_start >= outcome.planned_start - 1e-9
+        assert outcome.actual_end >= outcome.planned_end - 1e-9
+
+
+@given(instance=node_instances())
+@settings(max_examples=200, deadline=None)
+def test_duration_conservation(instance):
+    """Actual span = planned duration + preempted time (+ queueing shift)."""
+    reservations, preemptions = instance
+    outcomes = _replay_node(reservations, preemptions)
+    by_job = {job_id: (start, duration) for job_id, start, duration in reservations}
+    for outcome in outcomes:
+        _, duration = by_job[outcome.job_id]
+        assert outcome.actual_end - outcome.actual_start == (
+            pytest_approx(duration + outcome.preempted_time)
+        )
+
+
+def pytest_approx(value):
+    import pytest
+
+    return pytest.approx(value, rel=1e-9, abs=1e-7)
+
+
+@given(instance=node_instances())
+@settings(max_examples=200, deadline=None)
+def test_no_overlap_between_consecutive_tasks(instance):
+    reservations, preemptions = instance
+    outcomes = _replay_node(reservations, preemptions)
+    ordered = sorted(outcomes, key=lambda outcome: outcome.actual_start)
+    for earlier, later in zip(ordered, ordered[1:]):
+        assert later.actual_start >= earlier.actual_end - 1e-9
+
+
+@given(instance=node_instances())
+@settings(max_examples=200, deadline=None)
+def test_no_preemptions_means_planned_schedule(instance):
+    reservations, _ = instance
+    outcomes = _replay_node(reservations, [])
+    for outcome in outcomes:
+        assert outcome.actual_start == pytest_approx(outcome.planned_start)
+        assert outcome.actual_end == pytest_approx(outcome.planned_end)
+        assert outcome.preemption_count == 0
+
+
+@given(instance=node_instances())
+@settings(max_examples=150, deadline=None)
+def test_preempted_time_bounded_by_total_events(instance):
+    reservations, preemptions = instance
+    outcomes = _replay_node(reservations, preemptions)
+    total_preempted = sum(outcome.preempted_time for outcome in outcomes)
+    total_available = sum(event.length for event in preemptions)
+    assert total_preempted <= total_available + 1e-6
+    total_hits = sum(outcome.preemption_count for outcome in outcomes)
+    assert total_hits <= len(preemptions)

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public contract; this module executes each one
+in a subprocess (with small workloads where the script accepts an
+argument) and asserts a clean exit.  Keeps the examples from rotting as
+the library evolves.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+#: script -> extra argv (small workloads keep the suite fast).
+EXAMPLES = {
+    "quickstart.py": [],
+    "algorithm_comparison.py": ["15"],
+    "batch_scheduling.py": [],
+    "user_strategies.py": [],
+    "custom_criterion.py": [],
+    "pareto_tradeoffs.py": [],
+    "robustness_gantt.py": [],
+    "job_flow_policies.py": [],
+    "reservations_lifecycle.py": [],
+    "render_figures.py": ["5"],
+    "distribution_analysis.py": ["15"],
+}
+
+
+def run_example(name: str, args):
+    path = os.path.join(EXAMPLES_DIR, name)
+    return subprocess.run(
+        [sys.executable, path, *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(EXAMPLES))
+def test_example_runs_clean(name):
+    result = run_example(name, EXAMPLES[name])
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{name} produced no output"
+
+
+def test_every_example_is_covered():
+    present = {
+        entry
+        for entry in os.listdir(EXAMPLES_DIR)
+        if entry.endswith(".py")
+    }
+    assert present == set(EXAMPLES), (
+        "examples/ and the smoke-test inventory diverged: "
+        f"missing={present - set(EXAMPLES)}, stale={set(EXAMPLES) - present}"
+    )

@@ -1,0 +1,138 @@
+"""Integration test: the paper's qualitative results on the base experiment.
+
+One moderately sized seeded run of the Section 3.1 experiment, asserting
+the orderings and ratios of Figs. 2-4 (not the absolute values — those are
+checked loosely in EXPERIMENTS.md / the benchmark harness).
+"""
+
+import pytest
+
+from repro.core import Criterion
+from repro.environment import EnvironmentConfig
+from repro.simulation import ExperimentConfig, run_comparison
+
+CYCLES = 30
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ExperimentConfig(
+        environment=EnvironmentConfig(node_count=100),
+        cycles=CYCLES,
+        seed=424242,
+    )
+    return run_comparison(config, validate=True)
+
+
+class TestFindRates:
+    def test_base_job_always_schedulable(self, result):
+        for name, stats in result.algorithms.items():
+            assert stats.find_rate == 1.0, name
+
+
+class TestFig2aStartTime:
+    def test_amp_minfinish_csa_start_at_zero(self, result):
+        assert result.mean_of("AMP", Criterion.START_TIME) < 2.0
+        assert result.mean_of("MinFinish", Criterion.START_TIME) < 2.0
+        assert result.csa_mean_of(Criterion.START_TIME) < 2.0
+
+    def test_start_time_ordering(self, result):
+        # Paper: AMP/MinFinish/CSA ~ 0 < MinRunTime (53) < MinCost (193)
+        # < MinProcTime (514.9).
+        run = result.mean_of("MinRunTime", Criterion.START_TIME)
+        cost = result.mean_of("MinCost", Criterion.START_TIME)
+        proc = result.mean_of("MinProcTime", Criterion.START_TIME)
+        assert 2.0 < run < cost < proc
+
+
+class TestFig2bRuntime:
+    def test_minruntime_wins(self, result):
+        ranking = result.ranking(Criterion.RUNTIME)
+        assert ranking[0] == "MinRunTime"
+
+    def test_minfinish_close_behind(self, result):
+        # Paper: MinFinish only 4.2% longer than MinRunTime.
+        best = result.mean_of("MinRunTime", Criterion.RUNTIME)
+        finish = result.mean_of("MinFinish", Criterion.RUNTIME)
+        assert finish <= 1.15 * best
+
+    def test_amp_and_mincost_relatively_long(self, result):
+        best = result.mean_of("MinRunTime", Criterion.RUNTIME)
+        assert result.mean_of("AMP", Criterion.RUNTIME) > 1.3 * best
+        assert result.mean_of("MinCost", Criterion.RUNTIME) > 1.5 * best
+
+    def test_runtime_scale_matches_paper_band(self, result):
+        # Paper: 33 time units; our calibrated environment lands in
+        # the same band (25-45) rather than at the 15 a budget-free
+        # search would reach.
+        assert 25.0 <= result.mean_of("MinRunTime", Criterion.RUNTIME) <= 45.0
+
+
+class TestFig3aFinishTime:
+    def test_minfinish_wins(self, result):
+        assert result.ranking(Criterion.FINISH_TIME)[0] == "MinFinish"
+
+    def test_csa_second(self, result):
+        # Paper: CSA's finish is the closest to MinFinish (52.9% later).
+        ranking = result.ranking(Criterion.FINISH_TIME)
+        assert ranking[1] == "CSA"
+        best = result.mean_of("MinFinish", Criterion.FINISH_TIME)
+        csa = result.csa_mean_of(Criterion.FINISH_TIME)
+        assert best < csa < 2.5 * best
+
+    def test_mincost_finishes_late(self, result):
+        best = result.mean_of("MinFinish", Criterion.FINISH_TIME)
+        assert result.mean_of("MinCost", Criterion.FINISH_TIME) > 4.0 * best
+
+
+class TestFig3bProcessorTime:
+    def test_minruntime_best(self, result):
+        assert result.ranking(Criterion.PROCESSOR_TIME)[0] == "MinRunTime"
+
+    def test_comparable_group(self, result):
+        # Paper: MinFinish, CSA, MinProcTime within ~9% of MinRunTime.
+        best = result.mean_of("MinRunTime", Criterion.PROCESSOR_TIME)
+        assert result.mean_of("MinFinish", Criterion.PROCESSOR_TIME) <= 1.15 * best
+        assert result.csa_mean_of(Criterion.PROCESSOR_TIME) <= 1.15 * best
+        assert result.mean_of("MinProcTime", Criterion.PROCESSOR_TIME) <= 1.2 * best
+
+    def test_amp_and_mincost_most_consuming(self, result):
+        group_max = max(
+            result.mean_of(name, Criterion.PROCESSOR_TIME)
+            for name in ("MinRunTime", "MinFinish", "MinProcTime")
+        )
+        assert result.mean_of("AMP", Criterion.PROCESSOR_TIME) > group_max
+        assert result.mean_of("MinCost", Criterion.PROCESSOR_TIME) > group_max
+
+
+class TestFig4Cost:
+    def test_mincost_big_advantage(self, result):
+        # Paper: MinCost 1027 vs CSA-cheapest 1352 (31.6% more) and
+        # MinRunTime 1464 (42.5% more).
+        min_cost = result.mean_of("MinCost", Criterion.COST)
+        csa = result.csa_mean_of(Criterion.COST)
+        run = result.mean_of("MinRunTime", Criterion.COST)
+        assert csa > 1.2 * min_cost
+        assert run > 1.3 * min_cost
+
+    def test_everything_within_budget(self, result):
+        for name in result.algorithms:
+            assert result.mean_of(name, Criterion.COST) <= 1500.0
+        assert result.csa_mean_of(Criterion.COST) <= 1500.0
+
+    def test_non_cost_algorithms_cluster_near_budget(self, result):
+        # Paper: "alternatives found with other considered algorithms have
+        # approximately the same execution cost" (1352-1464 of 1500).
+        for name in ("AMP", "MinFinish", "MinRunTime", "MinProcTime"):
+            assert result.mean_of(name, Criterion.COST) > 0.9 * 1500.0
+
+
+class TestCsaScale:
+    def test_alternatives_count_band(self, result):
+        # Paper reports 57 on the base environment; our calibrated
+        # environment yields the same order of magnitude.
+        assert 15.0 <= result.csa.alternatives.mean <= 90.0
+
+    def test_slot_count_band(self, result):
+        # Paper's Table 2: 472.6 slots on the base environment.
+        assert 400.0 <= result.slot_count.mean <= 550.0

@@ -1,0 +1,46 @@
+"""Unit tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.model import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in (
+            "ModelError",
+            "InvalidIntervalError",
+            "InvalidRequestError",
+            "WindowValidationError",
+            "AllocationError",
+            "SchedulingError",
+            "ConfigurationError",
+        ):
+            exception_type = getattr(errors, name)
+            assert issubclass(exception_type, errors.ReproError), name
+
+    def test_model_errors_group(self):
+        for name in (
+            "InvalidIntervalError",
+            "InvalidRequestError",
+            "WindowValidationError",
+        ):
+            assert issubclass(getattr(errors, name), errors.ModelError), name
+
+    def test_catching_the_base_class_catches_domain_failures(self):
+        from repro.model import ResourceRequest
+
+        with pytest.raises(errors.ReproError):
+            ResourceRequest(node_count=0, reservation_time=1.0)
+
+    def test_interval_error_message(self):
+        error = errors.InvalidIntervalError(5.0, 3.0)
+        assert "5.0" in str(error)
+        assert "3.0" in str(error)
+        assert error.start == 5.0
+        assert error.end == 3.0
+
+    def test_repro_error_is_an_exception(self):
+        assert issubclass(errors.ReproError, Exception)
+        # But not a blanket BaseException catch-all.
+        assert not issubclass(KeyboardInterrupt, errors.ReproError)

@@ -1,0 +1,136 @@
+"""Property-based tests (hypothesis) for the core data structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import ResourceRequest, Slot, SlotPool, Timeline, Window, WindowSlot
+from tests.conftest import make_node
+
+times = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def intervals(draw, min_length=0.5, horizon=1000.0):
+    start = draw(st.floats(min_value=0.0, max_value=horizon - min_length))
+    length = draw(st.floats(min_value=min_length, max_value=horizon - start))
+    return (start, start + length)
+
+
+@st.composite
+def disjoint_busy_lists(draw, horizon=100.0, max_chunks=5):
+    """Sorted, strictly disjoint busy intervals inside [0, horizon]."""
+    count = draw(st.integers(min_value=0, max_value=max_chunks))
+    points = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=horizon),
+            min_size=2 * count,
+            max_size=2 * count,
+            unique=True,
+        )
+    )
+    points.sort()
+    chunks = []
+    for i in range(count):
+        start, end = points[2 * i], points[2 * i + 1]
+        if end - start > 1e-6:
+            chunks.append((start, end))
+    return chunks
+
+
+class TestSlotProperties:
+    @given(interval=intervals(min_length=1.0), cut=st.data())
+    @settings(max_examples=200)
+    def test_split_conserves_time_and_stays_inside(self, interval, cut):
+        start, end = interval
+        slot = Slot(make_node(0), start, end)
+        cut_start = cut.draw(st.floats(min_value=start, max_value=end - 0.5))
+        cut_end = cut.draw(st.floats(min_value=cut_start, max_value=end))
+        remainders = slot.split(cut_start, cut_end, min_length=1e-9)
+        removed = cut_end - cut_start
+        total = sum(r.length for r in remainders)
+        assert total <= slot.length - removed + 1e-6
+        for r in remainders:
+            assert r.start >= start - 1e-9
+            assert r.end <= end + 1e-9
+            assert not (cut_start + 1e-9 < r.end and r.start < cut_end - 1e-9)
+
+    @given(a=intervals(), b=intervals())
+    @settings(max_examples=200)
+    def test_overlap_is_symmetric(self, a, b):
+        slot_a = Slot(make_node(0), *a)
+        slot_b = Slot(make_node(1), *b)
+        assert slot_a.overlaps(slot_b) == slot_b.overlaps(slot_a)
+
+    @given(interval=intervals(), probe=times)
+    @settings(max_examples=200)
+    def test_remaining_from_never_exceeds_length(self, interval, probe):
+        slot = Slot(make_node(0), *interval)
+        assert slot.remaining_from(probe) <= slot.length + 1e-9
+
+
+class TestTimelineProperties:
+    @given(busy=disjoint_busy_lists())
+    @settings(max_examples=200)
+    def test_busy_plus_free_partitions_interval(self, busy):
+        timeline = Timeline(make_node(0), 0.0, 100.0)
+        for start, end in busy:
+            timeline.add_busy(start, end)
+        free = sum(end - start for start, end in timeline.free_intervals(1e-9))
+        assert free + timeline.busy_time() <= 100.0 + 1e-6
+        # The partition is exact up to gaps below the min-length threshold.
+        assert free + timeline.busy_time() >= 100.0 - 1e-4 - 1e-9 * len(busy)
+
+    @given(busy=disjoint_busy_lists())
+    @settings(max_examples=200)
+    def test_free_intervals_are_disjoint_and_sorted(self, busy):
+        timeline = Timeline(make_node(0), 0.0, 100.0)
+        for start, end in busy:
+            timeline.add_busy(start, end)
+        gaps = timeline.free_intervals(1e-9)
+        for (s1, e1), (s2, e2) in zip(gaps, gaps[1:]):
+            assert e1 <= s2 + 1e-9
+
+    @given(busy=disjoint_busy_lists())
+    @settings(max_examples=200)
+    def test_free_intervals_really_free(self, busy):
+        timeline = Timeline(make_node(0), 0.0, 100.0)
+        for start, end in busy:
+            timeline.add_busy(start, end)
+        for start, end in timeline.free_intervals(1e-6):
+            assert timeline.is_free(start + 1e-9, end - 1e-9)
+
+
+class TestSlotPoolProperties:
+    @given(data=st.data())
+    @settings(max_examples=100)
+    def test_cut_window_preserves_per_node_disjointness(self, data):
+        node_count = data.draw(st.integers(min_value=2, max_value=5))
+        slots = []
+        for node_id in range(node_count):
+            start, end = data.draw(intervals(min_length=10.0, horizon=200.0))
+            slots.append(Slot(make_node(node_id, performance=2.0), start, end))
+        pool = SlotPool.from_slots(slots)
+        request = ResourceRequest(node_count=1, reservation_time=4.0)  # 2 units
+        target = data.draw(st.sampled_from(slots))
+        ws = WindowSlot.for_request(target, request)
+        window = Window(start=target.start, slots=(ws,))
+        pool.cut_window(window, mode="split")
+        pool.assert_disjoint_per_node()
+        # The reserved span is gone from the pool.
+        for slot in pool:
+            if slot.node.node_id == target.node.node_id:
+                assert not (
+                    slot.start < window.start + ws.required_time - 1e-9
+                    and window.start < slot.end - 1e-9
+                )
+
+    @given(data=st.data())
+    @settings(max_examples=100)
+    def test_iteration_order_always_nondecreasing(self, data):
+        count = data.draw(st.integers(min_value=0, max_value=20))
+        pool = SlotPool()
+        for node_id in range(count):
+            start, end = data.draw(intervals(min_length=0.5))
+            pool.add(Slot(make_node(node_id), start, end))
+        starts = [slot.start for slot in pool]
+        assert starts == sorted(starts)

@@ -1,0 +1,144 @@
+"""Unit tests for nodes, specs and the hardware/software matcher."""
+
+import math
+
+import pytest
+
+from repro.model import CpuNode, ModelError, NodeSpec, matches_spec
+from tests.conftest import make_node
+
+
+class TestNodeSpec:
+    def test_defaults(self):
+        spec = NodeSpec()
+        assert spec.clock_speed == 1.0
+        assert spec.ram == 4096
+        assert spec.disk == 100
+        assert spec.os == "linux"
+
+    def test_rejects_nonpositive_clock(self):
+        with pytest.raises(ModelError):
+            NodeSpec(clock_speed=0.0)
+
+    def test_rejects_negative_ram(self):
+        with pytest.raises(ModelError):
+            NodeSpec(ram=-1)
+
+    def test_rejects_negative_disk(self):
+        with pytest.raises(ModelError):
+            NodeSpec(disk=-5)
+
+
+class TestCpuNode:
+    def test_rejects_nonpositive_performance(self):
+        with pytest.raises(ModelError):
+            CpuNode(node_id=0, performance=0.0, price_per_unit=1.0)
+
+    def test_rejects_negative_price(self):
+        with pytest.raises(ModelError):
+            CpuNode(node_id=0, performance=1.0, price_per_unit=-0.1)
+
+    def test_task_runtime_scales_inversely_with_performance(self):
+        slow = make_node(0, performance=2.0)
+        fast = make_node(1, performance=10.0)
+        assert slow.task_runtime(150.0) == pytest.approx(75.0)
+        assert fast.task_runtime(150.0) == pytest.approx(15.0)
+
+    def test_task_runtime_reference_performance(self):
+        node = make_node(0, performance=4.0)
+        assert node.task_runtime(100.0, reference_performance=2.0) == pytest.approx(50.0)
+
+    def test_task_runtime_zero_reservation(self):
+        assert make_node(0).task_runtime(0.0) == 0.0
+
+    def test_task_runtime_rejects_negative_reservation(self):
+        with pytest.raises(ModelError):
+            make_node(0).task_runtime(-1.0)
+
+    def test_task_runtime_rejects_nonpositive_reference(self):
+        with pytest.raises(ModelError):
+            make_node(0).task_runtime(10.0, reference_performance=0.0)
+
+    def test_usage_cost(self):
+        node = make_node(0, price=3.0)
+        assert node.usage_cost(10.0) == pytest.approx(30.0)
+
+    def test_usage_cost_rejects_negative_duration(self):
+        with pytest.raises(ModelError):
+            make_node(0).usage_cost(-1.0)
+
+    def test_power_grows_with_performance(self):
+        slow = make_node(0, performance=2.0)
+        fast = make_node(1, performance=10.0)
+        assert fast.power() > slow.power()
+
+    def test_energy_is_power_times_runtime(self):
+        node = make_node(0, performance=4.0)
+        expected = node.power() * node.task_runtime(20.0)
+        assert node.energy_cost(20.0) == pytest.approx(expected)
+
+    def test_energy_u_shaped_in_performance(self):
+        # Very slow and very fast nodes both burn more energy than a
+        # mid-range node for the same task.
+        energies = {
+            p: make_node(0, performance=p).energy_cost(150.0) for p in (1.0, 5.0, 20.0)
+        }
+        assert energies[5.0] < energies[1.0]
+        assert energies[5.0] < energies[20.0]
+
+    def test_nodes_are_hashable_value_objects(self):
+        a = make_node(0, performance=4.0, price=2.0)
+        b = make_node(0, performance=4.0, price=2.0)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestMatchesSpec:
+    def test_default_requirements_match_everything(self):
+        assert matches_spec(make_node(0))
+
+    def test_min_performance(self):
+        node = make_node(0, performance=4.0)
+        assert matches_spec(node, min_performance=4.0)
+        assert not matches_spec(node, min_performance=4.5)
+
+    def test_min_clock_speed(self):
+        node = make_node(0, clock_speed=2.0)
+        assert matches_spec(node, min_clock_speed=2.0)
+        assert not matches_spec(node, min_clock_speed=2.5)
+
+    def test_min_ram(self):
+        node = make_node(0, ram=2048)
+        assert matches_spec(node, min_ram=2048)
+        assert not matches_spec(node, min_ram=4096)
+
+    def test_min_disk(self):
+        node = make_node(0, disk=50)
+        assert matches_spec(node, min_disk=50)
+        assert not matches_spec(node, min_disk=51)
+
+    def test_required_os(self):
+        node = make_node(0, os="linux")
+        assert matches_spec(node, required_os="linux")
+        assert not matches_spec(node, required_os="windows")
+        assert matches_spec(node, required_os=None)
+
+    def test_max_price_per_unit(self):
+        node = make_node(0, price=2.0)
+        assert matches_spec(node, max_price_per_unit=2.0)
+        assert not matches_spec(node, max_price_per_unit=1.99)
+        assert matches_spec(node, max_price_per_unit=None)
+
+    def test_combined_requirements(self):
+        node = make_node(0, performance=6.0, price=3.0, ram=8192, os="linux")
+        assert matches_spec(
+            node, min_performance=5.0, min_ram=8192, required_os="linux",
+            max_price_per_unit=3.5,
+        )
+        assert not matches_spec(
+            node, min_performance=5.0, min_ram=8192, required_os="linux",
+            max_price_per_unit=2.5,
+        )
+
+    def test_power_is_finite(self):
+        assert math.isfinite(make_node(0, performance=10.0).power())

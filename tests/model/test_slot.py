@@ -1,0 +1,133 @@
+"""Unit tests for :class:`repro.model.Slot`."""
+
+import pytest
+
+from repro.model import InvalidIntervalError, ModelError, Slot
+from tests.conftest import make_node, make_slot
+
+
+class TestConstruction:
+    def test_length(self):
+        assert make_slot(0, 10.0, 35.0).length == pytest.approx(25.0)
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(InvalidIntervalError):
+            make_slot(0, 10.0, 10.0)
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(InvalidIntervalError):
+            make_slot(0, 10.0, 5.0)
+
+    def test_error_carries_bounds(self):
+        with pytest.raises(InvalidIntervalError) as excinfo:
+            make_slot(0, 7.0, 3.0)
+        assert excinfo.value.start == 7.0
+        assert excinfo.value.end == 3.0
+
+
+class TestContainment:
+    def test_contains_inner_interval(self):
+        slot = make_slot(0, 0.0, 50.0)
+        assert slot.contains(10.0, 20.0)
+
+    def test_contains_exact_bounds(self):
+        slot = make_slot(0, 0.0, 50.0)
+        assert slot.contains(0.0, 50.0)
+
+    def test_does_not_contain_overhang(self):
+        slot = make_slot(0, 0.0, 50.0)
+        assert not slot.contains(40.0, 51.0)
+        assert not slot.contains(-1.0, 10.0)
+
+    def test_can_host_at_start(self):
+        slot = make_slot(0, 5.0, 30.0)
+        assert slot.can_host(5.0, 25.0)
+        assert not slot.can_host(5.0, 25.1)
+
+    def test_can_host_mid_slot(self):
+        slot = make_slot(0, 5.0, 30.0)
+        assert slot.can_host(10.0, 20.0)
+        assert not slot.can_host(10.0, 20.5)
+
+    def test_can_host_rejects_negative_duration(self):
+        with pytest.raises(ModelError):
+            make_slot(0, 0.0, 10.0).can_host(0.0, -1.0)
+
+    def test_remaining_from(self):
+        slot = make_slot(0, 10.0, 40.0)
+        assert slot.remaining_from(0.0) == pytest.approx(30.0)
+        assert slot.remaining_from(10.0) == pytest.approx(30.0)
+        assert slot.remaining_from(25.0) == pytest.approx(15.0)
+        assert slot.remaining_from(40.0) == pytest.approx(0.0)
+        assert slot.remaining_from(45.0) == pytest.approx(-5.0)
+
+
+class TestOverlap:
+    def test_overlapping(self):
+        assert make_slot(0, 0.0, 10.0).overlaps(make_slot(1, 5.0, 15.0))
+
+    def test_touching_do_not_overlap(self):
+        assert not make_slot(0, 0.0, 10.0).overlaps(make_slot(1, 10.0, 20.0))
+
+    def test_disjoint(self):
+        assert not make_slot(0, 0.0, 10.0).overlaps(make_slot(1, 20.0, 30.0))
+
+    def test_nested(self):
+        assert make_slot(0, 0.0, 30.0).overlaps(make_slot(1, 10.0, 20.0))
+
+
+class TestSplit:
+    def test_split_middle_returns_both_remainders(self):
+        slot = make_slot(0, 0.0, 100.0)
+        left, right = slot.split(30.0, 60.0)
+        assert (left.start, left.end) == (0.0, 30.0)
+        assert (right.start, right.end) == (60.0, 100.0)
+        assert left.node == slot.node
+        assert right.node == slot.node
+
+    def test_split_at_start_returns_right_only(self):
+        (right,) = make_slot(0, 0.0, 100.0).split(0.0, 40.0)
+        assert (right.start, right.end) == (40.0, 100.0)
+
+    def test_split_at_end_returns_left_only(self):
+        (left,) = make_slot(0, 0.0, 100.0).split(60.0, 100.0)
+        assert (left.start, left.end) == (0.0, 60.0)
+
+    def test_split_whole_slot_returns_nothing(self):
+        assert make_slot(0, 0.0, 100.0).split(0.0, 100.0) == []
+
+    def test_split_respects_min_length(self):
+        remainders = make_slot(0, 0.0, 100.0).split(3.0, 95.0, min_length=10.0)
+        assert remainders == []
+
+    def test_split_keeps_remainder_at_exact_min_length(self):
+        remainders = make_slot(0, 0.0, 100.0).split(10.0, 100.0, min_length=10.0)
+        assert len(remainders) == 1
+        assert remainders[0].length == pytest.approx(10.0)
+
+    def test_split_outside_slot_raises(self):
+        with pytest.raises(ModelError):
+            make_slot(0, 10.0, 20.0).split(5.0, 15.0)
+
+    def test_split_conserves_time(self):
+        slot = make_slot(0, 0.0, 100.0)
+        remainders = slot.split(20.0, 45.0)
+        assert sum(r.length for r in remainders) + 25.0 == pytest.approx(slot.length)
+
+
+class TestOrdering:
+    def test_sort_key_orders_by_start_first(self):
+        early = make_slot(5, 0.0, 10.0)
+        late = make_slot(1, 1.0, 2.0)
+        assert early.sort_key() < late.sort_key()
+
+    def test_sort_key_breaks_ties_by_end_then_node(self):
+        a = make_slot(2, 0.0, 10.0)
+        b = make_slot(1, 0.0, 20.0)
+        assert a.sort_key() < b.sort_key()
+        c = make_slot(1, 0.0, 10.0)
+        assert c.sort_key() < a.sort_key()
+
+    def test_slots_are_value_objects(self):
+        node = make_node(3)
+        assert Slot(node, 0.0, 5.0) == Slot(node, 0.0, 5.0)

@@ -1,0 +1,173 @@
+"""Unit tests for the ordered slot pool and window cutting."""
+
+import pytest
+
+from repro.model import (
+    AllocationError,
+    ResourceRequest,
+    SlotPool,
+    Window,
+    WindowSlot,
+)
+from tests.conftest import make_slot
+
+
+def window_for(slot, reservation=20.0, start=None):
+    request = ResourceRequest(node_count=1, reservation_time=reservation)
+    ws = WindowSlot.for_request(slot, request)
+    return Window(start=slot.start if start is None else start, slots=(ws,))
+
+
+class TestOrdering:
+    def test_iteration_is_start_ordered(self):
+        slots = [
+            make_slot(0, 30.0, 40.0),
+            make_slot(1, 0.0, 10.0),
+            make_slot(2, 15.0, 25.0),
+        ]
+        pool = SlotPool.from_slots(slots)
+        starts = [slot.start for slot in pool]
+        assert starts == sorted(starts)
+
+    def test_add_keeps_order(self):
+        pool = SlotPool.from_slots([make_slot(0, 10.0, 20.0)])
+        pool.add(make_slot(1, 0.0, 5.0))
+        assert [slot.start for slot in pool] == [0.0, 10.0]
+
+    def test_len_and_contains(self):
+        slot = make_slot(0, 0.0, 10.0)
+        pool = SlotPool.from_slots([slot])
+        assert len(pool) == 1
+        assert slot in pool
+        assert make_slot(1, 0.0, 10.0) not in pool
+
+    def test_add_drops_sub_threshold_slots(self):
+        pool = SlotPool(min_usable_length=5.0)
+        pool.add(make_slot(0, 0.0, 3.0))
+        assert len(pool) == 0
+
+
+class TestRemove:
+    def test_remove_existing(self):
+        slot = make_slot(0, 0.0, 10.0)
+        pool = SlotPool.from_slots([slot])
+        pool.remove(slot)
+        assert len(pool) == 0
+
+    def test_remove_missing_raises(self):
+        pool = SlotPool.from_slots([make_slot(0, 0.0, 10.0)])
+        with pytest.raises(AllocationError):
+            pool.remove(make_slot(1, 0.0, 10.0))
+
+    def test_remove_distinguishes_equal_keys(self):
+        # Two different nodes, same sort key except node id.
+        a = make_slot(0, 0.0, 10.0)
+        b = make_slot(1, 0.0, 10.0)
+        pool = SlotPool.from_slots([a, b])
+        pool.remove(b)
+        assert a in pool
+        assert b not in pool
+
+
+class TestCutWindow:
+    def test_split_mode_reinserts_remainders(self):
+        slot = make_slot(0, 0.0, 100.0, performance=4.0)  # task(20) -> 5 units
+        pool = SlotPool.from_slots([slot])
+        pool.cut_window(window_for(slot), mode="split")
+        remaining = pool.ordered()
+        assert len(remaining) == 1
+        assert (remaining[0].start, remaining[0].end) == (5.0, 100.0)
+
+    def test_split_mode_mid_slot_produces_two_remainders(self):
+        slot = make_slot(0, 0.0, 100.0, performance=4.0)
+        pool = SlotPool.from_slots([slot])
+        pool.cut_window(window_for(slot, start=40.0), mode="split")
+        spans = [(s.start, s.end) for s in pool.ordered()]
+        assert spans == [(0.0, 40.0), (45.0, 100.0)]
+
+    def test_consume_mode_drops_whole_slot(self):
+        slot = make_slot(0, 0.0, 100.0)
+        pool = SlotPool.from_slots([slot])
+        pool.cut_window(window_for(slot), mode="consume")
+        assert len(pool) == 0
+
+    def test_unknown_mode_rejected(self):
+        slot = make_slot(0, 0.0, 100.0)
+        pool = SlotPool.from_slots([slot])
+        with pytest.raises(ValueError):
+            pool.cut_window(window_for(slot), mode="shred")
+
+    def test_cut_missing_slot_raises(self):
+        slot = make_slot(0, 0.0, 100.0)
+        pool = SlotPool.from_slots([make_slot(1, 0.0, 100.0)])
+        with pytest.raises(AllocationError):
+            pool.cut_window(window_for(slot))
+
+    def test_cut_window_not_fitting_raises(self):
+        slot = make_slot(0, 0.0, 10.0, performance=4.0)  # task needs 5 units
+        pool = SlotPool.from_slots([slot])
+        bad = window_for(slot, start=7.0)  # [7, 12) overflows the slot
+        with pytest.raises(AllocationError):
+            pool.cut_window(bad)
+
+    def test_split_respects_min_usable_length(self):
+        slot = make_slot(0, 0.0, 7.0, performance=4.0)  # task 5 units from 0
+        pool = SlotPool.from_slots([slot], min_usable_length=5.0)
+        pool.cut_window(window_for(slot), mode="split")
+        # The [5, 7) remainder is below the 5-unit threshold and is dropped.
+        assert len(pool) == 0
+
+    def test_total_free_time_accounting_split(self):
+        slot = make_slot(0, 0.0, 100.0, performance=4.0)
+        pool = SlotPool.from_slots([slot])
+        before = pool.total_free_time()
+        pool.cut_window(window_for(slot), mode="split")
+        assert pool.total_free_time() == pytest.approx(before - 5.0)
+
+
+class TestCopyAndInvariants:
+    def test_copy_is_independent(self):
+        slot = make_slot(0, 0.0, 100.0)
+        pool = SlotPool.from_slots([slot])
+        twin = pool.copy()
+        twin.remove(slot)
+        assert len(pool) == 1
+        assert len(twin) == 0
+
+    def test_by_node_groups(self):
+        slots = [make_slot(0, 0.0, 10.0), make_slot(0, 20.0, 30.0), make_slot(1, 0.0, 5.0)]
+        pool = SlotPool.from_slots(slots)
+        groups = pool.by_node()
+        assert sorted(groups) == [0, 1]
+        assert len(groups[0]) == 2
+
+    def test_node_count(self):
+        slots = [make_slot(0, 0.0, 10.0), make_slot(0, 20.0, 30.0), make_slot(1, 0.0, 5.0)]
+        assert SlotPool.from_slots(slots).node_count() == 2
+
+    def test_assert_disjoint_per_node_passes(self):
+        pool = SlotPool.from_slots(
+            [make_slot(0, 0.0, 10.0), make_slot(0, 10.0, 30.0)]
+        )
+        pool.assert_disjoint_per_node()
+
+    def test_assert_disjoint_per_node_detects_overlap(self):
+        pool = SlotPool.from_slots(
+            [make_slot(0, 0.0, 10.0), make_slot(0, 5.0, 30.0)]
+        )
+        with pytest.raises(AllocationError):
+            pool.assert_disjoint_per_node()
+
+
+class TestMinUsableLength:
+    def test_from_slots_filters_by_threshold(self):
+        slots = [make_slot(0, 0.0, 3.0), make_slot(1, 0.0, 30.0)]
+        pool = SlotPool.from_slots(slots, min_usable_length=5.0)
+        assert len(pool) == 1
+        assert pool.ordered()[0].node.node_id == 1
+
+    def test_copy_preserves_threshold(self):
+        pool = SlotPool(min_usable_length=5.0)
+        twin = pool.copy()
+        twin.add(make_slot(0, 0.0, 3.0))
+        assert len(twin) == 0

@@ -1,0 +1,153 @@
+"""Unit tests for the phase-two combination selectors."""
+
+import pytest
+
+from repro.core import Criterion
+from repro.model import Job, ResourceRequest, SchedulingError, Window, WindowSlot
+from repro.scheduling import greedy_combination, optimal_combination
+from tests.conftest import make_slot
+
+
+def window(node_ids, start=0.0, price=2.0, performance=4.0):
+    request = ResourceRequest(node_count=len(node_ids), reservation_time=20.0)
+    legs = tuple(
+        WindowSlot.for_request(
+            make_slot(node_id, start, start + 100.0, performance, price), request
+        )
+        for node_id in node_ids
+    )
+    return Window(start=start, slots=legs)
+
+
+def job(job_id, priority=0, n=1):
+    return Job(job_id, ResourceRequest(node_count=n, reservation_time=20.0), priority)
+
+
+class TestGreedy:
+    def test_assigns_best_alternative_per_job(self):
+        jobs = [job("a"), job("b")]
+        alternatives = {
+            "a": [window([0], price=5.0), window([1], price=1.0)],
+            "b": [window([2], price=3.0)],
+        }
+        choice = greedy_combination(jobs, alternatives, Criterion.COST)
+        assert choice.assignments["a"].nodes() == [1]
+        assert choice.assignments["b"].nodes() == [2]
+        assert choice.unscheduled == ()
+
+    def test_avoids_conflicts_in_priority_order(self):
+        # Both jobs prefer node 0 at t=0; the high-priority job gets it.
+        jobs = [job("low", priority=1), job("high", priority=9)]
+        shared = window([0], price=1.0)
+        alternatives = {
+            "high": [shared],
+            "low": [window([0], price=1.0), window([1], price=4.0)],
+        }
+        choice = greedy_combination(jobs, alternatives, Criterion.COST)
+        assert choice.assignments["high"].nodes() == [0]
+        assert choice.assignments["low"].nodes() == [1]
+
+    def test_unschedulable_job_reported(self):
+        jobs = [job("high", priority=9), job("low", priority=1)]
+        only = window([0])
+        alternatives = {"high": [only], "low": [window([0])]}
+        choice = greedy_combination(jobs, alternatives, Criterion.COST)
+        assert choice.unscheduled == ("low",)
+        assert choice.scheduled_count == 1
+
+    def test_job_without_alternatives_unscheduled(self):
+        jobs = [job("a")]
+        choice = greedy_combination(jobs, {"a": []}, Criterion.COST)
+        assert choice.unscheduled == ("a",)
+
+    def test_vo_budget_enforced(self):
+        jobs = [job("a", priority=2), job("b", priority=1)]
+        alternatives = {
+            "a": [window([0], price=5.0)],   # cost 25
+            "b": [window([1], price=5.0)],   # cost 25
+        }
+        choice = greedy_combination(jobs, alternatives, Criterion.COST, vo_budget=30.0)
+        assert choice.scheduled_count == 1
+        assert choice.assignments["a"].total_cost == pytest.approx(25.0)
+
+    def test_total_value_accumulates_criterion(self):
+        jobs = [job("a"), job("b")]
+        alternatives = {"a": [window([0], price=1.0)], "b": [window([1], price=2.0)]}
+        choice = greedy_combination(jobs, alternatives, Criterion.COST)
+        assert choice.total_value == pytest.approx(5.0 + 10.0)
+
+    def test_makespan_and_total_cost(self):
+        jobs = [job("a"), job("b")]
+        alternatives = {
+            "a": [window([0], start=0.0)],
+            "b": [window([1], start=50.0)],
+        }
+        choice = greedy_combination(jobs, alternatives, Criterion.COST)
+        assert choice.makespan() == pytest.approx(55.0)
+        assert choice.total_cost() == pytest.approx(20.0)
+
+    def test_empty_batch(self):
+        choice = greedy_combination([], {}, Criterion.COST)
+        assert choice.scheduled_count == 0
+        assert choice.makespan() == 0.0
+
+
+class TestOptimal:
+    def test_matches_greedy_on_conflict_free_input(self):
+        jobs = [job("a"), job("b")]
+        alternatives = {
+            "a": [window([0], price=5.0), window([1], price=1.0)],
+            "b": [window([2], price=3.0)],
+        }
+        greedy = greedy_combination(jobs, alternatives, Criterion.COST)
+        optimal = optimal_combination(jobs, alternatives, Criterion.COST)
+        assert optimal.total_value == pytest.approx(greedy.total_value)
+
+    def test_beats_greedy_when_priority_order_hurts(self):
+        # High-priority job can use node 0 or node 1; low-priority job can
+        # only use node 0.  Greedy gives node 0 (cheaper for "high") to the
+        # high-priority job, starving "low"; optimal schedules both.
+        jobs = [job("high", priority=9), job("low", priority=1)]
+        alternatives = {
+            "high": [window([0], price=1.0), window([1], price=4.0)],
+            "low": [window([0], price=1.0)],
+        }
+        greedy = greedy_combination(jobs, alternatives, Criterion.COST)
+        optimal = optimal_combination(jobs, alternatives, Criterion.COST)
+        assert greedy.scheduled_count == 1
+        assert optimal.scheduled_count == 2
+
+    def test_prefers_more_scheduled_jobs_over_cheaper_value(self):
+        jobs = [job("a"), job("b")]
+        alternatives = {
+            "a": [window([0], price=1.0), window([1], price=50.0)],
+            "b": [window([0], price=1.0)],
+        }
+        optimal = optimal_combination(jobs, alternatives, Criterion.COST)
+        assert optimal.scheduled_count == 2
+
+    def test_vo_budget_enforced(self):
+        jobs = [job("a"), job("b")]
+        alternatives = {
+            "a": [window([0], price=5.0)],
+            "b": [window([1], price=5.0)],
+        }
+        optimal = optimal_combination(
+            jobs, alternatives, Criterion.COST, vo_budget=30.0
+        )
+        assert optimal.scheduled_count == 1
+
+    def test_node_budget_guard(self):
+        jobs = [job(f"j{i}") for i in range(8)]
+        alternatives = {
+            f"j{i}": [window([i], price=1.0), window([i + 20], price=2.0)]
+            for i in range(8)
+        }
+        with pytest.raises(SchedulingError):
+            optimal_combination(
+                jobs, alternatives, Criterion.COST, max_nodes_expanded=10
+            )
+
+    def test_empty_batch(self):
+        optimal = optimal_combination([], {}, Criterion.COST)
+        assert optimal.scheduled_count == 0

@@ -1,0 +1,130 @@
+"""Unit tests for the multi-cycle job-flow simulation."""
+
+import pytest
+
+from repro.core import CSA, Criterion
+from repro.environment import EnvironmentConfig
+from repro.model import ConfigurationError
+from repro.scheduling import (
+    BatchScheduler,
+    FlowConfig,
+    JobFlowSimulation,
+    UpdateModel,
+)
+from repro.simulation import JobGenerator, JobGeneratorConfig
+
+
+def small_flow(cycles=4, arrivals=3, nodes=50, seed=5, **kwargs) -> FlowConfig:
+    return FlowConfig(
+        cycles=cycles,
+        arrivals_per_cycle=arrivals,
+        environment=EnvironmentConfig(node_count=nodes),
+        seed=seed,
+        **kwargs,
+    )
+
+
+class TestConfigValidation:
+    def test_rejects_bad_cycles(self):
+        with pytest.raises(ConfigurationError):
+            FlowConfig(cycles=0)
+
+    def test_rejects_negative_arrivals(self):
+        with pytest.raises(ConfigurationError):
+            FlowConfig(arrivals_per_cycle=-1)
+
+    def test_rejects_negative_deferrals(self):
+        with pytest.raises(ConfigurationError):
+            FlowConfig(max_deferrals=-1)
+
+
+class TestFlowRun:
+    def test_runs_configured_cycles(self):
+        result = JobFlowSimulation(small_flow()).run()
+        assert len(result.cycles) == 4
+        assert all(stats.cycle == index for index, stats in enumerate(result.cycles))
+
+    def test_accounting_balances(self):
+        result = JobFlowSimulation(small_flow(cycles=6)).run()
+        submitted_new = 6 * 3
+        backlog = result.cycles[-1].deferred
+        assert result.scheduled_total + result.dropped_total + backlog == submitted_new
+
+    def test_throughput_and_drop_rate(self):
+        result = JobFlowSimulation(small_flow()).run()
+        assert result.throughput == pytest.approx(result.scheduled_total / 4)
+        assert 0.0 <= result.drop_rate <= 1.0
+
+    def test_free_time_monotonically_decreases_without_updates(self):
+        result = JobFlowSimulation(small_flow(cycles=5)).run()
+        free = [stats.free_time_after for stats in result.cycles]
+        assert all(a >= b - 1e-6 for a, b in zip(free, free[1:]))
+
+    def test_reproducible_with_seed(self):
+        a = JobFlowSimulation(small_flow(seed=11)).run()
+        b = JobFlowSimulation(small_flow(seed=11)).run()
+        assert a.scheduled_total == b.scheduled_total
+        assert a.cost.mean == pytest.approx(b.cost.mean)
+
+    def test_tiny_environment_defers_and_drops(self):
+        config = small_flow(cycles=6, arrivals=5, nodes=4, max_deferrals=1)
+        generator = JobGenerator(
+            JobGeneratorConfig(
+                node_count_range=(3, 4),
+                reservation_time_choices=(200.0,),
+                budget_slack_range=(2.0, 2.5),
+            ),
+            seed=3,
+        )
+        simulation = JobFlowSimulation(config, job_generator=generator)
+        result = simulation.run()
+        assert result.dropped_total > 0
+
+    def test_waiting_cycles_recorded(self):
+        result = JobFlowSimulation(small_flow(cycles=5)).run()
+        assert result.waiting_cycles.count == result.scheduled_total
+        assert result.waiting_cycles.mean >= 0.0
+
+    def test_updates_model_releases_and_consumes(self):
+        config = small_flow(updates=UpdateModel(local_job_rate=1.0))
+        result = JobFlowSimulation(config).run()
+        assert len(result.cycles) == 4
+
+    def test_custom_scheduler_policy(self):
+        scheduler = BatchScheduler(
+            search=CSA(max_alternatives=5), criterion=Criterion.COST
+        )
+        result = JobFlowSimulation(small_flow(), scheduler=scheduler).run()
+        assert result.scheduled_total > 0
+
+
+class TestAgeing:
+    def test_deferred_jobs_gain_priority(self):
+        config = small_flow(cycles=2, arrivals=2, nodes=6, max_deferrals=5)
+        generator = JobGenerator(
+            JobGeneratorConfig(
+                node_count_range=(4, 5),
+                reservation_time_choices=(250.0,),
+                budget_slack_range=(2.0, 2.2),
+                priority_range=(0, 0),
+            ),
+            seed=8,
+        )
+        simulation = JobFlowSimulation(config, job_generator=generator)
+        result = simulation.run()
+        if simulation._backlog:
+            # Jobs still waiting have accumulated at least one deferral.
+            assert all(count >= 1 for _, count in simulation._backlog)
+        assert len(result.cycles) == 2
+
+
+class TestFlowFairness:
+    def test_fairness_tracked_per_owner(self):
+        result = JobFlowSimulation(small_flow(cycles=4)).run()
+        assert result.fairness.owners  # at least one owner served
+        total_submitted = sum(r.submitted for r in result.fairness.owners.values())
+        total_scheduled = sum(r.scheduled for r in result.fairness.owners.values())
+        assert total_scheduled == result.scheduled_total
+        # Attempt-weighted: deferred jobs re-count each cycle they wait.
+        assert total_submitted >= 4 * 3
+        assert 0.0 < result.fairness.service_fairness <= 1.0

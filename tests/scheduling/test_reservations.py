@@ -1,0 +1,137 @@
+"""Unit tests for the advance-reservation ledger and timeline release."""
+
+import pytest
+
+from repro.core import AMP, MinCost
+from repro.environment import EnvironmentConfig, EnvironmentGenerator
+from repro.model import Job, ModelError, ResourceRequest, SchedulingError, Timeline
+from repro.scheduling import ReservationLedger
+from tests.conftest import make_node
+
+
+@pytest.fixture
+def environment():
+    return EnvironmentGenerator(EnvironmentConfig(node_count=25, seed=41)).generate()
+
+
+@pytest.fixture
+def job():
+    return Job("res-job", ResourceRequest(node_count=3, reservation_time=80.0, budget=900.0))
+
+
+class TestTimelineRemoveBusy:
+    def test_release_middle_of_busy_interval(self):
+        timeline = Timeline(make_node(0), 0.0, 100.0)
+        timeline.add_busy(10.0, 60.0)
+        timeline.remove_busy(20.0, 40.0)
+        assert timeline.busy_intervals == [(10.0, 20.0), (40.0, 60.0)]
+
+    def test_release_whole_interval(self):
+        timeline = Timeline(make_node(0), 0.0, 100.0)
+        timeline.add_busy(10.0, 60.0)
+        timeline.remove_busy(10.0, 60.0)
+        assert timeline.busy_intervals == []
+
+    def test_release_edges(self):
+        timeline = Timeline(make_node(0), 0.0, 100.0)
+        timeline.add_busy(10.0, 60.0)
+        timeline.remove_busy(10.0, 30.0)
+        assert timeline.busy_intervals == [(30.0, 60.0)]
+        timeline.remove_busy(50.0, 60.0)
+        assert timeline.busy_intervals == [(30.0, 50.0)]
+
+    def test_release_free_span_rejected(self):
+        timeline = Timeline(make_node(0), 0.0, 100.0)
+        timeline.add_busy(10.0, 20.0)
+        with pytest.raises(ModelError):
+            timeline.remove_busy(30.0, 40.0)
+
+    def test_release_partially_busy_rejected(self):
+        timeline = Timeline(make_node(0), 0.0, 100.0)
+        timeline.add_busy(10.0, 20.0)
+        with pytest.raises(ModelError):
+            timeline.remove_busy(15.0, 30.0)
+
+    def test_round_trip_restores_free_time(self):
+        timeline = Timeline(make_node(0), 0.0, 100.0)
+        timeline.add_busy(10.0, 60.0)
+        before = timeline.busy_time()
+        timeline.remove_busy(20.0, 30.0)
+        timeline.add_busy(20.0, 30.0)
+        assert timeline.busy_time() == pytest.approx(before)
+
+
+class TestLedger:
+    def test_book_commits_and_records(self, environment, job):
+        window = AMP().select(job, environment.slot_pool())
+        ledger = ReservationLedger(environment)
+        reservation = ledger.book(job.job_id, window)
+        assert ledger.get(reservation.reservation_id) is reservation
+        assert ledger.for_job(job.job_id) == [reservation]
+        for node_id, start, end in reservation.spans:
+            assert not environment.timelines[node_id].is_free(start, end)
+
+    def test_cancel_releases_spans(self, environment, job):
+        window = AMP().select(job, environment.slot_pool())
+        ledger = ReservationLedger(environment)
+        free_before = environment.slot_pool().total_free_time()
+        reservation = ledger.book(job.job_id, window)
+        ledger.cancel(reservation.reservation_id)
+        assert environment.slot_pool().total_free_time() == pytest.approx(free_before)
+        assert ledger.active() == []
+
+    def test_double_book_same_window_fails_atomically(self, environment, job):
+        window = AMP().select(job, environment.slot_pool())
+        ledger = ReservationLedger(environment)
+        ledger.book(job.job_id, window)
+        with pytest.raises(SchedulingError):
+            ledger.book("other", window)
+        assert len(ledger.active()) == 1
+
+    def test_cancel_unknown_rejected(self, environment):
+        with pytest.raises(SchedulingError):
+            ReservationLedger(environment).cancel("rsv-404")
+
+    def test_rebook_swaps_windows(self, environment, job):
+        pool = environment.slot_pool()
+        first = AMP().select(job, pool)
+        ledger = ReservationLedger(environment)
+        reservation = ledger.book(job.job_id, first)
+        # Find a cheaper window on the remaining capacity...
+        better = MinCost().select(job, environment.slot_pool())
+        new_reservation = ledger.rebook(reservation.reservation_id, better)
+        assert len(ledger.active()) == 1
+        assert new_reservation.window is better
+
+    def test_rebook_can_reuse_released_spans(self, environment, job):
+        window = AMP().select(job, environment.slot_pool())
+        ledger = ReservationLedger(environment)
+        reservation = ledger.book(job.job_id, window)
+        # Rebooking the *same* window must succeed: its spans are released
+        # before the new booking is attempted.
+        new_reservation = ledger.rebook(reservation.reservation_id, window)
+        assert new_reservation.window is window
+
+    def test_failed_rebook_restores_old_booking(self, environment, job):
+        pool = environment.slot_pool()
+        window = AMP().select(job, pool)
+        ledger = ReservationLedger(environment)
+        reservation = ledger.book(job.job_id, window)
+        # Conflicting booking occupying some other span.
+        other_job = Job(
+            "other", ResourceRequest(node_count=2, reservation_time=60.0, budget=800.0)
+        )
+        other_window = AMP().select(other_job, environment.slot_pool())
+        ledger.book(other_job.job_id, other_window)
+        with pytest.raises(SchedulingError):
+            ledger.rebook(reservation.reservation_id, other_window)
+        # The original spans are booked again.
+        restored = ledger.for_job(job.job_id)
+        assert len(restored) == 1
+        assert restored[0].window is window
+
+    def test_booked_time(self, environment, job):
+        window = AMP().select(job, environment.slot_pool())
+        ledger = ReservationLedger(environment)
+        ledger.book(job.job_id, window)
+        assert ledger.booked_time() == pytest.approx(window.processor_time)

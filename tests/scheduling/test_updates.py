@@ -1,0 +1,125 @@
+"""Unit tests for between-cycle environment updates."""
+
+import numpy as np
+import pytest
+
+from repro.environment import EnvironmentConfig, EnvironmentGenerator
+from repro.model import ConfigurationError
+from repro.scheduling import UpdateModel, apply_updates
+
+
+@pytest.fixture
+def environment():
+    return EnvironmentGenerator(EnvironmentConfig(node_count=20, seed=31)).generate()
+
+
+class TestModelValidation:
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ConfigurationError):
+            UpdateModel(local_job_rate=-1.0)
+        with pytest.raises(ConfigurationError):
+            UpdateModel(node_join_rate=-1.0)
+        with pytest.raises(ConfigurationError):
+            UpdateModel(node_leave_rate=-0.5)
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ConfigurationError):
+            UpdateModel(local_job_length_range=(0.0, 10.0))
+        with pytest.raises(ConfigurationError):
+            UpdateModel(local_job_length_range=(20.0, 10.0))
+
+    def test_rejects_bad_attempts(self):
+        with pytest.raises(ConfigurationError):
+            UpdateModel(placement_attempts=0)
+
+
+class TestLocalJobArrivals:
+    def test_consumes_free_time(self, environment):
+        before = environment.slot_pool().total_free_time()
+        stats = apply_updates(
+            environment,
+            UpdateModel(local_job_rate=2.0),
+            np.random.default_rng(1),
+        )
+        after = environment.slot_pool().total_free_time()
+        assert stats.local_jobs_added > 0
+        assert after == pytest.approx(before - stats.time_consumed, rel=1e-6)
+
+    def test_zero_rate_changes_nothing(self, environment):
+        before = environment.slot_pool().total_free_time()
+        stats = apply_updates(
+            environment, UpdateModel(local_job_rate=0.0), np.random.default_rng(1)
+        )
+        assert stats.local_jobs_added == 0
+        assert environment.slot_pool().total_free_time() == pytest.approx(before)
+
+    def test_timelines_stay_consistent(self, environment):
+        apply_updates(
+            environment, UpdateModel(local_job_rate=3.0), np.random.default_rng(2)
+        )
+        environment.slot_pool().assert_disjoint_per_node()
+        for timeline in environment.timelines.values():
+            for start, end in timeline.busy_intervals:
+                assert timeline.interval_start - 1e-9 <= start < end
+                assert end <= timeline.interval_end + 1e-9
+
+    def test_saturated_node_survives(self):
+        environment = EnvironmentGenerator(
+            EnvironmentConfig(node_count=3, seed=5)
+        ).generate()
+        # Fill every node completely, then ask for more local jobs.
+        for timeline in environment.timelines.values():
+            for start, end in timeline.free_intervals(1e-9):
+                timeline.add_busy(start, end)
+        stats = apply_updates(
+            environment, UpdateModel(local_job_rate=5.0), np.random.default_rng(3)
+        )
+        assert stats.local_jobs_added == 0
+
+
+class TestNodeChurn:
+    def test_leaving_node_loses_free_time(self, environment):
+        stats = apply_updates(
+            environment,
+            UpdateModel(local_job_rate=0.0, node_leave_rate=3.0),
+            np.random.default_rng(4),
+        )
+        for node_id in stats.nodes_left:
+            assert environment.timelines[node_id].free_intervals(1e-9) == []
+
+    def test_joining_nodes_arrive_empty(self, environment):
+        count_before = len(environment.nodes)
+        stats = apply_updates(
+            environment,
+            UpdateModel(local_job_rate=0.0, node_join_rate=3.0),
+            np.random.default_rng(5),
+        )
+        assert len(environment.nodes) == count_before + len(stats.nodes_joined)
+        for node_id in stats.nodes_joined:
+            timeline = environment.timelines[node_id]
+            assert timeline.busy_intervals == []
+
+    def test_never_removes_every_node(self):
+        environment = EnvironmentGenerator(
+            EnvironmentConfig(node_count=2, seed=6)
+        ).generate()
+        apply_updates(
+            environment,
+            UpdateModel(local_job_rate=0.0, node_leave_rate=50.0),
+            np.random.default_rng(6),
+        )
+        live = [
+            node
+            for node in environment.nodes
+            if environment.timelines[node.node_id].free_intervals(1e-9)
+        ]
+        assert len(live) >= 1
+
+    def test_joined_node_ids_are_fresh(self, environment):
+        existing = {node.node_id for node in environment.nodes}
+        stats = apply_updates(
+            environment,
+            UpdateModel(local_job_rate=0.0, node_join_rate=2.0),
+            np.random.default_rng(7),
+        )
+        assert not (set(stats.nodes_joined) & existing)

@@ -1,0 +1,58 @@
+"""Unit tests for the experiment configuration."""
+
+import pytest
+
+from repro.model import ConfigurationError
+from repro.simulation import (
+    PAPER_BUDGET,
+    PAPER_NODE_COUNT,
+    PAPER_RESERVATION_TIME,
+    PAPER_TASK_COUNT,
+    ExperimentConfig,
+    paper_base_config,
+)
+
+
+class TestValidation:
+    def test_rejects_zero_cycles(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(cycles=0)
+
+    def test_rejects_zero_requested_nodes(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(node_count_requested=0)
+
+    def test_rejects_nonpositive_reservation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(reservation_time=0.0)
+
+
+class TestPaperBaseConfig:
+    def test_section31_values(self):
+        config = paper_base_config()
+        assert config.environment.node_count == PAPER_NODE_COUNT == 100
+        assert config.environment.interval_length == pytest.approx(600.0)
+        assert config.node_count_requested == PAPER_TASK_COUNT == 5
+        assert config.reservation_time == PAPER_RESERVATION_TIME == 150.0
+        assert config.budget == PAPER_BUDGET == 1500.0
+
+    def test_base_request_and_job(self):
+        config = paper_base_config()
+        request = config.base_request()
+        assert request.node_count == 5
+        assert request.effective_budget == pytest.approx(1500.0)
+        job = config.base_job()
+        assert job.request == request
+
+    def test_with_cycles(self):
+        assert paper_base_config().with_cycles(17).cycles == 17
+
+    def test_with_node_count_sweeps_environment(self):
+        config = paper_base_config().with_node_count(400)
+        assert config.environment.node_count == 400
+        assert config.node_count_requested == 5  # job unchanged
+
+    def test_with_interval_length_sweeps_environment(self):
+        config = paper_base_config().with_interval_length(3600.0)
+        assert config.environment.interval_length == pytest.approx(3600.0)
+        assert config.environment.node_count == 100  # nodes unchanged

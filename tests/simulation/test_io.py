@@ -1,0 +1,109 @@
+"""Unit tests for JSON serialization round trips."""
+
+import pytest
+
+from repro.core import AMP, MinCost
+from repro.environment import EnvironmentConfig, EnvironmentGenerator
+from repro.io import (
+    comparison_to_dict,
+    environment_from_dict,
+    environment_to_dict,
+    load_environment,
+    node_from_dict,
+    node_to_dict,
+    save_environment,
+    window_from_dict,
+    window_to_dict,
+)
+from repro.model import Job, ModelError, ResourceRequest
+from tests.conftest import make_node
+
+
+@pytest.fixture(scope="module")
+def environment():
+    return EnvironmentGenerator(EnvironmentConfig(node_count=12, seed=8)).generate()
+
+
+class TestNodeRoundTrip:
+    def test_round_trip(self):
+        node = make_node(3, performance=7.0, price=4.5, ram=8192, os="bsd")
+        assert node_from_dict(node_to_dict(node)) == node
+
+
+class TestEnvironmentRoundTrip:
+    def test_nodes_preserved(self, environment):
+        clone = environment_from_dict(environment_to_dict(environment))
+        assert clone.nodes == environment.nodes
+
+    def test_busy_intervals_preserved(self, environment):
+        clone = environment_from_dict(environment_to_dict(environment))
+        for node_id, timeline in environment.timelines.items():
+            assert clone.timelines[node_id].busy_intervals == timeline.busy_intervals
+
+    def test_slots_identical(self, environment):
+        clone = environment_from_dict(environment_to_dict(environment))
+        assert clone.slots() == environment.slots()
+
+    def test_algorithms_agree_on_clone(self, environment):
+        clone = environment_from_dict(environment_to_dict(environment))
+        job = Job("j", ResourceRequest(node_count=2, reservation_time=80.0, budget=800.0))
+        original = MinCost().select(job, environment.slot_pool())
+        cloned = MinCost().select(job, clone.slot_pool())
+        assert original.total_cost == pytest.approx(cloned.total_cost)
+        assert original.nodes() == cloned.nodes()
+
+    def test_config_preserved(self, environment):
+        clone = environment_from_dict(environment_to_dict(environment))
+        assert clone.config.pricing == environment.config.pricing
+        assert clone.config.load == environment.config.load
+
+    def test_bad_version_rejected(self, environment):
+        payload = environment_to_dict(environment)
+        payload["format_version"] = 999
+        with pytest.raises(ModelError):
+            environment_from_dict(payload)
+
+    def test_file_round_trip(self, environment, tmp_path):
+        path = str(tmp_path / "env.json")
+        save_environment(environment, path)
+        clone = load_environment(path)
+        assert clone.slots() == environment.slots()
+
+
+class TestWindowRoundTrip:
+    def test_round_trip(self, environment):
+        job = Job("j", ResourceRequest(node_count=3, reservation_time=60.0, budget=900.0))
+        window = AMP().select(job, environment.slot_pool())
+        clone = window_from_dict(window_to_dict(window))
+        assert clone.start == window.start
+        assert clone.total_cost == pytest.approx(window.total_cost)
+        assert clone.nodes() == window.nodes()
+        assert clone.runtime == pytest.approx(window.runtime)
+
+    def test_clone_still_validates(self, environment):
+        request = ResourceRequest(node_count=3, reservation_time=60.0, budget=900.0)
+        window = AMP().select(Job("j", request), environment.slot_pool())
+        window_from_dict(window_to_dict(window)).validate(request)
+
+
+class TestComparisonExport:
+    def test_contains_every_algorithm_and_criterion(self):
+        from repro.core import Criterion
+        from repro.environment import EnvironmentConfig
+        from repro.simulation import ExperimentConfig, run_comparison
+
+        config = ExperimentConfig(
+            environment=EnvironmentConfig(node_count=25),
+            node_count_requested=2,
+            reservation_time=80.0,
+            budget=700.0,
+            cycles=2,
+            seed=4,
+        )
+        result = run_comparison(config)
+        payload = comparison_to_dict(result)
+        assert payload["cycles"] == 2
+        for name in result.algorithms:
+            for criterion in Criterion:
+                assert criterion.value in payload["algorithms"][name]
+        assert set(payload["csa_diagonal"]) == {c.value for c in Criterion}

@@ -1,0 +1,109 @@
+"""Unit tests for the random job-batch generator."""
+
+import numpy as np
+import pytest
+
+from repro.model import ConfigurationError
+from repro.simulation import JobGenerator, JobGeneratorConfig
+
+
+class TestConfigValidation:
+    def test_rejects_bad_node_count_range(self):
+        with pytest.raises(ConfigurationError):
+            JobGeneratorConfig(node_count_range=(0, 3))
+        with pytest.raises(ConfigurationError):
+            JobGeneratorConfig(node_count_range=(4, 2))
+
+    def test_rejects_bad_reservation_choices(self):
+        with pytest.raises(ConfigurationError):
+            JobGeneratorConfig(reservation_time_choices=())
+        with pytest.raises(ConfigurationError):
+            JobGeneratorConfig(reservation_time_choices=(0.0,))
+
+    def test_rejects_bad_slack(self):
+        with pytest.raises(ConfigurationError):
+            JobGeneratorConfig(budget_slack_range=(0.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            JobGeneratorConfig(budget_slack_range=(2.0, 1.0))
+
+    def test_rejects_bad_deadline_probability(self):
+        with pytest.raises(ConfigurationError):
+            JobGeneratorConfig(deadline_probability=1.5)
+
+    def test_rejects_bad_priorities_and_owners(self):
+        with pytest.raises(ConfigurationError):
+            JobGeneratorConfig(priority_range=(5, 2))
+        with pytest.raises(ConfigurationError):
+            JobGeneratorConfig(owners=())
+
+
+class TestGeneration:
+    def test_jobs_respect_distributions(self):
+        config = JobGeneratorConfig(
+            node_count_range=(2, 4),
+            reservation_time_choices=(50.0, 100.0),
+            budget_slack_range=(1.5, 2.0),
+            priority_range=(1, 3),
+        )
+        generator = JobGenerator(config, seed=1)
+        for _ in range(100):
+            job = generator.generate_job()
+            assert 2 <= job.request.node_count <= 4
+            assert job.request.reservation_time in (50.0, 100.0)
+            nominal = job.request.node_count * job.request.reservation_time
+            assert 1.5 * nominal <= job.request.budget <= 2.0 * nominal
+            assert 1 <= job.priority <= 3
+            assert job.owner in JobGeneratorConfig().owners
+
+    def test_unique_ids(self):
+        generator = JobGenerator(seed=2)
+        batch = generator.generate_batch(20)
+        assert len({job.job_id for job in batch.jobs}) == 20
+
+    def test_prefix(self):
+        generator = JobGenerator(seed=3)
+        batch = generator.generate_batch(3, prefix="cycle1-")
+        assert all(job.job_id.startswith("cycle1-") for job in batch.jobs)
+
+    def test_deadlines_generated_when_enabled(self):
+        config = JobGeneratorConfig(deadline_probability=1.0)
+        generator = JobGenerator(config, seed=4)
+        job = generator.generate_job()
+        assert job.request.deadline is not None
+        assert job.request.deadline >= job.request.reservation_time
+
+    def test_no_deadlines_by_default(self):
+        generator = JobGenerator(seed=5)
+        assert all(
+            generator.generate_job().request.deadline is None for _ in range(20)
+        )
+
+    def test_seed_reproducibility(self):
+        a = JobGenerator(seed=9).generate_batch(5)
+        b = JobGenerator(seed=9).generate_batch(5)
+        for job_a, job_b in zip(a.jobs, b.jobs):
+            assert job_a.request == job_b.request
+            assert job_a.priority == job_b.priority
+
+    def test_external_rng(self):
+        rng = np.random.default_rng(11)
+        generator = JobGenerator(rng=rng)
+        assert generator.generate_job().request.node_count >= 2
+
+    def test_negative_batch_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JobGenerator(seed=1).generate_batch(-1)
+
+    def test_generated_batch_schedules_on_real_environment(self):
+        from repro.core import CSA
+        from repro.environment import EnvironmentConfig, EnvironmentGenerator
+        from repro.scheduling import BatchScheduler
+
+        environment = EnvironmentGenerator(
+            EnvironmentConfig(node_count=50, seed=13)
+        ).generate()
+        batch = JobGenerator(seed=13).generate_batch(4)
+        report = BatchScheduler(search=CSA(max_alternatives=6)).run_cycle(
+            batch, environment
+        )
+        assert report.choice.scheduled_count >= 3

@@ -1,0 +1,127 @@
+"""Unit tests for the metric accumulators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Criterion
+from repro.model import ResourceRequest, Window, WindowSlot
+from repro.simulation import CsaStats, RunningStat, WindowStats
+from tests.conftest import make_slot
+
+
+def window(start=0.0, performance=4.0, price=2.0, node_id=0):
+    request = ResourceRequest(node_count=1, reservation_time=20.0)
+    slot = make_slot(node_id, start, start + 100.0, performance, price)
+    return Window(start=start, slots=(WindowSlot.for_request(slot, request),))
+
+
+class TestRunningStat:
+    def test_empty(self):
+        stat = RunningStat()
+        assert stat.count == 0
+        assert stat.mean == 0.0
+        assert stat.variance == 0.0
+        assert math.isinf(stat.sem)
+
+    def test_single_value(self):
+        stat = RunningStat()
+        stat.add(5.0)
+        assert stat.mean == 5.0
+        assert stat.variance == 0.0
+        assert stat.minimum == 5.0
+        assert stat.maximum == 5.0
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(10.0, 3.0, size=500)
+        stat = RunningStat()
+        for value in values:
+            stat.add(float(value))
+        assert stat.mean == pytest.approx(float(np.mean(values)))
+        assert stat.variance == pytest.approx(float(np.var(values, ddof=1)))
+        assert stat.std == pytest.approx(float(np.std(values, ddof=1)))
+        assert stat.minimum == pytest.approx(float(values.min()))
+        assert stat.maximum == pytest.approx(float(values.max()))
+
+    def test_sem_and_confidence_interval(self):
+        stat = RunningStat()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            stat.add(value)
+        expected_sem = stat.std / 2.0
+        assert stat.sem == pytest.approx(expected_sem)
+        low, high = stat.confidence_interval()
+        assert low == pytest.approx(stat.mean - 1.96 * expected_sem)
+        assert high == pytest.approx(stat.mean + 1.96 * expected_sem)
+
+
+class TestWindowStats:
+    def test_observe_none_counts_attempt_only(self):
+        stats = WindowStats()
+        stats.observe(None)
+        assert stats.attempts == 1
+        assert stats.found == 0
+        assert stats.find_rate == 0.0
+
+    def test_observe_window_records_all_criteria(self):
+        stats = WindowStats()
+        w = window(start=10.0)
+        stats.observe(w)
+        assert stats.find_rate == 1.0
+        assert stats.mean(Criterion.START_TIME) == pytest.approx(10.0)
+        assert stats.mean(Criterion.RUNTIME) == pytest.approx(5.0)
+        assert stats.mean(Criterion.COST) == pytest.approx(10.0)
+
+    def test_mixed_observations(self):
+        stats = WindowStats()
+        stats.observe(window(start=0.0))
+        stats.observe(None)
+        stats.observe(window(start=20.0))
+        assert stats.attempts == 3
+        assert stats.found == 2
+        assert stats.find_rate == pytest.approx(2 / 3)
+        assert stats.mean(Criterion.START_TIME) == pytest.approx(10.0)
+
+    def test_as_row_contains_every_criterion(self):
+        stats = WindowStats()
+        stats.observe(window())
+        row = stats.as_row()
+        for criterion in Criterion:
+            assert criterion.value in row
+        assert row["find_rate"] == 1.0
+
+    def test_empty_find_rate(self):
+        assert WindowStats().find_rate == 0.0
+
+
+class TestCsaStats:
+    def test_observes_alternative_count(self):
+        stats = CsaStats()
+        stats.observe([window(node_id=0), window(start=50.0, node_id=1)])
+        stats.observe([window(node_id=0)])
+        assert stats.alternatives.mean == pytest.approx(1.5)
+
+    def test_diagonal_selects_extreme_per_criterion(self):
+        stats = CsaStats()
+        early_slow = window(start=0.0, performance=1.0, price=0.5, node_id=0)
+        late_fast = window(start=50.0, performance=10.0, price=9.0, node_id=1)
+        stats.observe([early_slow, late_fast])
+        assert stats.diagonal(Criterion.START_TIME) == pytest.approx(0.0)
+        assert stats.diagonal(Criterion.RUNTIME) == pytest.approx(2.0)
+        assert stats.diagonal(Criterion.COST) == pytest.approx(10.0)
+
+    def test_empty_cycle_counts_as_missing(self):
+        stats = CsaStats()
+        stats.observe([])
+        assert stats.alternatives.mean == 0.0
+        assert stats.selections[Criterion.COST].found == 0
+
+    def test_selection_stats_track_full_window(self):
+        stats = CsaStats()
+        early_slow = window(start=0.0, performance=1.0, price=0.5, node_id=0)
+        late_fast = window(start=50.0, performance=10.0, price=9.0, node_id=1)
+        stats.observe([early_slow, late_fast])
+        # The runtime-selected window is the fast one; its start is 50.
+        runtime_selection = stats.selections[Criterion.RUNTIME]
+        assert runtime_selection.mean(Criterion.START_TIME) == pytest.approx(50.0)

@@ -1,0 +1,123 @@
+"""Unit tests for flow traces."""
+
+import pytest
+
+from repro.environment import EnvironmentConfig
+from repro.model import Job, ResourceRequest, Window, WindowSlot
+from repro.scheduling import FlowConfig, JobFlowSimulation
+from repro.simulation import FlowTrace, JobGenerator, JobGeneratorConfig
+from repro.simulation.trace import DEFERRED, DROPPED, SCHEDULED
+from tests.conftest import make_slot
+
+
+def sample_window():
+    request = ResourceRequest(node_count=1, reservation_time=20.0)
+    slot = make_slot(3, 0.0, 100.0)
+    return Window(start=0.0, slots=(WindowSlot.for_request(slot, request),))
+
+
+def sample_job(job_id="j1", owner="alice", priority=2):
+    return Job(job_id, ResourceRequest(node_count=1, reservation_time=20.0),
+               priority=priority, owner=owner)
+
+
+class TestRecord:
+    def test_scheduled_event_captures_window(self):
+        trace = FlowTrace()
+        trace.record(0, sample_job(), SCHEDULED, sample_window())
+        event = trace.events[0]
+        assert event.event == SCHEDULED
+        assert event.window_start == 0.0
+        assert event.window_cost == pytest.approx(10.0)
+        assert event.window_nodes == (3,)
+
+    def test_deferred_event_has_no_window(self):
+        trace = FlowTrace()
+        trace.record(1, sample_job(), DEFERRED)
+        assert trace.events[0].window_start is None
+
+    def test_scheduled_requires_window(self):
+        with pytest.raises(ValueError):
+            FlowTrace().record(0, sample_job(), SCHEDULED)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FlowTrace().record(0, sample_job(), "exploded")
+
+
+class TestQueries:
+    @pytest.fixture
+    def trace(self):
+        trace = FlowTrace()
+        job = sample_job("j1", owner="alice")
+        trace.record(0, job, DEFERRED)
+        trace.record(1, job, SCHEDULED, sample_window())
+        trace.record(0, sample_job("j2", owner="bob"), SCHEDULED, sample_window())
+        trace.record(2, sample_job("j3", owner="bob"), DROPPED)
+        return trace
+
+    def test_for_job(self, trace):
+        lifecycle = trace.for_job("j1")
+        assert [event.event for event in lifecycle] == [DEFERRED, SCHEDULED]
+
+    def test_by_kind(self, trace):
+        assert len(trace.by_kind(SCHEDULED)) == 2
+        assert len(trace.by_kind(DROPPED)) == 1
+
+    def test_cycles(self, trace):
+        assert trace.cycles() == [0, 1, 2]
+
+    def test_owner_spend(self, trace):
+        spend = trace.owner_spend()
+        assert spend["alice"] == pytest.approx(10.0)
+        assert spend["bob"] == pytest.approx(10.0)
+
+    def test_waiting_profile_counts_only_eventually_scheduled(self, trace):
+        assert trace.waiting_profile() == {"j1": 1}
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path):
+        trace = FlowTrace()
+        trace.record(0, sample_job(), SCHEDULED, sample_window())
+        trace.record(1, sample_job("j2"), DEFERRED)
+        path = str(tmp_path / "trace.json")
+        trace.save(path)
+        clone = FlowTrace.load(path)
+        assert clone.events == trace.events
+
+
+class TestIntegrationWithFlow:
+    def test_trace_is_complete(self):
+        trace = FlowTrace()
+        config = FlowConfig(
+            cycles=4,
+            arrivals_per_cycle=3,
+            environment=EnvironmentConfig(node_count=30),
+            seed=5,
+        )
+        result = JobFlowSimulation(config, trace=trace).run()
+        assert len(trace.by_kind(SCHEDULED)) == result.scheduled_total
+        assert len(trace.by_kind(DROPPED)) == result.dropped_total
+        # Every event belongs to a known cycle.
+        assert set(trace.cycles()) <= set(range(4))
+
+    def test_trace_under_scarcity_records_deferrals(self):
+        trace = FlowTrace()
+        config = FlowConfig(
+            cycles=4,
+            arrivals_per_cycle=4,
+            max_deferrals=1,
+            environment=EnvironmentConfig(node_count=4),
+            seed=3,
+        )
+        generator = JobGenerator(
+            JobGeneratorConfig(
+                node_count_range=(3, 4),
+                reservation_time_choices=(250.0,),
+                budget_slack_range=(2.0, 2.4),
+            ),
+            seed=3,
+        )
+        JobFlowSimulation(config, job_generator=generator, trace=trace).run()
+        assert trace.by_kind(DEFERRED) or trace.by_kind(DROPPED)
