@@ -77,6 +77,7 @@ from repro.execution import (
     replay_execution,
 )
 from repro.scheduling import BatchScheduler, CycleReport
+from repro.service import BrokerService, ServiceConfig, ServiceStats
 from repro.simulation import (
     ExperimentConfig,
     paper_algorithm_suite,
@@ -91,6 +92,7 @@ __all__ = [
     "AMP",
     "BatchScheduler",
     "best_window",
+    "BrokerService",
     "CpuNode",
     "Criterion",
     "CSA",
@@ -121,6 +123,8 @@ __all__ = [
     "ResourceRequest",
     "RigidBackfill",
     "run_comparison",
+    "ServiceConfig",
+    "ServiceStats",
     "Slot",
     "SlotPool",
     "SlotSelectionAlgorithm",

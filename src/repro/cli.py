@@ -13,11 +13,18 @@ Installed as the ``repro`` console script (also runnable as
 ``repro schedule``
     Run one two-phase batch scheduling cycle on a generated or loaded
     environment and print the assignments plus an ASCII Gantt chart.
+``repro serve``
+    Stream a scripted Poisson arrival trace through the on-line broker
+    service and print its stats block.
+``repro bench-service``
+    Time the broker service across pool sizes and archive the JSON
+    throughput baseline (``BENCH_service.json``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -35,6 +42,18 @@ from repro.simulation import (
     sweep_node_counts,
 )
 from repro.simulation.jobgen import JobGenerator
+
+def _package_version() -> str:
+    """The installed distribution version, else the in-tree fallback."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        from repro import __version__
+
+        return __version__
+
 
 FIGURE_TITLES = {
     Criterion.START_TIME: "Fig. 2(a) average start time",
@@ -149,6 +168,20 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     )
     report = scheduler.run_cycle(batch, environment)
     summary = report.summary()
+    if args.json:
+        from repro.io import window_to_dict
+
+        payload = {
+            "jobs": len(batch),
+            "summary": summary,
+            "assignments": {
+                job_id: window_to_dict(window)
+                for job_id, window in report.scheduled.items()
+            },
+            "unscheduled": sorted(report.unscheduled),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(
         f"scheduled {summary['scheduled_jobs']:.0f}/{len(batch)} jobs, "
         f"cost {summary['total_cost']:.1f}, makespan {summary['makespan']:.1f}"
@@ -165,6 +198,82 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     if args.gantt:
         print()
         print(render_gantt(environment, list(report.scheduled.values())))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Handler of the ``repro serve`` subcommand."""
+    from repro.service import ServiceConfig, TraceConfig, run_service_trace
+
+    config = TraceConfig(
+        jobs=args.jobs,
+        rate=args.rate,
+        node_count=args.nodes,
+        seed=args.seed,
+        service=ServiceConfig(
+            batch_size=args.batch_size,
+            max_wait=args.max_wait,
+            workers=args.workers,
+            alternatives_per_job=args.alternatives,
+            criterion=Criterion[args.criterion.upper()],
+            completion_factor=args.completion_factor,
+        ),
+    )
+    if not args.json:
+        print(
+            f"streaming {args.jobs} jobs (rate {args.rate:g}/time unit) through "
+            f"a {args.nodes}-node broker, batch {args.batch_size} / "
+            f"max wait {args.max_wait:g}, {args.workers} worker(s) ..."
+        )
+    outcome = run_service_trace(config)
+    snapshot = outcome.snapshot()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    stats = outcome.service.stats
+    print(
+        f"submitted {stats.submitted}, admitted {stats.admitted}, "
+        f"rejected {stats.rejected}, scheduled {stats.scheduled}, "
+        f"deferred {stats.deferred}, dropped {stats.dropped}, "
+        f"retired {stats.retired}"
+    )
+    print(
+        f"{stats.cycles} cycles in {outcome.elapsed_seconds:.2f}s wall "
+        f"(virtual time {outcome.final_virtual_time:.1f}); "
+        f"cycle latency p50 {stats.cycle_latency.p50 * 1e3:.2f}ms "
+        f"p95 {stats.cycle_latency.p95 * 1e3:.2f}ms; "
+        f"{stats.windows_per_second:.0f} windows/s"
+    )
+    return 0
+
+
+def cmd_bench_service(args: argparse.Namespace) -> int:
+    """Handler of the ``repro bench-service`` subcommand."""
+    from repro.io import save_json
+    from repro.service import bench_service
+
+    node_counts = [int(value) for value in args.nodes.split(",")]
+    print(
+        f"benchmarking the broker service: {args.jobs} jobs at "
+        f"{node_counts} nodes, {args.workers} worker(s) ..."
+    )
+    payload = bench_service(
+        node_counts=node_counts,
+        jobs=args.jobs,
+        rate=args.rate,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    for row in payload["results"]:
+        print(
+            f"  {row['nodes']:>4} nodes: {row['jobs_per_second']:8.1f} jobs/s, "
+            f"cycle p50 {row['cycle_latency_ms_p50']:.2f}ms "
+            f"p95 {row['cycle_latency_ms_p95']:.2f}ms, "
+            f"scheduled {row['scheduled']}/{row['jobs']}"
+        )
+    if args.output:
+        save_json(payload, args.output)
+        print(f"wrote {args.output}")
     return 0
 
 
@@ -282,6 +391,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Slot selection & co-allocation experiments (PaCT 2013 reproduction)",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     compare = sub.add_parser("compare", help="run the Figs. 2-4 comparison")
@@ -329,7 +441,51 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[criterion.value for criterion in Criterion],
     )
     schedule.add_argument("--gantt", action="store_true", help="draw an ASCII Gantt")
+    schedule.add_argument(
+        "--json", action="store_true", help="emit the assignments as JSON"
+    )
     schedule.set_defaults(func=cmd_schedule)
+
+    serve = sub.add_parser(
+        "serve", help="stream a scripted arrival trace through the broker service"
+    )
+    serve.add_argument("--jobs", type=int, default=100)
+    serve.add_argument("--nodes", type=int, default=50)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--rate", type=float, default=2.0, help="mean arrivals per virtual time unit"
+    )
+    serve.add_argument("--workers", type=int, default=1,
+                       help="phase-one search threads")
+    serve.add_argument("--batch-size", type=int, default=8,
+                       help="queue depth that triggers a cycle")
+    serve.add_argument("--max-wait", type=float, default=25.0,
+                       help="max virtual-time wait before a cycle fires")
+    serve.add_argument("--alternatives", type=int, default=10)
+    serve.add_argument(
+        "--criterion",
+        default="finish_time",
+        choices=[criterion.value for criterion in Criterion],
+    )
+    serve.add_argument(
+        "--completion-factor", type=float, default=1.0,
+        help="fraction of the reservation jobs actually use (<1 = early finish)",
+    )
+    serve.add_argument("--json", action="store_true", help="emit the stats as JSON")
+    serve.set_defaults(func=cmd_serve)
+
+    bench = sub.add_parser(
+        "bench-service", help="broker-service throughput across pool sizes"
+    )
+    bench.add_argument("--nodes", default="50,200",
+                       help="comma-separated node counts")
+    bench.add_argument("--jobs", type=int, default=200)
+    bench.add_argument("--rate", type=float, default=2.0)
+    bench.add_argument("--workers", type=int, default=4)
+    bench.add_argument("--seed", type=int, default=2013)
+    bench.add_argument("-o", "--output",
+                       help="write the JSON payload here (BENCH_service.json)")
+    bench.set_defaults(func=cmd_bench_service)
 
     presets = sub.add_parser("presets", help="list environment presets")
     presets.add_argument("--nodes", type=int, default=100)

@@ -59,12 +59,21 @@ def weighted_choice(
         raise ValueError("criterion weights must not all be zero")
 
     scores = [0.0] * len(windows)
+    raw_scores = [0.0] * len(windows)
     for criterion, weight in weights.items():
         if weight == 0:
             continue
-        for index, value in enumerate(normalize(_values(windows, criterion))):
+        values = _values(windows, criterion)
+        for index, value in enumerate(normalize(values)):
             scores[index] += weight * value
-    best_index = min(range(len(windows)), key=scores.__getitem__)
+            raw_scores[index] += weight * values[index]
+    # Normalization collapses near-ties (its constant-list guard maps value
+    # spreads below 1e-12 to all zeros), so break normalized-score ties by
+    # the raw weighted sum: for a pure single-criterion weight this makes
+    # the choice the exact argmin, not merely an epsilon-close one.
+    best_index = min(
+        range(len(windows)), key=lambda index: (scores[index], raw_scores[index])
+    )
     return windows[best_index]
 
 

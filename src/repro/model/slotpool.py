@@ -64,10 +64,46 @@ class SlotPool:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def add(self, slot: Slot) -> None:
-        """Insert a slot, keeping the start-time order."""
-        if slot.length >= self.min_usable_length - TIME_EPSILON:
-            insort(self._slots, (slot.sort_key(), slot))
+    def add(self, slot: Slot, coalesce: bool = True) -> None:
+        """Insert a slot, keeping the start-time order.
+
+        By default the new slot is *coalesced* with touching slots of the
+        same node already in the pool (identical node, hence identical
+        price and performance; gap within :data:`TIME_EPSILON`), so
+        repeated cut/release cycles do not fragment the pool into ever
+        shorter spans.  Pass ``coalesce=False`` to insert verbatim.
+        """
+        if slot.length < self.min_usable_length - TIME_EPSILON:
+            return
+        if coalesce:
+            slot = self._coalesce(slot)
+        insort(self._slots, (slot.sort_key(), slot))
+
+    def _coalesce(self, slot: Slot) -> Slot:
+        """Absorb same-node neighbours touching ``slot`` and return the union.
+
+        In a per-node-disjoint pool at most one slot can end at ``slot.start``
+        and at most one can start at ``slot.end``; both are removed from the
+        pool and the merged span is returned for insertion.
+        """
+        left_index: Optional[int] = None
+        right_index: Optional[int] = None
+        for index, (_, other) in enumerate(self._slots):
+            if other.node != slot.node:
+                continue
+            if abs(other.end - slot.start) <= TIME_EPSILON:
+                left_index = index
+            elif abs(slot.end - other.start) <= TIME_EPSILON:
+                right_index = index
+        if left_index is None and right_index is None:
+            return slot
+        start = slot.start if left_index is None else self._slots[left_index][1].start
+        end = slot.end if right_index is None else self._slots[right_index][1].end
+        for index in sorted(
+            (i for i in (left_index, right_index) if i is not None), reverse=True
+        ):
+            del self._slots[index]
+        return Slot(slot.node, start, end)
 
     def remove(self, slot: Slot) -> None:
         """Remove one slot; raises :class:`AllocationError` if absent."""
@@ -119,6 +155,107 @@ class SlotPool:
                 reservation_start, reservation_end, self.min_usable_length
             ):
                 self.add(remainder)
+
+    def commit_window(self, window: Window, mode: str = "split") -> None:
+        """Cut a window out of the pool by *span containment*.
+
+        :meth:`cut_window` removes the exact slot objects a window
+        references, which is right when the window was just searched on
+        this very pool state.  A broker-service cycle instead commits
+        several windows chosen on a common snapshot: an earlier commit may
+        already have replaced a leg's slot with its remainders, so each
+        leg is located by finding the current pool slot that contains its
+        reserved span (phase two guarantees the spans themselves are
+        disjoint).  Raises :class:`AllocationError` when no containing
+        slot exists — e.g. the span was lost to a sub-threshold remainder
+        drop on a pool with a raised ``min_usable_length``.
+        """
+        if mode not in ("split", "consume"):
+            raise ValueError(f"unknown cut mode {mode!r}")
+        for ws in window.slots:
+            span_start = window.start
+            span_end = window.start + ws.required_time
+            host: Optional[Slot] = None
+            for _, slot in self._slots:
+                if slot.node.node_id == ws.slot.node.node_id and slot.contains(
+                    span_start, span_end
+                ):
+                    host = slot
+                    break
+            if host is None:
+                raise AllocationError(
+                    f"no free slot on node {ws.slot.node.node_id} contains the "
+                    f"reserved span [{span_start:g}, {span_end:g})"
+                )
+            self.remove(host)
+            if mode == "consume":
+                continue
+            for remainder in host.split(span_start, span_end, self.min_usable_length):
+                self.add(remainder)
+
+    def release(self, window: Window) -> None:
+        """Return a committed window's reservations to the pool.
+
+        The inverse of :meth:`cut_window`: each leg's reserved span
+        ``[window.start, window.start + required_time)`` is re-inserted and
+        coalesced with adjacent same-node slots, so a cut followed by a
+        release leaves the pool as it started (up to sub-threshold
+        remainders dropped by the cut).  The slot lifecycle of the broker
+        service relies on this to retire finished jobs without leaking or
+        fragmenting capacity.
+
+        Raises :class:`AllocationError` when any released span overlaps
+        free time already in the pool (the signature of a double release);
+        the pool is left unchanged in that case.
+        """
+        spans = [
+            (ws.slot.node, window.start, window.start + ws.required_time)
+            for ws in window.slots
+        ]
+        for node, span_start, span_end in spans:
+            for slot in self:
+                if slot.node.node_id != node.node_id:
+                    continue
+                if (
+                    slot.start < span_end - TIME_EPSILON
+                    and span_start < slot.end - TIME_EPSILON
+                ):
+                    raise AllocationError(
+                        f"released span [{span_start:g}, {span_end:g}) on node "
+                        f"{node.node_id} overlaps free slot "
+                        f"[{slot.start:g}, {slot.end:g}) — double release?"
+                    )
+        for node, span_start, span_end in spans:
+            self.add(Slot(node, span_start, span_end))
+
+    def trim_before(self, time: float) -> int:
+        """Drop free time earlier than ``time`` (virtual-clock advance).
+
+        Slots ending at or before ``time`` are removed; slots straddling it
+        are truncated to ``[time, end)`` (dropped entirely when the usable
+        tail falls below ``min_usable_length``).  Returns the number of
+        slots removed or truncated.  The broker service calls this at the
+        start of every cycle so searches only ever see future time.
+        """
+        changed = 0
+        rebuilt: list[tuple[tuple[float, float, int], Slot]] = []
+        for entry in self._slots:
+            slot = entry[1]
+            if slot.end <= time + TIME_EPSILON:
+                changed += 1
+                continue
+            if slot.start < time - TIME_EPSILON:
+                changed += 1
+                tail = slot.end - time
+                if tail > TIME_EPSILON and tail >= self.min_usable_length - TIME_EPSILON:
+                    trimmed = Slot(slot.node, time, slot.end)
+                    rebuilt.append((trimmed.sort_key(), trimmed))
+                continue
+            rebuilt.append(entry)
+        if changed:
+            rebuilt.sort()
+            self._slots = rebuilt
+        return changed
 
     def copy(self) -> "SlotPool":
         """A shallow copy (slots are immutable, so this is fully safe)."""

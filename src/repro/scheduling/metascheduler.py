@@ -129,23 +129,23 @@ class BatchScheduler:
             )
         return greedy_combination(jobs, alternatives, self.criterion, self.vo_budget)
 
-    def run_cycle(self, batch: JobBatch, environment: Environment) -> CycleReport:
-        """One full scheduling cycle: search, select, commit.
+    def plan(
+        self,
+        batch: JobBatch,
+        pool: SlotPool,
+        alternatives: Optional[dict[str, list[Window]]] = None,
+    ) -> CycleReport:
+        """Phases one and two on an explicit pool, without committing.
 
-        Chosen windows are committed onto the environment's node timelines,
-        so a subsequent cycle (with newly arrived jobs) sees the residual
-        free time only.
+        This is the cycle kernel shared by :meth:`run_cycle` and by service
+        contexts (the broker service) that own their pool, run phase one
+        externally — e.g. in parallel across jobs — and commit under their
+        own locking discipline.  Pass ``alternatives`` to reuse precomputed
+        phase-one results; otherwise phase one runs here.
         """
-        pool = environment.slot_pool()
-        alternatives = self.find_alternatives(batch, pool)
+        if alternatives is None:
+            alternatives = self.find_alternatives(batch, pool)
         choice = self.choose_combination(batch, alternatives)
-        for job_id, window in choice.assignments.items():
-            try:
-                environment.commit_window(window)
-            except Exception as error:  # pragma: no cover - defensive
-                raise SchedulingError(
-                    f"committing window for job {job_id} failed: {error}"
-                ) from error
         return CycleReport(
             choice=choice,
             alternatives_found={
@@ -153,3 +153,20 @@ class BatchScheduler:
             },
             jobs=tuple(batch.by_priority()),
         )
+
+    def run_cycle(self, batch: JobBatch, environment: Environment) -> CycleReport:
+        """One full scheduling cycle: search, select, commit.
+
+        Chosen windows are committed onto the environment's node timelines,
+        so a subsequent cycle (with newly arrived jobs) sees the residual
+        free time only.
+        """
+        report = self.plan(batch, environment.slot_pool())
+        for job_id, window in report.scheduled.items():
+            try:
+                environment.commit_window(window)
+            except Exception as error:  # pragma: no cover - defensive
+                raise SchedulingError(
+                    f"committing window for job {job_id} failed: {error}"
+                ) from error
+        return report

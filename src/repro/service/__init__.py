@@ -1,0 +1,53 @@
+"""On-line broker service: streaming intake over the batch-cycle kernel.
+
+The service layer turns the one-shot reproduction tooling into a
+long-running component: admission-controlled streaming submissions, a
+bounded queue coalesced into scheduling cycles (size-or-deadline
+batching), parallel phase-one window search over pool snapshots, locked
+commits onto a shared :class:`~repro.model.SlotPool`, and a virtual-clock
+slot lifecycle that returns finished jobs' reservations to the pool.
+See ``docs/architecture.md`` ("Service layer").
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    RejectionReason,
+    cheapest_feasible_cost,
+)
+from repro.service.broker import BrokerService
+from repro.service.config import ServiceConfig
+from repro.service.driver import (
+    TraceConfig,
+    TraceResult,
+    bench_service,
+    build_service,
+    run_service_trace,
+)
+from repro.service.lifecycle import ActiveJob, JobLifecycle
+from repro.service.parallel import parallel_find_alternatives
+from repro.service.queueing import BoundedJobQueue, CycleTrigger, QueuedJob
+from repro.service.stats import LatencyTracker, ServiceStats, percentile
+
+__all__ = [
+    "ActiveJob",
+    "AdmissionController",
+    "AdmissionDecision",
+    "bench_service",
+    "BoundedJobQueue",
+    "BrokerService",
+    "build_service",
+    "cheapest_feasible_cost",
+    "CycleTrigger",
+    "JobLifecycle",
+    "LatencyTracker",
+    "parallel_find_alternatives",
+    "percentile",
+    "QueuedJob",
+    "RejectionReason",
+    "run_service_trace",
+    "ServiceConfig",
+    "ServiceStats",
+    "TraceConfig",
+    "TraceResult",
+]

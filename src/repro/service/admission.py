@@ -1,0 +1,130 @@
+"""Admission control: reject at the door what can never be scheduled.
+
+The broker's queue is a shared, bounded resource; admitting a job whose
+budget ``S = F·t_s·n`` cannot be met by *any* window over the current
+pool only burns cycles deferring it.  The feasibility test here is a
+lower bound — per matching node, the cheapest cost that node could
+charge for the job's task — so it never rejects a schedulable job, and
+rejects with a precise reason everything structurally hopeless:
+duplicate ids, more nodes than the pool offers, budgets below the
+``n`` cheapest usable nodes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import AbstractSet, Optional
+
+from repro.model.job import Job, ResourceRequest
+from repro.model.slot import TIME_EPSILON
+from repro.model.slotpool import SlotPool
+from repro.model.window import COST_EPSILON
+
+
+class RejectionReason(enum.Enum):
+    """Why a submission was turned away."""
+
+    QUEUE_FULL = "queue_full"
+    DUPLICATE_ID = "duplicate_id"
+    TOO_FEW_NODES = "too_few_nodes"
+    BUDGET_INFEASIBLE = "budget_infeasible"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of admission control for one submission."""
+
+    admitted: bool
+    reason: Optional[RejectionReason] = None
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+    @classmethod
+    def accept(cls) -> "AdmissionDecision":
+        return cls(admitted=True)
+
+    @classmethod
+    def reject(cls, reason: RejectionReason, detail: str = "") -> "AdmissionDecision":
+        return cls(admitted=False, reason=reason, detail=detail)
+
+
+def cheapest_feasible_cost(request: ResourceRequest, pool: SlotPool) -> Optional[float]:
+    """Lower bound on the cost of any window for ``request`` over ``pool``.
+
+    For every node that matches the hardware/price filter and has at least
+    one slot long enough to host the task, the node's task cost is fixed
+    (``price · duration``); the cheapest possible window therefore costs
+    at least the sum over the ``n`` cheapest such nodes.  Returns ``None``
+    when fewer than ``n`` usable nodes exist (no window can ever form,
+    regardless of budget).
+    """
+    best_by_node: dict[int, float] = {}
+    for slot in pool:
+        node = slot.node
+        if not request.node_matches(node):
+            continue
+        duration = request.task_runtime_on(node)
+        if slot.length < duration - TIME_EPSILON:
+            continue
+        cost = node.usage_cost(duration)
+        known = best_by_node.get(node.node_id)
+        if known is None or cost < known:
+            best_by_node[node.node_id] = cost
+    if len(best_by_node) < request.node_count:
+        return None
+    return sum(sorted(best_by_node.values())[: request.node_count])
+
+
+class AdmissionController:
+    """Validates submissions against the queue and the current pool.
+
+    Parameters
+    ----------
+    strict_budget:
+        When ``True`` (default), reject jobs whose budget is below the
+        cheapest-possible window cost over the current pool.  Disabling
+        keeps only the structural checks (duplicates, queue bound, node
+        count), which admits more but defers more.
+    """
+
+    def __init__(self, strict_budget: bool = True):
+        self.strict_budget = strict_budget
+
+    def evaluate(
+        self,
+        job: Job,
+        pool: SlotPool,
+        queue_depth: int,
+        queue_capacity: int,
+        known_ids: AbstractSet[str],
+    ) -> AdmissionDecision:
+        """Admit or reject one submission (called under the broker lock)."""
+        if queue_depth >= queue_capacity:
+            return AdmissionDecision.reject(
+                RejectionReason.QUEUE_FULL,
+                f"queue holds {queue_depth}/{queue_capacity} jobs",
+            )
+        if job.job_id in known_ids:
+            return AdmissionDecision.reject(
+                RejectionReason.DUPLICATE_ID,
+                f"job id {job.job_id!r} is already queued or running",
+            )
+        request = job.request
+        lower_bound = cheapest_feasible_cost(request, pool)
+        if lower_bound is None:
+            return AdmissionDecision.reject(
+                RejectionReason.TOO_FEW_NODES,
+                f"request needs {request.node_count} matching nodes; "
+                f"the pool cannot host that many",
+            )
+        budget = request.effective_budget
+        if self.strict_budget and lower_bound > budget * (1.0 + COST_EPSILON) + COST_EPSILON:
+            return AdmissionDecision.reject(
+                RejectionReason.BUDGET_INFEASIBLE,
+                f"cheapest possible window costs {lower_bound:.1f}, "
+                f"budget is {budget:.1f}",
+            )
+        return AdmissionDecision.accept()

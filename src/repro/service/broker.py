@@ -1,0 +1,299 @@
+"""The on-line broker service: streaming intake over a shared slot pool.
+
+This is the long-running counterpart of the one-shot batch cycle
+(:class:`~repro.scheduling.BatchScheduler`): jobs are submitted one at a
+time through admission control into a bounded queue; a size-or-deadline
+trigger coalesces them into scheduling cycles; each cycle runs phase one
+in parallel across jobs on per-job pool snapshots, picks the phase-two
+combination, and commits it onto the shared pool under one lock.  A
+virtual-clock lifecycle retires finished jobs and returns their slots
+via :meth:`~repro.model.SlotPool.release`, so the service can run
+indefinitely without fragmenting or leaking the pool.
+
+Threading model: every public method takes the broker lock, and the
+only concurrency *inside* the lock is the phase-one worker pool over
+read-only snapshots — so the shared pool is mutated (trim, cut,
+release) strictly sequentially.  Virtual time is monotone and entirely
+caller-driven (``advance_to``), which keeps runs reproducible: the
+assignments of a run depend only on the submitted jobs, their times and
+the configuration — never on wall-clock or worker count.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+from typing import Iterable, Optional
+
+from repro.core.algorithms.csa import CSA
+from repro.model.errors import SchedulingError
+from repro.model.job import Job, JobBatch
+from repro.model.slot import TIME_EPSILON
+from repro.model.slotpool import SlotPool
+from repro.model.window import Window
+from repro.scheduling.metascheduler import BatchScheduler, CycleReport
+from repro.service.admission import AdmissionController, AdmissionDecision
+from repro.service.config import ServiceConfig
+from repro.service.lifecycle import ActiveJob, JobLifecycle
+from repro.service.parallel import parallel_find_alternatives
+from repro.service.queueing import BoundedJobQueue, CycleTrigger, QueuedJob
+from repro.service.stats import ServiceStats
+
+
+class BrokerService:
+    """Streaming job intake, cycle batching, and slot lifecycle.
+
+    Parameters
+    ----------
+    pool:
+        The shared slot pool the service owns and mutates (commits, trims,
+        releases).  Typically ``environment.slot_pool()``.
+    config:
+        Operational knobs (queue bound, batching, workers, policy).
+    scheduler:
+        The two-phase cycle kernel; by default CSA phase one capped at
+        ``config.alternatives_per_job`` with ``config.criterion`` phase two.
+    clock_start:
+        Initial virtual time; free time before it is trimmed immediately.
+    """
+
+    def __init__(
+        self,
+        pool: SlotPool,
+        config: Optional[ServiceConfig] = None,
+        scheduler: Optional[BatchScheduler] = None,
+        clock_start: float = 0.0,
+    ):
+        self.config = config if config is not None else ServiceConfig()
+        self.pool = pool
+        self.scheduler = (
+            scheduler
+            if scheduler is not None
+            else BatchScheduler(
+                search=CSA(max_alternatives=self.config.alternatives_per_job),
+                criterion=self.config.criterion,
+                alternatives_per_job=self.config.alternatives_per_job,
+            )
+        )
+        self.stats = ServiceStats()
+        self.assignments: dict[str, Window] = {}
+        self.last_report: Optional[CycleReport] = None
+        self._admission = AdmissionController()
+        self._queue = BoundedJobQueue(self.config.queue_capacity)
+        self._trigger = CycleTrigger(self.config.batch_size, self.config.max_wait)
+        self._lifecycle = JobLifecycle()
+        self._lock = threading.RLock()
+        self._now = clock_start
+        self.pool.trim_before(self._now)
+
+    # ------------------------------------------------------------------
+    # Clock and introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs admitted but not yet scheduled."""
+        return self._queue.depth
+
+    @property
+    def active_count(self) -> int:
+        """Jobs scheduled and not yet retired."""
+        return self._lifecycle.active_count
+
+    # ------------------------------------------------------------------
+    # Intake
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> AdmissionDecision:
+        """Offer one job to the service; returns the admission outcome.
+
+        Admission is evaluated against the *current* pool and queue: a
+        full queue, a duplicate id, too few matching nodes, or a budget
+        below the cheapest possible window all reject immediately, so the
+        caller learns the fate of hopeless jobs at submission rather than
+        after cycles of deferral.
+        """
+        with self._lock:
+            self.stats.submitted += 1
+            known = self._queue.job_ids() | self._lifecycle.active_ids()
+            decision = self._admission.evaluate(
+                job,
+                self.pool,
+                queue_depth=self._queue.depth,
+                queue_capacity=self._queue.capacity,
+                known_ids=known,
+            )
+            if decision.admitted:
+                self._queue.push(job, self._now)
+                self.stats.admitted += 1
+            else:
+                assert decision.reason is not None
+                self.stats.record_rejection(decision.reason.value)
+            self.stats.queue_depth = self._queue.depth
+            return decision
+
+    # ------------------------------------------------------------------
+    # Clock driving
+    # ------------------------------------------------------------------
+    def pump(self) -> int:
+        """Run every cycle due at the current time; returns cycles run.
+
+        Call after :meth:`submit` to honour the batch-size trigger
+        immediately instead of waiting for the next clock advance.
+        """
+        with self._lock:
+            ran = 0
+            while self._trigger.should_fire(self._queue, self._now):
+                self._run_cycle()
+                ran += 1
+            return ran
+
+    def advance_to(self, now: float) -> int:
+        """Advance the virtual clock, firing cycles as they come due.
+
+        Cycles triggered by the max-wait deadline fire *at* their deadline
+        (not at ``now``), so batching behaviour does not depend on how
+        coarsely the caller steps the clock.  Finished jobs are retired
+        and past free time trimmed.  Returns the number of cycles run.
+        The clock is monotone: moving backwards raises.
+        """
+        if now < self._now - TIME_EPSILON:
+            raise SchedulingError(
+                f"virtual clock must be monotone: at {self._now}, got {now}"
+            )
+        with self._lock:
+            ran = 0
+            while True:
+                fire = self._trigger.next_fire_time(self._queue, self._now)
+                if fire is None or fire > now + TIME_EPSILON:
+                    break
+                self._now = max(self._now, fire)
+                self._run_cycle()
+                ran += 1
+            self._now = max(self._now, now)
+            self._retire_and_trim()
+            return ran
+
+    def drain(self, max_cycles: int = 100_000) -> float:
+        """Run until the queue is empty and every job retired.
+
+        Advances the clock to each pending trigger or completion in turn;
+        deferral caps guarantee progress.  Returns the final virtual time.
+        """
+        with self._lock:
+            for _ in range(max_cycles):
+                if self._queue.depth == 0 and self._lifecycle.active_count == 0:
+                    return self._now
+                fire = self._trigger.next_fire_time(self._queue, self._now)
+                if fire is not None:
+                    self._now = max(self._now, fire)
+                    self._run_cycle()
+                    continue
+                completion = self._lifecycle.next_completion()
+                assert completion is not None  # queue empty => jobs active
+                self._now = max(self._now, completion)
+                self._retire_and_trim()
+            raise SchedulingError(
+                f"drain() did not converge within {max_cycles} cycles"
+            )
+
+    # ------------------------------------------------------------------
+    # The cycle
+    # ------------------------------------------------------------------
+    def _retire_and_trim(self) -> list[ActiveJob]:
+        """Retire finished jobs (releasing slots) and drop past free time."""
+        retired = self._lifecycle.retire_due(self._now, self.pool)
+        self.stats.retired += len(retired)
+        self.pool.trim_before(self._now)
+        self.stats.active_jobs = self._lifecycle.active_count
+        return retired
+
+    def _run_cycle(self) -> CycleReport:
+        """One scheduling cycle at the current virtual time (locked).
+
+        Retire & trim, pop a batch, search phase one in parallel over
+        snapshots, choose the phase-two combination, commit it onto the
+        shared pool, start lifecycles, and requeue or drop the rest.
+        """
+        cycle_started = perf_counter()
+        self._retire_and_trim()
+        queued = self._queue.pop_batch(self.config.batch_size)
+        batch = JobBatch()
+        by_id: dict[str, QueuedJob] = {}
+        for item in queued:
+            by_id[item.job.job_id] = item
+            # Ageing: every deferral bumps the priority, as in the flow
+            # simulation, so waiting jobs eventually win conflicts.
+            batch.add(
+                Job(
+                    item.job.job_id,
+                    item.job.request,
+                    priority=item.job.priority + item.deferrals,
+                    owner=item.job.owner,
+                )
+            )
+
+        search_started = perf_counter()
+        alternatives = parallel_find_alternatives(
+            self.scheduler.search,
+            batch.by_priority(),
+            self.pool,
+            workers=self.config.workers,
+            limit=self.config.alternatives_per_job,
+        )
+        self.stats.search_seconds += perf_counter() - search_started
+        self.stats.windows_found += sum(len(found) for found in alternatives.values())
+
+        report = self.scheduler.plan(batch, self.pool, alternatives=alternatives)
+        for job_id, window in report.scheduled.items():
+            # Commit by span containment: earlier commits this cycle may
+            # have replaced a leg's snapshot slot with its remainders.
+            self.pool.commit_window(window, mode=self.config.cut_mode)
+            self._lifecycle.start(
+                by_id[job_id].job,
+                window,
+                self._now,
+                completion_factor=self.config.completion_factor,
+            )
+            if self.config.record_assignments:
+                self.assignments[job_id] = window
+        self.stats.scheduled += len(report.scheduled)
+
+        for job_id in report.unscheduled:
+            item = by_id[job_id]
+            deferrals = item.deferrals + 1
+            if deferrals > self.config.max_deferrals:
+                self.stats.dropped += 1
+            else:
+                self.stats.deferred += 1
+                self._queue.push(item.job, self._now, deferrals=deferrals)
+
+        self.stats.cycles += 1
+        self.stats.queue_depth = self._queue.depth
+        self.stats.active_jobs = self._lifecycle.active_count
+        self.stats.cycle_latency.add(perf_counter() - cycle_started)
+        if self.config.check_invariants:
+            self.pool.assert_disjoint_per_node()
+        self.last_report = report
+        return report
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def process(self, arrivals: Iterable[tuple[float, Job]]) -> ServiceStats:
+        """Feed a timed arrival stream through the service and drain it.
+
+        The scripted-trace entry point: for each ``(time, job)`` pair the
+        clock advances to ``time`` (firing due cycles), the job is
+        submitted, and immediate batch-size triggers are pumped.  After
+        the stream ends the service drains completely.
+        """
+        for arrival_time, job in arrivals:
+            self.advance_to(arrival_time)
+            self.submit(job)
+            self.pump()
+        self.drain()
+        return self.stats

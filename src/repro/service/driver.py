@@ -1,0 +1,139 @@
+"""Scripted-trace driver and throughput benchmark for the broker service.
+
+``run_service_trace`` is what ``repro serve`` executes: generate an
+environment, stream a seeded Poisson arrival trace through a
+:class:`~repro.service.BrokerService`, and report the stats block.
+``bench_service`` is the ``repro bench-service`` workhorse: the same
+run, wall-clock timed at several pool sizes, emitting the JSON payload
+archived in ``BENCH_service.json`` so successive PRs have a throughput
+trajectory to beat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Optional, Sequence
+
+from repro.environment.generator import EnvironmentConfig, EnvironmentGenerator
+from repro.model.errors import ConfigurationError
+from repro.service.broker import BrokerService
+from repro.service.config import ServiceConfig
+from repro.simulation.jobgen import JobGenerator
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Parameters of one scripted service run."""
+
+    jobs: int = 100
+    rate: float = 2.0
+    node_count: int = 50
+    seed: Optional[int] = 7
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+
+    def __post_init__(self) -> None:
+        if self.jobs < 0:
+            raise ConfigurationError(f"jobs must be >= 0, got {self.jobs}")
+        if self.rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {self.rate}")
+        if self.node_count < 1:
+            raise ConfigurationError(f"node_count must be >= 1, got {self.node_count}")
+
+
+@dataclass(frozen=True)
+class TraceResult:
+    """Outcome of one scripted run: the service plus timing."""
+
+    service: BrokerService
+    elapsed_seconds: float
+    final_virtual_time: float
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-friendly summary (stats block plus run timing)."""
+        payload = self.service.stats.snapshot(elapsed_seconds=self.elapsed_seconds)
+        payload["elapsed_seconds"] = round(self.elapsed_seconds, 3)
+        payload["final_virtual_time"] = round(self.final_virtual_time, 1)
+        return payload
+
+
+def build_service(config: TraceConfig) -> BrokerService:
+    """A broker over a freshly generated environment pool."""
+    environment = EnvironmentGenerator(
+        EnvironmentConfig(node_count=config.node_count, seed=config.seed)
+    ).generate()
+    return BrokerService(environment.slot_pool(), config=config.service)
+
+
+def run_service_trace(
+    config: TraceConfig, service: Optional[BrokerService] = None
+) -> TraceResult:
+    """Stream a seeded arrival trace through a broker and drain it."""
+    if service is None:
+        service = build_service(config)
+    generator = JobGenerator(seed=config.seed)
+    started = perf_counter()
+    service.process(generator.iter_arrivals(config.jobs, rate=config.rate))
+    elapsed = perf_counter() - started
+    return TraceResult(
+        service=service,
+        elapsed_seconds=elapsed,
+        final_virtual_time=service.now,
+    )
+
+
+def bench_service(
+    node_counts: Sequence[int] = (50, 200),
+    jobs: int = 200,
+    rate: float = 2.0,
+    workers: int = 4,
+    seed: int = 2013,
+) -> dict[str, object]:
+    """Throughput benchmark across pool sizes.
+
+    Invariant checking is disabled (measured, not verified, runs) and the
+    phase-one fan-out uses ``workers`` threads.  Returns the payload
+    written to ``BENCH_service.json``.
+    """
+    results: list[dict[str, object]] = []
+    for node_count in node_counts:
+        config = TraceConfig(
+            jobs=jobs,
+            rate=rate,
+            node_count=node_count,
+            seed=seed,
+            service=ServiceConfig(workers=workers, check_invariants=False),
+        )
+        outcome = run_service_trace(config)
+        stats = outcome.service.stats
+        results.append(
+            {
+                "nodes": node_count,
+                "jobs": jobs,
+                "elapsed_seconds": round(outcome.elapsed_seconds, 3),
+                "jobs_per_second": round(jobs / outcome.elapsed_seconds, 1)
+                if outcome.elapsed_seconds > 0
+                else 0.0,
+                "cycles": stats.cycles,
+                "cycle_latency_ms_p50": round(stats.cycle_latency.p50 * 1e3, 3),
+                "cycle_latency_ms_p95": round(stats.cycle_latency.p95 * 1e3, 3),
+                "windows_per_second": round(stats.windows_per_second, 1),
+                "scheduled": stats.scheduled,
+                "rejected": stats.rejected,
+                "dropped": stats.dropped,
+                "retired": stats.retired,
+            }
+        )
+    return {
+        "benchmark": "service_throughput",
+        "config": {
+            "jobs": jobs,
+            "rate": rate,
+            "workers": workers,
+            "seed": seed,
+            "criterion": ServiceConfig().criterion.value,
+            "batch_size": ServiceConfig().batch_size,
+            "max_wait": ServiceConfig().max_wait,
+        },
+        "results": results,
+    }

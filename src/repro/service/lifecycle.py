@@ -1,0 +1,100 @@
+"""The slot lifecycle: scheduled jobs run, finish, and free their slots.
+
+The one-shot batch tools stop at commit; a long-running broker must also
+see jobs *finish* so the reserved node-time flows back into the pool.
+:class:`JobLifecycle` is that registry: windows enter on commit, a
+virtual-clock sweep retires everything complete, and each retired
+window's reservations return via :meth:`repro.model.SlotPool.release`,
+which coalesces them with neighbouring free slots.  Retired entries are
+discarded, so an indefinitely running service holds state only for jobs
+actually in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.model.errors import SchedulingError
+from repro.model.job import Job
+from repro.model.slot import TIME_EPSILON
+from repro.model.slotpool import SlotPool
+from repro.model.window import Window
+
+
+@dataclass(frozen=True)
+class ActiveJob:
+    """A scheduled job currently occupying its window."""
+
+    job: Job
+    window: Window
+    scheduled_at: float
+    completes_at: float
+
+
+class JobLifecycle:
+    """Virtual-clock registry of running jobs."""
+
+    def __init__(self) -> None:
+        self._active: dict[str, ActiveJob] = {}
+
+    @property
+    def active_count(self) -> int:
+        """Number of jobs currently occupying windows."""
+        return len(self._active)
+
+    def active_ids(self) -> set[str]:
+        """Ids of every running job."""
+        return set(self._active)
+
+    def next_completion(self) -> Optional[float]:
+        """Earliest completion time among running jobs, ``None`` when idle."""
+        if not self._active:
+            return None
+        return min(entry.completes_at for entry in self._active.values())
+
+    def start(
+        self,
+        job: Job,
+        window: Window,
+        now: float,
+        completion_factor: float = 1.0,
+    ) -> ActiveJob:
+        """Register a committed window as a running job.
+
+        ``completion_factor`` scales the reserved runtime into the actual
+        one (early finishes release unused reservation tails back to the
+        pool at retirement).
+        """
+        if job.job_id in self._active:
+            raise SchedulingError(f"job {job.job_id!r} is already running")
+        if not 0.0 < completion_factor <= 1.0:
+            raise SchedulingError(
+                f"completion_factor must be in (0, 1], got {completion_factor}"
+            )
+        entry = ActiveJob(
+            job=job,
+            window=window,
+            scheduled_at=now,
+            completes_at=window.start + window.runtime * completion_factor,
+        )
+        self._active[job.job_id] = entry
+        return entry
+
+    def retire_due(self, now: float, pool: SlotPool) -> list[ActiveJob]:
+        """Retire every job complete by ``now``, releasing its slots.
+
+        Each retired window's reservations go back into ``pool`` via
+        :meth:`SlotPool.release`; retirement order is deterministic
+        (completion time, then job id).  Returns the retired entries.
+        """
+        due = [
+            entry
+            for entry in self._active.values()
+            if entry.completes_at <= now + TIME_EPSILON
+        ]
+        due.sort(key=lambda entry: (entry.completes_at, entry.job.job_id))
+        for entry in due:
+            pool.release(entry.window)
+            del self._active[entry.job.job_id]
+        return due

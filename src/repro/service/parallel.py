@@ -1,0 +1,50 @@
+"""Parallel phase one: window search fanned out across the batch.
+
+Phase one is embarrassingly parallel — each job's alternative search
+reads the pool and writes nothing — so the broker hands every job its
+own :meth:`SlotPool.copy` snapshot and runs the searches on a
+``concurrent.futures`` thread pool.  Snapshots are taken up front in
+job order and results are merged back in job order, so the output is
+*identical* for any worker count: parallelism changes wall-clock time,
+never assignments.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Sequence
+
+from repro.core.algorithms.base import SlotSelectionAlgorithm
+from repro.model.job import Job
+from repro.model.slotpool import SlotPool
+from repro.model.window import Window
+
+
+def parallel_find_alternatives(
+    search: SlotSelectionAlgorithm,
+    jobs: Sequence[Job],
+    pool: SlotPool,
+    workers: int = 1,
+    limit: Optional[int] = None,
+) -> dict[str, list[Window]]:
+    """Phase-one alternatives per job, searched on per-job pool snapshots.
+
+    Every job is searched against its own copy of ``pool`` as published
+    at the start of the cycle (the non-consuming discipline of
+    :class:`~repro.scheduling.BatchScheduler`), so job order carries no
+    information and the searches are independent.  With ``workers <= 1``
+    the loop runs inline; either path returns the same mapping, keyed in
+    ``jobs`` order.
+    """
+    snapshots = [pool.copy() for _ in jobs]
+    if workers <= 1 or len(jobs) <= 1:
+        return {
+            job.job_id: search.find_alternatives(job, snapshot, limit=limit)
+            for job, snapshot in zip(jobs, snapshots)
+        }
+    with ThreadPoolExecutor(max_workers=workers) as executor:
+        futures = [
+            executor.submit(search.find_alternatives, job, snapshot, limit)
+            for job, snapshot in zip(jobs, snapshots)
+        ]
+        return {job.job_id: future.result() for job, future in zip(jobs, futures)}

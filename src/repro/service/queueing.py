@@ -1,0 +1,109 @@
+"""The bounded intake queue and the cycle trigger.
+
+Submissions stream in continuously; scheduling runs in discrete cycles.
+The queue absorbs the mismatch (FIFO, bounded — admission rejects at
+capacity), and :class:`CycleTrigger` decides *when* to coalesce pending
+jobs into a cycle: as soon as ``batch_size`` jobs wait, or when the
+oldest has waited ``max_wait`` — the classic size-or-deadline batching
+rule, so bursts get big efficient batches and trickles still get
+bounded latency.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.model.errors import ConfigurationError
+from repro.model.job import Job
+from repro.model.slot import TIME_EPSILON
+
+
+@dataclass
+class QueuedJob:
+    """One pending submission: the job plus its queueing history."""
+
+    job: Job
+    enqueued_at: float
+    deferrals: int = 0
+
+
+class BoundedJobQueue:
+    """FIFO queue of pending jobs with a hard capacity bound."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ConfigurationError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._items: deque[QueuedJob] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def depth(self) -> int:
+        """Number of pending jobs."""
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the queue is at capacity."""
+        return len(self._items) >= self.capacity
+
+    def job_ids(self) -> set[str]:
+        """Ids of every pending job (duplicate-submission guard)."""
+        return {item.job.job_id for item in self._items}
+
+    def oldest_enqueued_at(self) -> Optional[float]:
+        """Enqueue time of the longest-waiting job, ``None`` when empty."""
+        if not self._items:
+            return None
+        return min(item.enqueued_at for item in self._items)
+
+    def push(self, job: Job, now: float, deferrals: int = 0) -> bool:
+        """Append a job; returns ``False`` (unchanged) when at capacity."""
+        if self.is_full:
+            return False
+        self._items.append(QueuedJob(job=job, enqueued_at=now, deferrals=deferrals))
+        return True
+
+    def pop_batch(self, limit: int) -> list[QueuedJob]:
+        """Remove and return up to ``limit`` jobs in FIFO order."""
+        if limit < 1:
+            raise ConfigurationError(f"batch limit must be >= 1, got {limit}")
+        batch: list[QueuedJob] = []
+        while self._items and len(batch) < limit:
+            batch.append(self._items.popleft())
+        return batch
+
+
+class CycleTrigger:
+    """Size-or-deadline batching policy over a :class:`BoundedJobQueue`."""
+
+    def __init__(self, batch_size: int, max_wait: float):
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        if max_wait <= 0:
+            raise ConfigurationError(f"max_wait must be positive, got {max_wait}")
+        self.batch_size = batch_size
+        self.max_wait = max_wait
+
+    def next_fire_time(self, queue: BoundedJobQueue, now: float) -> Optional[float]:
+        """Earliest virtual time a cycle is due, ``None`` when idle.
+
+        A full batch is due immediately; otherwise the deadline is the
+        oldest job's enqueue time plus ``max_wait``.
+        """
+        if queue.depth == 0:
+            return None
+        if queue.depth >= self.batch_size:
+            return now
+        oldest = queue.oldest_enqueued_at()
+        assert oldest is not None  # depth > 0
+        return oldest + self.max_wait
+
+    def should_fire(self, queue: BoundedJobQueue, now: float) -> bool:
+        """Whether a cycle is due at ``now``."""
+        fire = self.next_fire_time(queue, now)
+        return fire is not None and fire <= now + TIME_EPSILON

@@ -1,0 +1,130 @@
+"""Service-level counters and latency tracking.
+
+One :class:`ServiceStats` block per broker instance, updated under the
+broker's lock, snapshotted for the CLI and the throughput benchmark.
+Latency percentiles come from a bounded sample window so an indefinitely
+running service keeps O(1) memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The ``q``-quantile (``0 <= q <= 1``) by linear interpolation."""
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(samples)
+    position = q * (len(ordered) - 1)
+    below = int(position)
+    above = min(below + 1, len(ordered) - 1)
+    fraction = position - below
+    return ordered[below] * (1.0 - fraction) + ordered[above] * fraction
+
+
+class LatencyTracker:
+    """Bounded-window latency aggregator (mean over all, percentiles over
+    the most recent ``max_samples`` observations)."""
+
+    def __init__(self, max_samples: int = 4096):
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self._window: deque[float] = deque(maxlen=max_samples)
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, seconds: float) -> None:
+        """Record one latency sample."""
+        self._window.append(seconds)
+        self.count += 1
+        self.total += seconds
+
+    @property
+    def mean(self) -> float:
+        """Mean over every sample ever recorded."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def quantile(self, q: float) -> float:
+        """Windowed quantile (most recent samples)."""
+        return percentile(list(self._window), q)
+
+    @property
+    def p50(self) -> float:
+        """Windowed median latency."""
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        """Windowed 95th-percentile latency."""
+        return self.quantile(0.95)
+
+
+@dataclass
+class ServiceStats:
+    """Counters describing everything a broker service has done so far.
+
+    ``submitted = admitted + rejected``; every admitted job eventually
+    lands in exactly one of ``scheduled`` (then ``retired`` once finished)
+    or ``dropped``; ``deferred`` counts deferral *events* (a job deferred
+    twice contributes two).
+    """
+
+    submitted: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    rejected_by_reason: dict[str, int] = field(default_factory=dict)
+    scheduled: int = 0
+    deferred: int = 0
+    dropped: int = 0
+    retired: int = 0
+    cycles: int = 0
+    queue_depth: int = 0
+    active_jobs: int = 0
+    windows_found: int = 0
+    search_seconds: float = 0.0
+    cycle_latency: LatencyTracker = field(default_factory=LatencyTracker)
+
+    def record_rejection(self, reason: str) -> None:
+        """Count one rejected submission under its reason."""
+        self.rejected += 1
+        self.rejected_by_reason[reason] = self.rejected_by_reason.get(reason, 0) + 1
+
+    @property
+    def windows_per_second(self) -> float:
+        """Phase-one throughput: alternatives found per search second."""
+        if self.search_seconds <= 0.0:
+            return 0.0
+        return self.windows_found / self.search_seconds
+
+    def snapshot(self, elapsed_seconds: Optional[float] = None) -> dict[str, object]:
+        """A JSON-friendly view of the counters (CLI / benchmark output)."""
+        payload: dict[str, object] = {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "rejected_by_reason": dict(self.rejected_by_reason),
+            "scheduled": self.scheduled,
+            "deferred": self.deferred,
+            "dropped": self.dropped,
+            "retired": self.retired,
+            "cycles": self.cycles,
+            "queue_depth": self.queue_depth,
+            "active_jobs": self.active_jobs,
+            "windows_found": self.windows_found,
+            "windows_per_second": round(self.windows_per_second, 1),
+            "cycle_latency_ms": {
+                "mean": round(self.cycle_latency.mean * 1e3, 3),
+                "p50": round(self.cycle_latency.p50 * 1e3, 3),
+                "p95": round(self.cycle_latency.p95 * 1e3, 3),
+            },
+        }
+        if elapsed_seconds is not None and elapsed_seconds > 0:
+            payload["jobs_per_second"] = round(self.submitted / elapsed_seconds, 1)
+        return payload

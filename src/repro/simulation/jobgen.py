@@ -10,7 +10,7 @@ workload source.  All distributions are configurable and seeded.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, Optional
 
 import numpy as np
 
@@ -104,6 +104,31 @@ class JobGenerator:
             ),
             owner=str(rng.choice(list(cfg.owners))),
         )
+
+    def iter_arrivals(
+        self,
+        count: int,
+        rate: float = 1.0,
+        start: float = 0.0,
+        prefix: str = "",
+    ) -> Iterator[tuple[float, Job]]:
+        """A stream of ``(arrival_time, job)`` pairs — on-line job intake.
+
+        Inter-arrival gaps are exponential with mean ``1 / rate`` (a
+        Poisson arrival process of ``rate`` jobs per time unit), which is
+        the continuous-submission regime the broker service batches into
+        scheduling cycles.  Times are strictly increasing; the stream is
+        fully determined by the generator's seed.
+        """
+        if count < 0:
+            raise ConfigurationError(f"arrival count must be >= 0, got {count}")
+        if rate <= 0:
+            raise ConfigurationError(f"arrival rate must be positive, got {rate}")
+        clock = start
+        for _ in range(count):
+            clock += float(self._rng.exponential(1.0 / rate))
+            job_id = f"{prefix}job-{self._counter}" if prefix else None
+            yield clock, self.generate_job(job_id)
 
     def generate_batch(self, size: int, prefix: str = "") -> JobBatch:
         """A batch of ``size`` random jobs with unique ids."""

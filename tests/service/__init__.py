@@ -1,0 +1,1 @@
+"""Tests of the on-line broker service layer."""

@@ -1,0 +1,187 @@
+"""End-to-end broker service behaviour, including the acceptance run.
+
+The headline checks: a 500-job streaming run completes with the pool's
+per-node disjointness verified after *every* cycle, every retired job's
+reservations come back through :meth:`SlotPool.release`, and the parallel
+phase-one path (4 workers) produces assignments identical to the
+sequential one at the same seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.environment import EnvironmentConfig, EnvironmentGenerator
+from repro.model import Job, ResourceRequest
+from repro.model.errors import SchedulingError
+from repro.service import (
+    BrokerService,
+    RejectionReason,
+    ServiceConfig,
+    TraceConfig,
+    build_service,
+    run_service_trace,
+)
+from repro.simulation.jobgen import JobGenerator
+
+from tests.test_window_invariants import assert_window_invariants
+
+
+def make_pool(node_count: int = 40, seed: int = 11):
+    environment = EnvironmentGenerator(
+        EnvironmentConfig(node_count=node_count, seed=seed)
+    ).generate()
+    return environment.slot_pool()
+
+
+def make_job(job_id: str, nodes: int = 2, budget: float = 2000.0) -> Job:
+    return Job(
+        job_id,
+        ResourceRequest(node_count=nodes, reservation_time=20.0, budget=budget),
+    )
+
+
+class TestSubmitAndCycle:
+    def test_submit_admits_and_queues(self):
+        service = BrokerService(make_pool())
+        assert service.submit(make_job("a"))
+        assert service.queue_depth == 1
+        assert service.stats.admitted == 1
+
+    def test_duplicate_submission_rejected(self):
+        service = BrokerService(make_pool())
+        service.submit(make_job("a"))
+        decision = service.submit(make_job("a"))
+        assert decision.reason is RejectionReason.DUPLICATE_ID
+        assert service.stats.rejected == 1
+
+    def test_batch_size_triggers_a_cycle_on_pump(self):
+        config = ServiceConfig(batch_size=3, record_assignments=True)
+        service = BrokerService(make_pool(), config=config)
+        for index in range(3):
+            service.submit(make_job(f"j{index}"))
+        assert service.pump() == 1
+        assert service.queue_depth == 0
+        assert service.stats.scheduled == 3
+        assert service.active_count == 3
+
+    def test_max_wait_deadline_fires_at_exact_time(self):
+        config = ServiceConfig(batch_size=100, max_wait=10.0)
+        service = BrokerService(make_pool(), config=config)
+        service.advance_to(5.0)
+        service.submit(make_job("slow"))
+        # a coarse jump far past the deadline still fires the cycle at 15
+        service.advance_to(200.0)
+        assert service.stats.cycles == 1
+        assert service.stats.scheduled == 1
+
+    def test_clock_is_monotone(self):
+        service = BrokerService(make_pool(), clock_start=10.0)
+        with pytest.raises(SchedulingError, match="monotone"):
+            service.advance_to(5.0)
+
+    def test_committed_windows_satisfy_invariants(self):
+        config = ServiceConfig(batch_size=4, record_assignments=True)
+        service = BrokerService(make_pool(), config=config)
+        jobs = {f"j{index}": make_job(f"j{index}") for index in range(4)}
+        for job in jobs.values():
+            service.submit(job)
+        service.pump()
+        assert service.assignments
+        for job_id, window in service.assignments.items():
+            assert_window_invariants(window, jobs[job_id].request)
+
+    def test_drain_completes_and_releases_everything(self):
+        service = BrokerService(make_pool())
+        for index in range(5):
+            service.submit(make_job(f"j{index}"))
+        service.drain()
+        assert service.queue_depth == 0
+        assert service.active_count == 0
+        assert service.stats.retired == service.stats.scheduled == 5
+
+
+class TestAcceptanceRun:
+    """The 500-job streaming acceptance criteria of this subsystem."""
+
+    JOBS = 500
+
+    def run_trace(self, **service_kwargs):
+        config = TraceConfig(
+            jobs=self.JOBS,
+            rate=2.0,
+            node_count=50,
+            seed=7,
+            service=ServiceConfig(record_assignments=True, **service_kwargs),
+        )
+        return run_service_trace(config)
+
+    def test_streaming_run_is_leak_free(self):
+        outcome = self.run_trace(check_invariants=True)
+        service = outcome.service
+        # check_invariants=True already verified per-node disjointness
+        # after every cycle; assert the bookkeeping balanced out too.
+        stats = service.stats
+        assert stats.submitted == self.JOBS
+        assert stats.admitted == stats.submitted - stats.rejected
+        assert stats.scheduled == stats.retired + service.active_count
+        assert stats.admitted == stats.scheduled + stats.dropped
+        assert service.queue_depth == 0
+        assert service.active_count == 0
+        service.pool.assert_disjoint_per_node()
+
+    def test_every_retirement_goes_through_release(self):
+        config = TraceConfig(
+            jobs=120,
+            rate=2.0,
+            node_count=40,
+            seed=3,
+            service=ServiceConfig(record_assignments=True),
+        )
+        service = build_service(config)
+        releases = []
+        original_release = service.pool.release
+
+        def counting_release(window):
+            releases.append(window)
+            return original_release(window)
+
+        service.pool.release = counting_release
+        run_service_trace(config, service=service)
+        assert service.stats.retired == service.stats.scheduled
+        assert len(releases) == service.stats.retired
+        assert service.active_count == 0
+
+    def test_parallel_search_matches_sequential(self):
+        sequential = self.run_trace(workers=1).service
+        parallel = self.run_trace(workers=4).service
+        assert sequential.stats.scheduled == parallel.stats.scheduled
+        assert sequential.stats.rejected == parallel.stats.rejected
+        assert sequential.stats.dropped == parallel.stats.dropped
+        assert sequential.stats.cycles == parallel.stats.cycles
+        assert set(sequential.assignments) == set(parallel.assignments)
+        for job_id, window in sequential.assignments.items():
+            assert repr(parallel.assignments[job_id]) == repr(window), job_id
+
+
+class TestEarlyCompletion:
+    def test_completion_factor_frees_capacity_sooner(self):
+        full = run_service_trace(
+            TraceConfig(
+                jobs=80,
+                node_count=30,
+                seed=5,
+                service=ServiceConfig(completion_factor=1.0),
+            )
+        )
+        early = run_service_trace(
+            TraceConfig(
+                jobs=80,
+                node_count=30,
+                seed=5,
+                service=ServiceConfig(completion_factor=0.5),
+            )
+        )
+        assert early.service.stats.retired == early.service.stats.scheduled
+        # early finishes can only help (or match) the schedule rate
+        assert early.service.stats.scheduled >= full.service.stats.scheduled

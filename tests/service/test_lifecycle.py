@@ -1,0 +1,85 @@
+"""The virtual-clock job lifecycle: start, retire, release."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithms import AMP
+from repro.model import Job, ResourceRequest
+from repro.model.errors import SchedulingError
+from repro.service import JobLifecycle
+
+
+@pytest.fixture
+def scheduled(uniform_pool):
+    job = Job("lc", ResourceRequest(node_count=2, reservation_time=20.0, budget=1000.0))
+    window = AMP().select(job, uniform_pool)
+    assert window is not None
+    uniform_pool.cut_window(window)
+    return job, window, uniform_pool
+
+
+def test_start_and_retire_releases_slots(scheduled):
+    job, window, pool = scheduled
+    free_before = pool.total_free_time()
+    lifecycle = JobLifecycle()
+    entry = lifecycle.start(job, window, now=0.0)
+    assert entry.completes_at == window.start + window.runtime
+    assert lifecycle.active_count == 1
+    assert lifecycle.next_completion() == entry.completes_at
+
+    assert lifecycle.retire_due(entry.completes_at - 1.0, pool) == []
+    retired = lifecycle.retire_due(entry.completes_at, pool)
+    assert [item.job.job_id for item in retired] == ["lc"]
+    assert lifecycle.active_count == 0
+    assert pool.total_free_time() > free_before
+    pool.assert_disjoint_per_node()
+
+
+def test_completion_factor_shortens_the_run(scheduled):
+    job, window, pool = scheduled
+    lifecycle = JobLifecycle()
+    entry = lifecycle.start(job, window, now=0.0, completion_factor=0.5)
+    assert entry.completes_at == window.start + window.runtime * 0.5
+    # the full reservation is still released at (early) completion
+    retired = lifecycle.retire_due(entry.completes_at, pool)
+    assert len(retired) == 1
+    pool.assert_disjoint_per_node()
+
+
+def test_duplicate_start_raises(scheduled):
+    job, window, pool = scheduled
+    lifecycle = JobLifecycle()
+    lifecycle.start(job, window, now=0.0)
+    with pytest.raises(SchedulingError, match="already running"):
+        lifecycle.start(job, window, now=1.0)
+
+
+def test_bad_completion_factor_raises(scheduled):
+    job, window, pool = scheduled
+    lifecycle = JobLifecycle()
+    for factor in (0.0, -0.5, 1.5):
+        with pytest.raises(SchedulingError, match="completion_factor"):
+            lifecycle.start(job, window, now=0.0, completion_factor=factor)
+
+
+def test_retirement_order_is_deterministic(uniform_pool):
+    lifecycle = JobLifecycle()
+    windows = []
+    for index in range(2):
+        job = Job(
+            f"lc-{index}",
+            ResourceRequest(node_count=2, reservation_time=20.0, budget=1000.0),
+        )
+        window = AMP().select(job, uniform_pool)
+        assert window is not None
+        uniform_pool.cut_window(window)
+        lifecycle.start(job, window, now=0.0)
+        windows.append(window)
+    retired = lifecycle.retire_due(1e9, uniform_pool)
+    assert [item.job.job_id for item in retired] == [
+        item.job.job_id
+        for item in sorted(retired, key=lambda it: (it.completes_at, it.job.job_id))
+    ]
+    assert lifecycle.active_count == 0
+    uniform_pool.assert_disjoint_per_node()

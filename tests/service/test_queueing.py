@@ -1,0 +1,91 @@
+"""The bounded FIFO queue and the size-or-deadline cycle trigger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import Job, ResourceRequest
+from repro.model.errors import ConfigurationError
+from repro.service import BoundedJobQueue, CycleTrigger
+
+
+def make_job(job_id: str) -> Job:
+    return Job(job_id, ResourceRequest(node_count=1, reservation_time=10.0, budget=100.0))
+
+
+class TestBoundedJobQueue:
+    def test_fifo_order(self):
+        queue = BoundedJobQueue(capacity=4)
+        for index in range(3):
+            assert queue.push(make_job(f"j{index}"), now=float(index))
+        batch = queue.pop_batch(limit=10)
+        assert [item.job.job_id for item in batch] == ["j0", "j1", "j2"]
+        assert queue.depth == 0
+
+    def test_capacity_bound(self):
+        queue = BoundedJobQueue(capacity=2)
+        assert queue.push(make_job("a"), 0.0)
+        assert queue.push(make_job("b"), 0.0)
+        assert queue.is_full
+        assert not queue.push(make_job("c"), 0.0)
+        assert queue.job_ids() == {"a", "b"}
+
+    def test_pop_batch_respects_limit(self):
+        queue = BoundedJobQueue(capacity=8)
+        for index in range(5):
+            queue.push(make_job(f"j{index}"), 0.0)
+        assert len(queue.pop_batch(limit=3)) == 3
+        assert queue.depth == 2
+
+    def test_oldest_enqueued_at(self):
+        queue = BoundedJobQueue(capacity=8)
+        assert queue.oldest_enqueued_at() is None
+        queue.push(make_job("late"), 7.0)
+        queue.push(make_job("early"), 3.0)  # deferral re-push keeps its own time
+        assert queue.oldest_enqueued_at() == 3.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            BoundedJobQueue(capacity=0)
+        with pytest.raises(ConfigurationError):
+            BoundedJobQueue(capacity=1).pop_batch(limit=0)
+
+
+class TestCycleTrigger:
+    def make(self, batch_size=3, max_wait=10.0):
+        return CycleTrigger(batch_size=batch_size, max_wait=max_wait)
+
+    def test_idle_queue_never_fires(self):
+        queue = BoundedJobQueue(capacity=4)
+        trigger = self.make()
+        assert trigger.next_fire_time(queue, now=5.0) is None
+        assert not trigger.should_fire(queue, now=5.0)
+
+    def test_full_batch_fires_immediately(self):
+        queue = BoundedJobQueue(capacity=8)
+        for index in range(3):
+            queue.push(make_job(f"j{index}"), 1.0)
+        trigger = self.make(batch_size=3)
+        assert trigger.next_fire_time(queue, now=1.0) == 1.0
+        assert trigger.should_fire(queue, now=1.0)
+
+    def test_partial_batch_fires_at_deadline(self):
+        queue = BoundedJobQueue(capacity=8)
+        queue.push(make_job("j0"), 2.0)
+        trigger = self.make(batch_size=3, max_wait=10.0)
+        assert trigger.next_fire_time(queue, now=2.0) == 12.0
+        assert not trigger.should_fire(queue, now=11.9)
+        assert trigger.should_fire(queue, now=12.0)
+
+    def test_deadline_follows_oldest_job(self):
+        queue = BoundedJobQueue(capacity=8)
+        queue.push(make_job("old"), 1.0)
+        queue.push(make_job("new"), 9.0)
+        trigger = self.make(batch_size=5, max_wait=10.0)
+        assert trigger.next_fire_time(queue, now=9.0) == 11.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CycleTrigger(batch_size=0, max_wait=10.0)
+        with pytest.raises(ConfigurationError):
+            CycleTrigger(batch_size=1, max_wait=0.0)

@@ -1,0 +1,76 @@
+"""Counters, percentiles, and the stats snapshot."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import LatencyTracker, ServiceStats, percentile
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_median_of_odd_list(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_interpolates(self):
+        assert percentile([0.0, 10.0], 0.25) == 2.5
+
+    def test_extremes(self):
+        samples = [5.0, 1.0, 9.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 9.0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestLatencyTracker:
+    def test_mean_over_all_samples(self):
+        tracker = LatencyTracker()
+        for value in (1.0, 2.0, 3.0):
+            tracker.add(value)
+        assert tracker.mean == 2.0
+        assert tracker.count == 3
+
+    def test_percentiles_use_bounded_window(self):
+        tracker = LatencyTracker(max_samples=2)
+        for value in (100.0, 1.0, 2.0):
+            tracker.add(value)
+        # the window forgot the 100.0 outlier; the mean never forgets
+        assert tracker.p50 == 1.5
+        assert tracker.mean > 30.0
+
+    def test_empty_tracker(self):
+        tracker = LatencyTracker()
+        assert tracker.mean == 0.0
+        assert tracker.p95 == 0.0
+
+
+class TestServiceStats:
+    def test_record_rejection_buckets_by_reason(self):
+        stats = ServiceStats()
+        stats.record_rejection("queue_full")
+        stats.record_rejection("queue_full")
+        stats.record_rejection("duplicate_id")
+        assert stats.rejected == 3
+        assert stats.rejected_by_reason == {"queue_full": 2, "duplicate_id": 1}
+
+    def test_windows_per_second(self):
+        stats = ServiceStats()
+        assert stats.windows_per_second == 0.0
+        stats.windows_found = 50
+        stats.search_seconds = 2.0
+        assert stats.windows_per_second == 25.0
+
+    def test_snapshot_shape(self):
+        stats = ServiceStats(submitted=10, admitted=8, scheduled=6)
+        stats.cycle_latency.add(0.002)
+        payload = stats.snapshot(elapsed_seconds=2.0)
+        assert payload["submitted"] == 10
+        assert payload["jobs_per_second"] == 5.0
+        assert payload["cycle_latency_ms"]["mean"] == 2.0
+        # without a wall-clock, no throughput entry
+        assert "jobs_per_second" not in stats.snapshot()
