@@ -205,6 +205,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """Handler of the ``repro serve`` subcommand."""
     from repro.service import ServiceConfig, TraceConfig, run_service_trace
 
+    from repro.service.tracing import TraceInvariantError
+
     config = TraceConfig(
         jobs=args.jobs,
         rate=args.rate,
@@ -218,6 +220,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             criterion=Criterion[args.criterion.upper()],
             completion_factor=args.completion_factor,
         ),
+        trace_path=args.trace,
+        validate_trace=args.validate_trace,
     )
     if not args.json:
         print(
@@ -225,7 +229,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"a {args.nodes}-node broker, batch {args.batch_size} / "
             f"max wait {args.max_wait:g}, {args.workers} worker(s) ..."
         )
-    outcome = run_service_trace(config)
+    try:
+        outcome = run_service_trace(config)
+    except TraceInvariantError as error:
+        print(f"TRACE INVARIANT VIOLATION\n{error}", file=sys.stderr)
+        if args.trace:
+            print(f"offending event trace: {args.trace}", file=sys.stderr)
+        return 1
     snapshot = outcome.snapshot()
     if args.json:
         print(json.dumps(snapshot, indent=2, sort_keys=True))
@@ -244,6 +254,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"p95 {stats.cycle_latency.p95 * 1e3:.2f}ms; "
         f"{stats.windows_per_second:.0f} windows/s"
     )
+    if args.trace:
+        print(f"wrote event trace to {args.trace}")
+    if outcome.validator is not None:
+        summary = outcome.validator.summary()
+        print(
+            f"trace invariants OK: {summary['events']} events, "
+            f"{summary['scheduled']} scheduled + {summary['dropped']} dropped "
+            f"+ {summary['pending']} pending = {summary['admitted']} admitted"
+        )
     return 0
 
 
@@ -263,10 +282,12 @@ def cmd_bench_service(args: argparse.Namespace) -> int:
         rate=args.rate,
         workers=args.workers,
         seed=args.seed,
+        trace_path=args.trace,
     )
     for row in payload["results"]:
         print(
-            f"  {row['nodes']:>4} nodes: {row['jobs_per_second']:8.1f} jobs/s, "
+            f"  {row['nodes']:>4} nodes: {row['jobs_per_second']:8.1f} jobs/s "
+            f"offered, {row['scheduled_per_second']:8.1f} scheduled/s, "
             f"cycle p50 {row['cycle_latency_ms_p50']:.2f}ms "
             f"p95 {row['cycle_latency_ms_p95']:.2f}ms, "
             f"scheduled {row['scheduled']}/{row['jobs']}"
@@ -471,6 +492,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--completion-factor", type=float, default=1.0,
         help="fraction of the reservation jobs actually use (<1 = early finish)",
     )
+    serve.add_argument(
+        "--trace", help="write a JSONL event trace (one event per line) here"
+    )
+    serve.add_argument(
+        "--validate-trace", action="store_true",
+        help="replay the event stream through the TraceValidator; "
+             "exit non-zero on any conservation violation",
+    )
     serve.add_argument("--json", action="store_true", help="emit the stats as JSON")
     serve.set_defaults(func=cmd_serve)
 
@@ -483,6 +512,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--rate", type=float, default=2.0)
     bench.add_argument("--workers", type=int, default=4)
     bench.add_argument("--seed", type=int, default=2013)
+    bench.add_argument("--trace",
+                       help="archive each run's JSONL event trace "
+                            "(per-pool-size files derived from this path)")
     bench.add_argument("-o", "--output",
                        help="write the JSON payload here (BENCH_service.json)")
     bench.set_defaults(func=cmd_bench_service)

@@ -24,10 +24,31 @@ from repro.service.driver import (
     build_service,
     run_service_trace,
 )
+from repro.service.events import (
+    CollectingSink,
+    Event,
+    EventEmitter,
+    EventSink,
+    EventType,
+    JsonlSink,
+    RingBufferSink,
+    deterministic_trace,
+    load_trace,
+)
 from repro.service.lifecycle import ActiveJob, JobLifecycle
 from repro.service.parallel import parallel_find_alternatives
 from repro.service.queueing import BoundedJobQueue, CycleTrigger, QueuedJob
-from repro.service.stats import LatencyTracker, ServiceStats, percentile
+from repro.service.stats import (
+    LatencyTracker,
+    ServiceStats,
+    percentile,
+    percentile_of_sorted,
+)
+from repro.service.tracing import (
+    TraceInvariantError,
+    TraceValidator,
+    validate_trace_file,
+)
 
 __all__ = [
     "ActiveJob",
@@ -38,16 +59,29 @@ __all__ = [
     "BrokerService",
     "build_service",
     "cheapest_feasible_cost",
+    "CollectingSink",
     "CycleTrigger",
+    "deterministic_trace",
+    "Event",
+    "EventEmitter",
+    "EventSink",
+    "EventType",
     "JobLifecycle",
+    "JsonlSink",
     "LatencyTracker",
+    "load_trace",
     "parallel_find_alternatives",
     "percentile",
+    "percentile_of_sorted",
     "QueuedJob",
     "RejectionReason",
+    "RingBufferSink",
     "run_service_trace",
     "ServiceConfig",
     "ServiceStats",
     "TraceConfig",
+    "TraceInvariantError",
     "TraceResult",
+    "TraceValidator",
+    "validate_trace_file",
 ]

@@ -20,6 +20,7 @@ from repro.model.job import Job, ResourceRequest
 from repro.model.slot import TIME_EPSILON
 from repro.model.slotpool import SlotPool
 from repro.model.window import COST_EPSILON
+from repro.service.events import EventEmitter, EventType
 
 
 class RejectionReason(enum.Enum):
@@ -88,10 +89,16 @@ class AdmissionController:
         cheapest-possible window cost over the current pool.  Disabling
         keeps only the structural checks (duplicates, queue bound, node
         count), which admits more but defers more.
+    emitter:
+        Optional event emitter; every verdict is traced as ``ADMITTED``
+        or ``REJECTED{reason}``.
     """
 
-    def __init__(self, strict_budget: bool = True):
+    def __init__(
+        self, strict_budget: bool = True, emitter: Optional[EventEmitter] = None
+    ):
         self.strict_budget = strict_budget
+        self._emitter = emitter if emitter is not None else EventEmitter()
 
     def evaluate(
         self,
@@ -102,6 +109,26 @@ class AdmissionController:
         known_ids: AbstractSet[str],
     ) -> AdmissionDecision:
         """Admit or reject one submission (called under the broker lock)."""
+        decision = self._decide(job, pool, queue_depth, queue_capacity, known_ids)
+        if decision.admitted:
+            self._emitter.emit(EventType.ADMITTED, job_id=job.job_id)
+        else:
+            assert decision.reason is not None
+            self._emitter.emit(
+                EventType.REJECTED,
+                job_id=job.job_id,
+                reason=decision.reason.value,
+            )
+        return decision
+
+    def _decide(
+        self,
+        job: Job,
+        pool: SlotPool,
+        queue_depth: int,
+        queue_capacity: int,
+        known_ids: AbstractSet[str],
+    ) -> AdmissionDecision:
         if queue_depth >= queue_capacity:
             return AdmissionDecision.reject(
                 RejectionReason.QUEUE_FULL,

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import threading
 from time import perf_counter
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 from repro.core.algorithms.csa import CSA
 from repro.model.errors import SchedulingError
@@ -34,6 +34,7 @@ from repro.model.window import Window
 from repro.scheduling.metascheduler import BatchScheduler, CycleReport
 from repro.service.admission import AdmissionController, AdmissionDecision
 from repro.service.config import ServiceConfig
+from repro.service.events import EventEmitter, EventSink, EventType
 from repro.service.lifecycle import ActiveJob, JobLifecycle
 from repro.service.parallel import parallel_find_alternatives
 from repro.service.queueing import BoundedJobQueue, CycleTrigger, QueuedJob
@@ -55,6 +56,13 @@ class BrokerService:
         ``config.alternatives_per_job`` with ``config.criterion`` phase two.
     clock_start:
         Initial virtual time; free time before it is trimmed immediately.
+    sinks:
+        Event consumers (ring buffer, JSONL writer, trace validator, ...)
+        fed every job/cycle state transition; empty means tracing is a
+        no-op.  All components share one emitter, so sequence numbers
+        totally order the trace.  Every emitted field is deterministic
+        for a given job stream and configuration except ``wall_``-prefixed
+        timing fields, preserving PR 1's worker-count invariance.
     """
 
     def __init__(
@@ -63,6 +71,7 @@ class BrokerService:
         config: Optional[ServiceConfig] = None,
         scheduler: Optional[BatchScheduler] = None,
         clock_start: float = 0.0,
+        sinks: Sequence[EventSink] = (),
     ):
         self.config = config if config is not None else ServiceConfig()
         self.pool = pool
@@ -78,10 +87,11 @@ class BrokerService:
         self.stats = ServiceStats()
         self.assignments: dict[str, Window] = {}
         self.last_report: Optional[CycleReport] = None
-        self._admission = AdmissionController()
-        self._queue = BoundedJobQueue(self.config.queue_capacity)
+        self.events = EventEmitter(sinks, clock=lambda: self._now)
+        self._admission = AdmissionController(emitter=self.events)
+        self._queue = BoundedJobQueue(self.config.queue_capacity, emitter=self.events)
         self._trigger = CycleTrigger(self.config.batch_size, self.config.max_wait)
-        self._lifecycle = JobLifecycle()
+        self._lifecycle = JobLifecycle(emitter=self.events)
         self._lock = threading.RLock()
         self._now = clock_start
         self.pool.trim_before(self._now)
@@ -118,6 +128,7 @@ class BrokerService:
         """
         with self._lock:
             self.stats.submitted += 1
+            self.events.emit(EventType.SUBMITTED, job_id=job.job_id)
             known = self._queue.job_ids() | self._lifecycle.active_ids()
             decision = self._admission.evaluate(
                 job,
@@ -219,7 +230,14 @@ class BrokerService:
         shared pool, start lifecycles, and requeue or drop the rest.
         """
         cycle_started = perf_counter()
+        cycle_index = self.stats.cycles
         self._retire_and_trim()
+        self.events.emit(
+            EventType.CYCLE_START,
+            cycle=cycle_index,
+            queue_depth=self._queue.depth,
+            active_jobs=self._lifecycle.active_count,
+        )
         queued = self._queue.pop_batch(self.config.batch_size)
         batch = JobBatch()
         by_id: dict[str, QueuedJob] = {}
@@ -244,7 +262,8 @@ class BrokerService:
             workers=self.config.workers,
             limit=self.config.alternatives_per_job,
         )
-        self.stats.search_seconds += perf_counter() - search_started
+        search_seconds = perf_counter() - search_started
+        self.stats.search_seconds += search_seconds
         self.stats.windows_found += sum(len(found) for found in alternatives.values())
 
         report = self.scheduler.plan(batch, self.pool, alternatives=alternatives)
@@ -260,6 +279,16 @@ class BrokerService:
             )
             if self.config.record_assignments:
                 self.assignments[job_id] = window
+            self.events.emit(
+                EventType.SCHEDULED,
+                job_id=job_id,
+                cycle=cycle_index,
+                window_start=window.start,
+                window_finish=window.finish,
+                cost=window.total_cost,
+                nodes=window.nodes(),
+                node_seconds=window.processor_time,
+            )
         self.stats.scheduled += len(report.scheduled)
 
         for job_id in report.unscheduled:
@@ -267,14 +296,52 @@ class BrokerService:
             deferrals = item.deferrals + 1
             if deferrals > self.config.max_deferrals:
                 self.stats.dropped += 1
+                self.events.emit(
+                    EventType.DROPPED,
+                    job_id=job_id,
+                    cycle=cycle_index,
+                    cause="max_deferrals",
+                    deferrals=item.deferrals,
+                )
+            elif not self._queue.push(item.job, self._now, deferrals=deferrals):
+                # The re-push can meet a full queue (e.g. the bound was
+                # shrunk while the batch was in flight); counting the job
+                # as dropped keeps the admitted = scheduled + dropped +
+                # queued conservation law — ignoring the push result here
+                # used to lose the job without a trace.
+                self.stats.dropped += 1
+                self.events.emit(
+                    EventType.DROPPED,
+                    job_id=job_id,
+                    cycle=cycle_index,
+                    cause="queue_full",
+                    deferrals=item.deferrals,
+                )
             else:
                 self.stats.deferred += 1
-                self._queue.push(item.job, self._now, deferrals=deferrals)
+                self.events.emit(
+                    EventType.DEFERRED,
+                    job_id=job_id,
+                    cycle=cycle_index,
+                    deferrals=deferrals,
+                )
 
         self.stats.cycles += 1
         self.stats.queue_depth = self._queue.depth
         self.stats.active_jobs = self._lifecycle.active_count
-        self.stats.cycle_latency.add(perf_counter() - cycle_started)
+        cycle_seconds = perf_counter() - cycle_started
+        self.stats.cycle_latency.add(cycle_seconds)
+        self.events.emit(
+            EventType.CYCLE_END,
+            cycle=cycle_index,
+            batch=len(queued),
+            scheduled=len(report.scheduled),
+            unscheduled=len(report.unscheduled),
+            queue_depth=self._queue.depth,
+            active_jobs=self._lifecycle.active_count,
+            wall_search_seconds=search_seconds,
+            wall_cycle_seconds=cycle_seconds,
+        )
         if self.config.check_invariants:
             self.pool.assert_disjoint_per_node()
         self.last_report = report

@@ -19,18 +19,28 @@ from repro.environment.generator import EnvironmentConfig, EnvironmentGenerator
 from repro.model.errors import ConfigurationError
 from repro.service.broker import BrokerService
 from repro.service.config import ServiceConfig
+from repro.service.events import EventSink, JsonlSink
+from repro.service.tracing import TraceValidator
 from repro.simulation.jobgen import JobGenerator
 
 
 @dataclass(frozen=True)
 class TraceConfig:
-    """Parameters of one scripted service run."""
+    """Parameters of one scripted service run.
+
+    ``trace_path`` attaches a JSONL event sink (the ``repro serve
+    --trace`` wiring); ``validate_trace`` rides a
+    :class:`~repro.service.tracing.TraceValidator` along the stream and
+    checks the conservation invariants once the run has drained.
+    """
 
     jobs: int = 100
     rate: float = 2.0
     node_count: int = 50
     seed: Optional[int] = 7
     service: ServiceConfig = field(default_factory=ServiceConfig)
+    trace_path: Optional[str] = None
+    validate_trace: bool = False
 
     def __post_init__(self) -> None:
         if self.jobs < 0:
@@ -48,38 +58,71 @@ class TraceResult:
     service: BrokerService
     elapsed_seconds: float
     final_virtual_time: float
+    validator: Optional[TraceValidator] = None
 
     def snapshot(self) -> dict[str, object]:
         """JSON-friendly summary (stats block plus run timing)."""
         payload = self.service.stats.snapshot(elapsed_seconds=self.elapsed_seconds)
         payload["elapsed_seconds"] = round(self.elapsed_seconds, 3)
         payload["final_virtual_time"] = round(self.final_virtual_time, 1)
+        if self.validator is not None:
+            payload["trace"] = self.validator.summary()
         return payload
 
 
-def build_service(config: TraceConfig) -> BrokerService:
+def build_service(
+    config: TraceConfig, sinks: Sequence[EventSink] = ()
+) -> BrokerService:
     """A broker over a freshly generated environment pool."""
     environment = EnvironmentGenerator(
         EnvironmentConfig(node_count=config.node_count, seed=config.seed)
     ).generate()
-    return BrokerService(environment.slot_pool(), config=config.service)
+    return BrokerService(environment.slot_pool(), config=config.service, sinks=sinks)
 
 
 def run_service_trace(
     config: TraceConfig, service: Optional[BrokerService] = None
 ) -> TraceResult:
-    """Stream a seeded arrival trace through a broker and drain it."""
+    """Stream a seeded arrival trace through a broker and drain it.
+
+    When ``config`` asks for tracing the JSONL sink is closed (flushed)
+    before the validator verdict, so the trace file is complete on disk
+    even when :meth:`TraceValidator.check` raises — CI uploads it as the
+    failure artifact.
+    """
+    validator = TraceValidator() if config.validate_trace else None
     if service is None:
-        service = build_service(config)
+        sinks: list[EventSink] = []
+        if config.trace_path is not None:
+            sinks.append(JsonlSink(config.trace_path))
+        if validator is not None:
+            sinks.append(validator)
+        service = build_service(config, sinks=sinks)
+    elif validator is not None:
+        service.events.add_sink(validator)
     generator = JobGenerator(seed=config.seed)
     started = perf_counter()
-    service.process(generator.iter_arrivals(config.jobs, rate=config.rate))
-    elapsed = perf_counter() - started
+    try:
+        service.process(generator.iter_arrivals(config.jobs, rate=config.rate))
+        elapsed = perf_counter() - started
+    finally:
+        service.events.close()
+    if validator is not None:
+        validator.check(expect_drained=True)
     return TraceResult(
         service=service,
         elapsed_seconds=elapsed,
         final_virtual_time=service.now,
+        validator=validator,
     )
+
+
+def _trace_path_for_nodes(trace_path: str, node_count: int) -> str:
+    """Per-pool-size JSONL path: ``trace.jsonl`` -> ``trace-50nodes.jsonl``."""
+    stem, dot, suffix = trace_path.rpartition(".")
+    if not dot:
+        return f"{trace_path}-{node_count}nodes"
+    return f"{stem}-{node_count}nodes.{suffix}"
 
 
 def bench_service(
@@ -88,12 +131,16 @@ def bench_service(
     rate: float = 2.0,
     workers: int = 4,
     seed: int = 2013,
+    trace_path: Optional[str] = None,
 ) -> dict[str, object]:
     """Throughput benchmark across pool sizes.
 
     Invariant checking is disabled (measured, not verified, runs) and the
-    phase-one fan-out uses ``workers`` threads.  Returns the payload
-    written to ``BENCH_service.json``.
+    phase-one fan-out uses ``workers`` threads.  ``trace_path`` archives
+    each run's event stream to a per-pool-size JSONL file.  Returns the
+    payload written to ``BENCH_service.json``; per row it reports both
+    the offered rate (``jobs_per_second``, submissions over wall time)
+    and the useful throughput (``scheduled_per_second``).
     """
     results: list[dict[str, object]] = []
     for node_count in node_counts:
@@ -103,20 +150,28 @@ def bench_service(
             node_count=node_count,
             seed=seed,
             service=ServiceConfig(workers=workers, check_invariants=False),
+            trace_path=(
+                _trace_path_for_nodes(trace_path, node_count)
+                if trace_path is not None
+                else None
+            ),
         )
         outcome = run_service_trace(config)
         stats = outcome.service.stats
+        latency_p50, latency_p95 = stats.cycle_latency.quantiles(0.50, 0.95)
+        elapsed = outcome.elapsed_seconds
         results.append(
             {
                 "nodes": node_count,
                 "jobs": jobs,
-                "elapsed_seconds": round(outcome.elapsed_seconds, 3),
-                "jobs_per_second": round(jobs / outcome.elapsed_seconds, 1)
-                if outcome.elapsed_seconds > 0
+                "elapsed_seconds": round(elapsed, 3),
+                "jobs_per_second": round(jobs / elapsed, 1) if elapsed > 0 else 0.0,
+                "scheduled_per_second": round(stats.scheduled / elapsed, 1)
+                if elapsed > 0
                 else 0.0,
                 "cycles": stats.cycles,
-                "cycle_latency_ms_p50": round(stats.cycle_latency.p50 * 1e3, 3),
-                "cycle_latency_ms_p95": round(stats.cycle_latency.p95 * 1e3, 3),
+                "cycle_latency_ms_p50": round(latency_p50 * 1e3, 3),
+                "cycle_latency_ms_p95": round(latency_p95 * 1e3, 3),
                 "windows_per_second": round(stats.windows_per_second, 1),
                 "scheduled": stats.scheduled,
                 "rejected": stats.rejected,

@@ -20,6 +20,7 @@ from repro.model.job import Job
 from repro.model.slot import TIME_EPSILON
 from repro.model.slotpool import SlotPool
 from repro.model.window import Window
+from repro.service.events import EventEmitter, EventType
 
 
 @dataclass(frozen=True)
@@ -35,8 +36,9 @@ class ActiveJob:
 class JobLifecycle:
     """Virtual-clock registry of running jobs."""
 
-    def __init__(self) -> None:
+    def __init__(self, emitter: Optional[EventEmitter] = None) -> None:
         self._active: dict[str, ActiveJob] = {}
+        self._emitter = emitter if emitter is not None else EventEmitter()
 
     @property
     def active_count(self) -> int:
@@ -97,4 +99,10 @@ class JobLifecycle:
         for entry in due:
             pool.release(entry.window)
             del self._active[entry.job.job_id]
+            self._emitter.emit(
+                EventType.RETIRED,
+                job_id=entry.job.job_id,
+                completed_at=entry.completes_at,
+                released_node_seconds=entry.window.processor_time,
+            )
         return due

@@ -15,9 +15,10 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.model.errors import ConfigurationError
+from repro.model.errors import ConfigurationError, SchedulingError
 from repro.model.job import Job
 from repro.model.slot import TIME_EPSILON
+from repro.service.events import EventEmitter, EventType
 
 
 @dataclass
@@ -30,13 +31,21 @@ class QueuedJob:
 
 
 class BoundedJobQueue:
-    """FIFO queue of pending jobs with a hard capacity bound."""
+    """FIFO queue of pending jobs with a hard capacity bound.
 
-    def __init__(self, capacity: int):
+    Enqueue times are required to be nondecreasing — the broker's clock
+    is monotone and deferral re-pushes stamp the *current* time, so the
+    head item is always the longest-waiting one.  :meth:`push` enforces
+    the invariant, which is what lets :meth:`oldest_enqueued_at` peek the
+    head in O(1) instead of scanning.
+    """
+
+    def __init__(self, capacity: int, emitter: Optional[EventEmitter] = None):
         if capacity < 1:
             raise ConfigurationError(f"queue capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._items: deque[QueuedJob] = deque()
+        self._emitter = emitter if emitter is not None else EventEmitter()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -56,16 +65,35 @@ class BoundedJobQueue:
         return {item.job.job_id for item in self._items}
 
     def oldest_enqueued_at(self) -> Optional[float]:
-        """Enqueue time of the longest-waiting job, ``None`` when empty."""
+        """Enqueue time of the longest-waiting job, ``None`` when empty.
+
+        O(1): enqueue times are nondecreasing (enforced by :meth:`push`),
+        so the head of the FIFO is always the oldest.
+        """
         if not self._items:
             return None
-        return min(item.enqueued_at for item in self._items)
+        return self._items[0].enqueued_at
 
     def push(self, job: Job, now: float, deferrals: int = 0) -> bool:
-        """Append a job; returns ``False`` (unchanged) when at capacity."""
+        """Append a job; returns ``False`` (unchanged) when at capacity.
+
+        Raises when ``now`` precedes the newest item's enqueue time,
+        which would silently break the O(1) oldest-item peek.
+        """
         if self.is_full:
             return False
+        if self._items and now < self._items[-1].enqueued_at - TIME_EPSILON:
+            raise SchedulingError(
+                f"enqueue times must be nondecreasing: tail is at "
+                f"{self._items[-1].enqueued_at}, got {now}"
+            )
         self._items.append(QueuedJob(job=job, enqueued_at=now, deferrals=deferrals))
+        self._emitter.emit(
+            EventType.QUEUED,
+            job_id=job.job_id,
+            deferrals=deferrals,
+            depth=len(self._items),
+        )
         return True
 
     def pop_batch(self, limit: int) -> list[QueuedJob]:

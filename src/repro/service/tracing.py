@@ -1,0 +1,344 @@
+"""Trace validation: replay an event stream and check conservation.
+
+The event taxonomy of :mod:`repro.service.events` implies an algebra —
+every admitted job must end in exactly one of scheduled / dropped /
+still-queued, a job can only retire what it committed, virtual time
+never runs backwards — and :class:`TraceValidator` is the machine that
+checks it.  It consumes events one at a time (it *is* an
+:class:`~repro.service.events.EventSink`, so it can ride along a live
+service as an opt-in ``check_invariants``-style hook) or replays a
+recorded JSONL trace after the fact, and accumulates violations instead
+of stopping at the first, so one pass reports every broken invariant.
+
+This is the tool that catches the accounting-bug class fixed alongside
+it: a deferral re-push silently swallowed by a full queue leaves an
+admitted job with no terminal state, which :meth:`TraceValidator.check`
+reports as a conservation failure.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Optional
+
+from repro.model.errors import SchedulingError
+from repro.model.slot import TIME_EPSILON
+from repro.service.events import Event, EventSink, EventType, load_trace
+
+
+class TraceInvariantError(SchedulingError):
+    """A trace violated the service's conservation invariants."""
+
+
+class JobState(enum.Enum):
+    """Where a job is in its lifecycle, as reconstructed from the trace."""
+
+    SUBMITTED = "submitted"  #: seen SUBMITTED, awaiting the admission verdict
+    PENDING = "pending"  #: admitted; queued or deferred, not yet decided
+    SCHEDULED = "scheduled"  #: holds a committed window
+    RETIRED = "retired"  #: finished; slots released
+    DROPPED = "dropped"  #: given up (max deferrals or full queue)
+    REJECTED = "rejected"  #: turned away at admission
+
+
+#: Transitions the event stream is allowed to make.  QUEUED and DEFERRED
+#: keep a job pending — they describe *how* it waits, not a new state.
+_TRANSITIONS: dict[EventType, tuple[tuple[Optional[JobState], JobState], ...]] = {
+    EventType.ADMITTED: ((JobState.SUBMITTED, JobState.PENDING),),
+    EventType.REJECTED: ((JobState.SUBMITTED, JobState.REJECTED),),
+    EventType.QUEUED: ((JobState.PENDING, JobState.PENDING),),
+    EventType.DEFERRED: ((JobState.PENDING, JobState.PENDING),),
+    EventType.SCHEDULED: ((JobState.PENDING, JobState.SCHEDULED),),
+    EventType.DROPPED: ((JobState.PENDING, JobState.DROPPED),),
+    EventType.RETIRED: ((JobState.SCHEDULED, JobState.RETIRED),),
+}
+
+#: Terminal states a job id may be resubmitted from (a retired or
+#: rejected id is free again as far as the broker's duplicate check goes).
+_RESUBMITTABLE = frozenset(
+    {JobState.RETIRED, JobState.DROPPED, JobState.REJECTED}
+)
+
+
+class TraceValidator(EventSink):
+    """Replays a broker event stream and checks its conservation laws.
+
+    Invariants checked while observing:
+
+    * virtual time is monotone (event ``time`` never decreases);
+    * every per-job event respects the lifecycle state machine
+      (no retiring what was never scheduled, no double terminal state);
+    * ``CYCLE_START`` / ``CYCLE_END`` alternate with increasing indices;
+    * cumulative released node-seconds never exceed committed ones,
+      globally and per job.
+
+    Invariants checked at the end (:meth:`check`):
+
+    * ``submitted == admitted + rejected``;
+    * every admitted job is in exactly one of scheduled / dropped /
+      still-pending (conservation of jobs);
+    * with ``expect_drained=True``: nothing is still pending and every
+      scheduled job retired.
+    """
+
+    def __init__(self) -> None:
+        self.violations: list[str] = []
+        self.counts: dict[EventType, int] = {t: 0 for t in EventType}
+        self._states: dict[str, JobState] = {}
+        self._committed: dict[str, float] = {}
+        self._committed_total = 0.0
+        self._released_total = 0.0
+        self._last_time: Optional[float] = None
+        self._cycle_open: Optional[int] = None
+        self._last_cycle: Optional[int] = None
+        self.events_seen = 0
+
+    # ------------------------------------------------------------------
+    # Streaming interface
+    # ------------------------------------------------------------------
+    def emit(self, event: Event) -> None:
+        """EventSink interface: validate as the service runs."""
+        self.observe(event)
+
+    def observe(self, event: Event) -> None:
+        """Feed one event through the state machine."""
+        self.events_seen += 1
+        self.counts[event.type] = self.counts.get(event.type, 0) + 1
+        self._check_time(event)
+        if event.type is EventType.CYCLE_START:
+            self._on_cycle_start(event)
+        elif event.type is EventType.CYCLE_END:
+            self._on_cycle_end(event)
+        elif event.type is EventType.SUBMITTED:
+            self._on_submitted(event)
+        else:
+            self._on_job_event(event)
+
+    def observe_all(self, events: Iterable[Event]) -> "TraceValidator":
+        """Feed a whole event sequence; returns ``self`` for chaining."""
+        for event in events:
+            self.observe(event)
+        return self
+
+    # ------------------------------------------------------------------
+    # Per-event checks
+    # ------------------------------------------------------------------
+    def _violate(self, event: Optional[Event], message: str) -> None:
+        prefix = f"event {event.seq} ({event.type.value}): " if event else ""
+        self.violations.append(prefix + message)
+
+    def _check_time(self, event: Event) -> None:
+        if self._last_time is not None and event.time < self._last_time - TIME_EPSILON:
+            self._violate(
+                event,
+                f"virtual time ran backwards: {self._last_time} -> {event.time}",
+            )
+        self._last_time = max(self._last_time or event.time, event.time)
+
+    def _on_cycle_start(self, event: Event) -> None:
+        if self._cycle_open is not None:
+            self._violate(event, f"cycle {self._cycle_open} is still open")
+        cycle = event.fields.get("cycle")
+        if not isinstance(cycle, int):
+            self._violate(event, "cycle_start carries no integer 'cycle' field")
+            cycle = -1
+        elif self._last_cycle is not None and cycle <= self._last_cycle:
+            self._violate(
+                event,
+                f"cycle index did not increase: {self._last_cycle} -> {cycle}",
+            )
+        self._cycle_open = cycle
+
+    def _on_cycle_end(self, event: Event) -> None:
+        if self._cycle_open is None:
+            self._violate(event, "cycle_end without a matching cycle_start")
+            return
+        cycle = event.fields.get("cycle")
+        if cycle != self._cycle_open:
+            self._violate(
+                event,
+                f"cycle_end for cycle {cycle} inside cycle {self._cycle_open}",
+            )
+        self._last_cycle = self._cycle_open
+        self._cycle_open = None
+
+    def _on_submitted(self, event: Event) -> None:
+        job_id = event.job_id
+        if job_id is None:
+            self._violate(event, "submitted event without a job id")
+            return
+        state = self._states.get(job_id)
+        if state is not None and state not in _RESUBMITTABLE:
+            self._violate(
+                event, f"job {job_id!r} resubmitted while {state.value}"
+            )
+        # A resubmitted terminal id starts a fresh life; its committed
+        # node-seconds budget starts over with it.
+        self._states[job_id] = JobState.SUBMITTED
+        self._committed.pop(job_id, None)
+
+    def _on_job_event(self, event: Event) -> None:
+        job_id = event.job_id
+        if job_id is None:
+            self._violate(event, "job event without a job id")
+            return
+        state = self._states.get(job_id)
+        allowed = _TRANSITIONS[event.type]
+        for source, target in allowed:
+            if state is source:
+                self._states[job_id] = target
+                break
+        else:
+            have = "never seen" if state is None else state.value
+            self._violate(
+                event,
+                f"illegal transition for job {job_id!r}: "
+                f"{event.type.value} while {have}",
+            )
+            return
+        if event.type is EventType.SCHEDULED:
+            self._on_scheduled(event, job_id)
+        elif event.type is EventType.RETIRED:
+            self._on_retired(event, job_id)
+
+    def _on_scheduled(self, event: Event, job_id: str) -> None:
+        node_seconds = event.fields.get("node_seconds")
+        if not isinstance(node_seconds, (int, float)) or node_seconds < 0:
+            self._violate(event, "scheduled event without valid 'node_seconds'")
+            return
+        self._committed[job_id] = float(node_seconds)
+        self._committed_total += float(node_seconds)
+
+    def _on_retired(self, event: Event, job_id: str) -> None:
+        released = event.fields.get("released_node_seconds")
+        if not isinstance(released, (int, float)) or released < 0:
+            self._violate(
+                event, "retired event without valid 'released_node_seconds'"
+            )
+            return
+        committed = self._committed.get(job_id)
+        if committed is None:
+            self._violate(event, f"job {job_id!r} retired without a commitment")
+            return
+        if released > committed + TIME_EPSILON:
+            self._violate(
+                event,
+                f"job {job_id!r} released {released} node-seconds "
+                f"but committed only {committed}",
+            )
+        self._released_total += float(released)
+        if self._released_total > self._committed_total + TIME_EPSILON:
+            self._violate(
+                event,
+                f"cumulative released node-seconds ({self._released_total}) "
+                f"exceed committed ({self._committed_total})",
+            )
+
+    # ------------------------------------------------------------------
+    # Terminal accounting
+    # ------------------------------------------------------------------
+    def _count_states(self) -> dict[JobState, int]:
+        tally = {state: 0 for state in JobState}
+        for state in self._states.values():
+            tally[state] += 1
+        return tally
+
+    @property
+    def pending_jobs(self) -> set[str]:
+        """Ids of admitted jobs that have reached no terminal state."""
+        return {
+            job_id
+            for job_id, state in self._states.items()
+            if state is JobState.PENDING
+        }
+
+    @property
+    def committed_node_seconds(self) -> float:
+        return self._committed_total
+
+    @property
+    def released_node_seconds(self) -> float:
+        return self._released_total
+
+    def check(self, expect_drained: bool = False) -> "TraceValidator":
+        """Run the end-of-trace conservation checks and raise on failure.
+
+        ``expect_drained`` additionally requires an empty queue and every
+        scheduled job retired — the state :meth:`BrokerService.drain`
+        leaves behind.  Returns ``self`` so callers can chain
+        ``TraceValidator().observe_all(events).check()``.
+        """
+        failures = list(self.violations)
+        tally = self._count_states()
+        submitted = self.counts[EventType.SUBMITTED]
+        admitted = self.counts[EventType.ADMITTED]
+        rejected = self.counts[EventType.REJECTED]
+        scheduled = self.counts[EventType.SCHEDULED]
+        dropped = self.counts[EventType.DROPPED]
+        retired = self.counts[EventType.RETIRED]
+        if submitted != admitted + rejected:
+            failures.append(
+                f"submitted ({submitted}) != admitted ({admitted}) "
+                f"+ rejected ({rejected})"
+            )
+        pending = tally[JobState.PENDING]
+        if admitted != scheduled + dropped + pending:
+            failures.append(
+                f"admitted ({admitted}) != scheduled ({scheduled}) + dropped "
+                f"({dropped}) + still-pending ({pending}): jobs were lost"
+            )
+        if tally[JobState.SUBMITTED]:
+            failures.append(
+                f"{tally[JobState.SUBMITTED]} job(s) submitted without an "
+                "admission verdict"
+            )
+        if self._cycle_open is not None:
+            failures.append(f"cycle {self._cycle_open} never ended")
+        if self._released_total > self._committed_total + TIME_EPSILON:
+            failures.append(
+                f"released node-seconds ({self._released_total}) exceed "
+                f"committed ({self._committed_total})"
+            )
+        if expect_drained:
+            if pending:
+                failures.append(
+                    f"trace claims a drained service but {pending} job(s) "
+                    "are still pending"
+                )
+            if retired != scheduled:
+                failures.append(
+                    f"trace claims a drained service but retired ({retired}) "
+                    f"!= scheduled ({scheduled})"
+                )
+        if failures:
+            raise TraceInvariantError(
+                "trace violates service invariants:\n  "
+                + "\n  ".join(failures)
+            )
+        return self
+
+    def summary(self) -> dict[str, object]:
+        """Counter view of the replay (for CLI output and CI logs)."""
+        tally = self._count_states()
+        return {
+            "events": self.events_seen,
+            "submitted": self.counts[EventType.SUBMITTED],
+            "admitted": self.counts[EventType.ADMITTED],
+            "rejected": self.counts[EventType.REJECTED],
+            "scheduled": self.counts[EventType.SCHEDULED],
+            "dropped": self.counts[EventType.DROPPED],
+            "retired": self.counts[EventType.RETIRED],
+            "pending": tally[JobState.PENDING],
+            "committed_node_seconds": round(self._committed_total, 6),
+            "released_node_seconds": round(self._released_total, 6),
+            "violations": len(self.violations),
+        }
+
+
+def validate_trace_file(
+    path: str, expect_drained: bool = False
+) -> TraceValidator:
+    """Load a JSONL trace and run the full validation; raises on failure."""
+    return TraceValidator().observe_all(load_trace(path)).check(
+        expect_drained=expect_drained
+    )

@@ -14,11 +14,16 @@ import pytest
 from repro.environment import EnvironmentConfig, EnvironmentGenerator
 from repro.model import Job, ResourceRequest
 from repro.model.errors import SchedulingError
+from repro.scheduling.combination import CombinationChoice
+from repro.scheduling.metascheduler import CycleReport
 from repro.service import (
     BrokerService,
+    CollectingSink,
+    EventType,
     RejectionReason,
     ServiceConfig,
     TraceConfig,
+    TraceValidator,
     build_service,
     run_service_trace,
 )
@@ -39,6 +44,29 @@ def make_job(job_id: str, nodes: int = 2, budget: float = 2000.0) -> Job:
         job_id,
         ResourceRequest(node_count=nodes, reservation_time=20.0, budget=budget),
     )
+
+
+class NeverScheduler:
+    """Cycle kernel stub that schedules nothing: every job defers."""
+
+    class _NoSearch:
+        def find_alternatives(self, job, pool, limit=None):
+            return []
+
+    def __init__(self):
+        self.search = self._NoSearch()
+
+    def plan(self, batch, pool, alternatives=None):
+        jobs = tuple(batch.by_priority())
+        return CycleReport(
+            choice=CombinationChoice(
+                assignments={},
+                total_value=0.0,
+                unscheduled=tuple(job.job_id for job in jobs),
+            ),
+            alternatives_found={job.job_id: 0 for job in jobs},
+            jobs=jobs,
+        )
 
 
 class TestSubmitAndCycle:
@@ -162,6 +190,77 @@ class TestAcceptanceRun:
         assert set(sequential.assignments) == set(parallel.assignments)
         for job_id, window in sequential.assignments.items():
             assert repr(parallel.assignments[job_id]) == repr(window), job_id
+
+
+class TestDeferralAccounting:
+    """The queue-full deferral regression: no admitted job may vanish."""
+
+    def test_queue_full_deferral_counts_as_dropped(self):
+        # Shrink the live queue bound below the in-flight batch size:
+        # the only way a deferral re-push can meet a full queue, since a
+        # cycle never re-queues more jobs than it popped.  Pre-fix, the
+        # ignored push() return made the overflow jobs vanish without
+        # touching any counter; post-fix they are dropped{queue_full}.
+        collector = CollectingSink()
+        validator = TraceValidator()
+        service = BrokerService(
+            make_pool(),
+            config=ServiceConfig(
+                batch_size=4, queue_capacity=4, max_deferrals=10
+            ),
+            scheduler=NeverScheduler(),
+            sinks=[collector, validator],
+        )
+        for index in range(4):
+            assert service.submit(make_job(f"j{index}"))
+        service._queue.capacity = 1  # operator shrinks the bound mid-flight
+        assert service.pump() == 1
+        stats = service.stats
+        assert stats.deferred == 1
+        assert stats.dropped == 3
+        assert service.queue_depth == 1
+        # the conservation law the bug used to break:
+        assert stats.admitted == stats.scheduled + stats.dropped + service.queue_depth
+        drops = [e for e in collector.events if e.type is EventType.DROPPED]
+        assert [event.fields["cause"] for event in drops] == ["queue_full"] * 3
+        validator.check(expect_drained=False)
+
+    def test_max_deferrals_drop_is_traced(self):
+        collector = CollectingSink()
+        service = BrokerService(
+            make_pool(),
+            config=ServiceConfig(batch_size=2, max_deferrals=1, max_wait=5.0),
+            scheduler=NeverScheduler(),
+            sinks=[collector],
+        )
+        service.submit(make_job("a"))
+        service.submit(make_job("b"))
+        service.drain()
+        assert service.stats.dropped == 2
+        drops = [e for e in collector.events if e.type is EventType.DROPPED]
+        assert {event.job_id for event in drops} == {"a", "b"}
+        assert all(e.fields["cause"] == "max_deferrals" for e in drops)
+
+    def test_deferral_repush_keeps_enqueue_times_nondecreasing(self):
+        # the invariant behind the O(1) oldest-item peek, exercised
+        # through real deferral re-pushes interleaved with arrivals
+        service = BrokerService(
+            make_pool(),
+            config=ServiceConfig(batch_size=2, max_deferrals=8, max_wait=10.0),
+            scheduler=NeverScheduler(),
+        )
+        for index, time in enumerate((0.0, 1.0, 3.0, 7.0, 12.0, 20.0)):
+            service.advance_to(time)
+            service.submit(make_job(f"j{index}"))
+            service.pump()
+            enqueue_times = [
+                item.enqueued_at for item in service._queue._items
+            ]
+            assert enqueue_times == sorted(enqueue_times)
+            if service._queue.depth:
+                assert (
+                    service._queue.oldest_enqueued_at() == enqueue_times[0]
+                )
 
 
 class TestEarlyCompletion:

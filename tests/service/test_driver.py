@@ -61,6 +61,36 @@ class TestDriver:
         (row,) = payload["results"]
         assert row["nodes"] == 20
         assert row["scheduled"] + row["rejected"] + row["dropped"] == 12
+        # offered vs useful throughput: scheduled/s never exceeds jobs/s
+        assert row["scheduled_per_second"] <= row["jobs_per_second"]
+
+    def test_run_service_trace_with_tracing(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        outcome = run_service_trace(
+            TraceConfig(
+                jobs=20, node_count=25, seed=2, trace_path=path,
+                validate_trace=True,
+            )
+        )
+        assert outcome.validator is not None
+        payload = outcome.snapshot()
+        assert payload["trace"]["violations"] == 0
+        assert payload["trace"]["submitted"] == 20
+        assert payload["scheduled_per_second"] <= payload["jobs_per_second"]
+        from repro.service import load_trace
+
+        assert len(load_trace(path)) == payload["trace"]["events"]
+
+    def test_bench_service_archives_traces(self, tmp_path):
+        trace_path = str(tmp_path / "bench.jsonl")
+        bench_service(
+            node_counts=(20,), jobs=10, workers=2, seed=1, trace_path=trace_path
+        )
+        from repro.service import TraceValidator, load_trace
+
+        events = load_trace(str(tmp_path / "bench-20nodes.jsonl"))
+        assert events
+        TraceValidator().observe_all(events).check(expect_drained=True)
 
 
 class TestServiceCli:
@@ -78,6 +108,21 @@ class TestServiceCli:
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["submitted"] == 8
+
+    def test_serve_trace_and_validation(self, tmp_path, capsys):
+        path = str(tmp_path / "serve.jsonl")
+        code = main(
+            [
+                "serve", "--jobs", "15", "--nodes", "25", "--seed", "3",
+                "--trace", path, "--validate-trace",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace invariants OK" in out
+        from repro.service import validate_trace_file
+
+        validate_trace_file(path, expect_drained=True)
 
     def test_serve_options(self, capsys):
         code = main(

@@ -1,0 +1,121 @@
+"""The typed event stream: records, emitter, and the pluggable sinks."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import (
+    CollectingSink,
+    Event,
+    EventEmitter,
+    EventType,
+    JsonlSink,
+    RingBufferSink,
+    deterministic_trace,
+    load_trace,
+)
+
+
+def make_event(seq: int = 0, **fields) -> Event:
+    return Event(seq=seq, type=EventType.SCHEDULED, time=1.5, job_id="j0", fields=fields)
+
+
+class TestEvent:
+    def test_to_dict_flattens_fields(self):
+        event = make_event(cost=12.5, nodes=[1, 2])
+        payload = event.to_dict()
+        assert payload["type"] == "scheduled"
+        assert payload["job_id"] == "j0"
+        assert payload["cost"] == 12.5
+        assert payload["nodes"] == [1, 2]
+
+    def test_to_dict_omits_missing_job_id(self):
+        event = Event(seq=3, type=EventType.CYCLE_START, time=0.0, fields={"cycle": 0})
+        assert "job_id" not in event.to_dict()
+
+    def test_deterministic_dict_strips_wall_clock_fields(self):
+        event = make_event(batch=4, wall_cycle_seconds=0.017)
+        deterministic = event.deterministic_dict()
+        assert deterministic["batch"] == 4
+        assert "wall_cycle_seconds" not in deterministic
+        # the full dict still carries the timing
+        assert "wall_cycle_seconds" in event.to_dict()
+
+    def test_json_round_trip(self):
+        event = make_event(cause="queue_full", deferrals=2)
+        restored = Event.from_dict(json.loads(event.to_json()))
+        assert restored == event
+
+    def test_json_is_canonical(self):
+        # sorted keys, compact separators: byte-comparable across runs
+        event = make_event(b=1, a=2)
+        line = event.to_json()
+        assert line == json.dumps(json.loads(line), sort_keys=True, separators=(",", ":"))
+
+
+class TestEmitter:
+    def test_no_sinks_is_a_noop(self):
+        emitter = EventEmitter()
+        assert not emitter.enabled
+        assert emitter.emit(EventType.SUBMITTED, job_id="a") is None
+
+    def test_sequence_and_clock(self):
+        sink = CollectingSink()
+        clock_value = [4.0]
+        emitter = EventEmitter([sink], clock=lambda: clock_value[0])
+        emitter.emit(EventType.SUBMITTED, job_id="a")
+        clock_value[0] = 9.0
+        emitter.emit(EventType.ADMITTED, job_id="a")
+        assert [event.seq for event in sink.events] == [0, 1]
+        assert [event.time for event in sink.events] == [4.0, 9.0]
+
+    def test_reserved_field_names_rejected(self):
+        emitter = EventEmitter([CollectingSink()])
+        with pytest.raises(ValueError, match="envelope"):
+            emitter.emit(EventType.SUBMITTED, job_id="a", time=3.0)
+
+    def test_add_sink_takes_effect(self):
+        emitter = EventEmitter()
+        sink = CollectingSink()
+        emitter.add_sink(sink)
+        emitter.emit(EventType.SUBMITTED, job_id="a")
+        assert len(sink.events) == 1
+
+
+class TestRingBufferSink:
+    def test_keeps_only_the_most_recent(self):
+        ring = RingBufferSink(capacity=3)
+        for seq in range(10):
+            ring.emit(make_event(seq=seq))
+        assert len(ring) == 3
+        assert [event.seq for event in ring.events] == [7, 8, 9]
+        assert [event.seq for event in ring.tail(2)] == [8, 9]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=1).tail(-1)
+
+
+class TestJsonlSink:
+    def test_writes_one_line_per_event_and_loads_back(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with JsonlSink(path) as sink:
+            sink.emit(make_event(seq=0, cost=1.0))
+            sink.emit(make_event(seq=1, cost=2.0))
+        assert sink.count == 2
+        events = load_trace(path)
+        assert [event.seq for event in events] == [0, 1]
+        assert events[1].fields["cost"] == 2.0
+
+    def test_deterministic_trace_view(self, tmp_path):
+        events = [
+            make_event(seq=0, wall_cycle_seconds=0.1, batch=2),
+            make_event(seq=1, wall_cycle_seconds=0.2, batch=2),
+        ]
+        view = deterministic_trace(events)
+        assert all("wall_cycle_seconds" not in record for record in view)
+        assert all(record["batch"] == 2 for record in view)

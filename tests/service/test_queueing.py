@@ -5,8 +5,14 @@ from __future__ import annotations
 import pytest
 
 from repro.model import Job, ResourceRequest
-from repro.model.errors import ConfigurationError
-from repro.service import BoundedJobQueue, CycleTrigger
+from repro.model.errors import ConfigurationError, SchedulingError
+from repro.service import (
+    BoundedJobQueue,
+    CollectingSink,
+    CycleTrigger,
+    EventEmitter,
+    EventType,
+)
 
 
 def make_job(job_id: str) -> Job:
@@ -37,12 +43,38 @@ class TestBoundedJobQueue:
         assert len(queue.pop_batch(limit=3)) == 3
         assert queue.depth == 2
 
-    def test_oldest_enqueued_at(self):
+    def test_oldest_enqueued_at_is_the_head(self):
         queue = BoundedJobQueue(capacity=8)
         assert queue.oldest_enqueued_at() is None
+        queue.push(make_job("early"), 3.0)
         queue.push(make_job("late"), 7.0)
-        queue.push(make_job("early"), 3.0)  # deferral re-push keeps its own time
+        # O(1) peek: the FIFO head is the longest-waiting job
         assert queue.oldest_enqueued_at() == 3.0
+        queue.pop_batch(limit=1)
+        assert queue.oldest_enqueued_at() == 7.0
+
+    def test_push_enforces_nondecreasing_enqueue_times(self):
+        # the invariant that licenses the O(1) head peek: the broker's
+        # clock is monotone and deferral re-pushes stamp the current
+        # time, so a decreasing push can only be a caller bug
+        queue = BoundedJobQueue(capacity=8)
+        queue.push(make_job("a"), 7.0)
+        queue.push(make_job("b"), 7.0)  # equal times are fine
+        with pytest.raises(SchedulingError, match="nondecreasing"):
+            queue.push(make_job("c"), 3.0)
+        assert queue.depth == 2
+
+    def test_push_emits_queued_events(self):
+        sink = CollectingSink()
+        queue = BoundedJobQueue(
+            capacity=1, emitter=EventEmitter([sink], clock=lambda: 5.0)
+        )
+        assert queue.push(make_job("a"), 5.0, deferrals=2)
+        assert not queue.push(make_job("b"), 5.0)  # full: no event
+        (event,) = sink.events
+        assert event.type is EventType.QUEUED
+        assert event.job_id == "a"
+        assert event.fields == {"deferrals": 2, "depth": 1}
 
     def test_invalid_parameters(self):
         with pytest.raises(ConfigurationError):

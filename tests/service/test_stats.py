@@ -47,6 +47,16 @@ class TestLatencyTracker:
         tracker = LatencyTracker()
         assert tracker.mean == 0.0
         assert tracker.p95 == 0.0
+        assert tracker.quantiles(0.5, 0.95) == (0.0, 0.0)
+
+    def test_quantiles_match_per_call_path(self):
+        # the single-sort batch path must agree with the one-off properties
+        tracker = LatencyTracker()
+        for value in (9.0, 1.0, 4.0, 7.0, 2.0, 8.0):
+            tracker.add(value)
+        p50, p95 = tracker.quantiles(0.50, 0.95)
+        assert p50 == tracker.p50
+        assert p95 == tracker.p95
 
 
 class TestServiceStats:
@@ -74,3 +84,12 @@ class TestServiceStats:
         assert payload["cycle_latency_ms"]["mean"] == 2.0
         # without a wall-clock, no throughput entry
         assert "jobs_per_second" not in stats.snapshot()
+        assert "scheduled_per_second" not in stats.snapshot()
+
+    def test_snapshot_reports_useful_throughput(self):
+        # jobs_per_second is offered load; scheduled_per_second is what
+        # actually got windows — rejections must not inflate the latter
+        stats = ServiceStats(submitted=10, admitted=4, rejected=6, scheduled=4)
+        payload = stats.snapshot(elapsed_seconds=2.0)
+        assert payload["jobs_per_second"] == 5.0
+        assert payload["scheduled_per_second"] == 2.0
