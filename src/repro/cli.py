@@ -19,6 +19,10 @@ Installed as the ``repro`` console script (also runnable as
 ``repro bench-service``
     Time the broker service across pool sizes and archive the JSON
     throughput baseline (``BENCH_service.json``).
+``repro bench-core``
+    Time one window search per criterion through the incremental scan
+    kernel and the frozen pre-change kernel, and archive the JSON
+    baseline (``BENCH_core.json``).
 """
 
 from __future__ import annotations
@@ -298,6 +302,33 @@ def cmd_bench_service(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_core(args: argparse.Namespace) -> int:
+    """Handler of the ``repro bench-core`` subcommand."""
+    from repro.core.bench import bench_core
+    from repro.io import save_json
+
+    node_counts = [int(value) for value in args.nodes.split(",")]
+    print(
+        f"benchmarking the scan kernel at {node_counts} nodes "
+        f"(best of {args.repeats}, seed {args.seed}) ..."
+    )
+    payload = bench_core(
+        node_counts=node_counts, repeats=args.repeats, seed=args.seed
+    )
+    for row in payload["results"]:
+        print(
+            f"  {row['nodes']:>4} nodes {row['criterion']:<11} "
+            f"reference {row['reference_windows_per_second']:8.1f} win/s, "
+            f"incremental {row['incremental_windows_per_second']:8.1f} win/s "
+            f"({row['speedup']:.2f}x); peak {row.get('candidate_peak', '-')}, "
+            f"inserts {row.get('candidate_inserts', '-')}"
+        )
+    if args.output:
+        save_json(payload, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def cmd_presets(args: argparse.Namespace) -> int:
     """Handler of the ``repro presets`` subcommand."""
     from repro.environment import PRESETS, EnvironmentGenerator, preset
@@ -518,6 +549,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("-o", "--output",
                        help="write the JSON payload here (BENCH_service.json)")
     bench.set_defaults(func=cmd_bench_service)
+
+    bench_core = sub.add_parser(
+        "bench-core", help="scan-kernel windows/s, incremental vs reference"
+    )
+    bench_core.add_argument("--nodes", default="50,100,200",
+                            help="comma-separated node counts")
+    bench_core.add_argument("--repeats", type=int, default=3,
+                            help="timing repetitions per row (best-of)")
+    bench_core.add_argument("--seed", type=int, default=2013)
+    bench_core.add_argument("-o", "--output",
+                            help="write the JSON payload here (BENCH_core.json)")
+    bench_core.set_defaults(func=cmd_bench_core)
 
     presets = sub.add_parser("presets", help="list environment presets")
     presets.add_argument("--nodes", type=int, default=100)

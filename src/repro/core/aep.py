@@ -13,6 +13,17 @@ slots ``m`` (each slot enters the extended window once and leaves at most
 once); the per-step extraction works on the alive candidates, whose count
 is bounded by the number of CPU nodes — hence the paper's "linear
 complexity on the number of slots, quadratic on the number of nodes".
+
+Since the incremental-kernel rewrite the bookkeeping matches that
+linearity argument operation-for-operation: the extended window is an
+:class:`~repro.core.candidates.IncrementalCandidateSet` (expiry-heap
+pruning, cost-ordered bisection insertion, running cheapest-``n`` sum)
+carried across steps, window legs are built through a per-scan
+:class:`~repro.core.candidates.LegFactory` cache, and extractors that
+implement ``extract_incremental`` consume the maintained orders directly
+instead of re-sorting the candidates at every step.  The pre-change
+kernel is preserved verbatim in :mod:`repro.core.reference`; property
+tests assert window-for-window identical selection.
 """
 
 from __future__ import annotations
@@ -20,10 +31,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Union
 
+from repro.core.candidates import IncrementalCandidateSet, LegFactory
 from repro.core.extractors import WindowExtractor
 from repro.model.job import Job, ResourceRequest
 from repro.model.slot import TIME_EPSILON, Slot
-from repro.model.window import Window, WindowSlot
+from repro.model.window import Window
 
 #: Minimal improvement for a new extraction to replace the incumbent; ties
 #: keep the earlier (earlier-starting) window, like the paper's strict
@@ -41,6 +53,15 @@ class ScanResult:
     CPU nodes (at most one alive slot per node), and ``steps`` counts the
     per-step extractions whose cost depends on the alive-set size — hence
     "linear in slots, quadratic in nodes".
+
+    ``candidate_inserts`` / ``candidate_expiries`` count the incremental
+    kernel's structural mutations.  Each scanned slot inserts at most one
+    candidate and every insert expires at most once, so
+    ``inserts + expiries <= 2 * slots_scanned`` — the amortized-O(1)
+    per-slot bookkeeping bound the regression tests pin down.  (With a
+    deadline, candidates that can no longer finish in time are expired
+    immediately, so ``candidate_peak`` counts only *eligible* candidates;
+    the pre-incremental scan kept them alive and filtered per step.)
     """
 
     window: Window
@@ -48,6 +69,8 @@ class ScanResult:
     steps: int  # number of extraction attempts
     slots_scanned: int = 0  # slots visited by the scan
     candidate_peak: int = 0  # largest extended-window size observed
+    candidate_inserts: int = 0  # candidates entering the extended window
+    candidate_expiries: int = 0  # candidates pruned by expiry
 
 
 def request_of(job: Union[Job, ResourceRequest]) -> ResourceRequest:
@@ -63,6 +86,7 @@ def aep_scan(
     extractor: WindowExtractor,
     *,
     stop_at_first: bool = False,
+    leg_factory: Optional[LegFactory] = None,
 ) -> Optional[ScanResult]:
     """Run the AEP scheme over ``slots`` with the given extractor.
 
@@ -75,11 +99,19 @@ def aep_scan(
         precondition of the linear scan; :class:`~repro.model.SlotPool`
         iteration provides it).
     extractor:
-        Criterion-specific ``getBestWindow`` implementation.
+        Criterion-specific ``getBestWindow`` implementation.  Extractors
+        exposing ``extract_incremental`` receive the maintained
+        :class:`~repro.core.candidates.IncrementalCandidateSet`; others
+        get the alive candidates materialized in scan order, exactly as
+        the generic scan passed them.
     stop_at_first:
         Stop at the first successful extraction.  Correct only for
         criteria that cannot improve later in the scan — the window start
         time (AMP) being the canonical case.
+    leg_factory:
+        Optional shared per-(node, request) leg cache; callers that scan
+        the same request repeatedly (CSA's AMP re-runs) pass one to avoid
+        recomputing per-node runtimes and costs.
 
     Returns
     -------
@@ -90,8 +122,10 @@ def aep_scan(
     request = request_of(job)
     n = request.node_count
     deadline = request.deadline
+    legs = leg_factory if leg_factory is not None else LegFactory(request)
+    candidates = IncrementalCandidateSet(n, deadline=deadline)
+    extract_incremental = getattr(extractor, "extract_incremental", None)
 
-    candidates: list[WindowSlot] = []
     best: Optional[ScanResult] = None
     best_value = float("inf")
     steps = 0
@@ -108,10 +142,11 @@ def aep_scan(
         previous_start = slot.start
         if not request.node_matches(slot.node):
             continue  # properHardwareAndSoftware filter
-        leg = WindowSlot.for_request(slot, request)
+        leg = legs.leg(slot)
         window_start = slot.start
-        # Prune candidates that can no longer host their task from here on.
-        candidates = [ws for ws in candidates if ws.fits_from(window_start)]
+        # Expire candidates that can no longer host their task from here
+        # on (each candidate is examined exactly once, when it expires).
+        candidates.prune(window_start)
         if not leg.fits_from(window_start):
             continue  # the slot itself is too short for its node's task
         if deadline is not None and window_start + leg.required_time > deadline + TIME_EPSILON:
@@ -119,20 +154,18 @@ def aep_scan(
             # only make it worse; skip it (but keep scanning: other nodes
             # may be faster).
             continue
-        candidates.append(leg)
-        candidate_peak = max(candidate_peak, len(candidates))
-        if deadline is not None:
-            eligible = [
-                ws
-                for ws in candidates
-                if window_start + ws.required_time <= deadline + TIME_EPSILON
-            ]
-        else:
-            eligible = candidates
-        if len(eligible) < n:
+        candidates.insert(leg)
+        if len(candidates) > candidate_peak:
+            candidate_peak = len(candidates)
+        if len(candidates) < n:
             continue
         steps += 1
-        extraction = extractor.extract(window_start, eligible, request)
+        if extract_incremental is not None:
+            extraction = extract_incremental(window_start, candidates, request)
+        else:
+            extraction = extractor.extract(
+                window_start, candidates.scan_ordered(), request
+            )
         if extraction is None:
             continue
         if extraction.value < best_value - VALUE_EPSILON:
@@ -151,5 +184,7 @@ def aep_scan(
             steps=steps,
             slots_scanned=slots_scanned,
             candidate_peak=candidate_peak,
+            candidate_inserts=candidates.inserted,
+            candidate_expiries=candidates.expired,
         )
     return None

@@ -32,6 +32,7 @@ from typing import Optional
 
 from repro.core.aep import aep_scan, request_of
 from repro.core.algorithms.base import JobLike, SlotSelectionAlgorithm
+from repro.core.candidates import LegFactory
 from repro.core.extractors import EarliestStartExtractor
 from repro.model.slot import TIME_EPSILON
 from repro.model.slotpool import SlotPool
@@ -57,14 +58,32 @@ class AMP(SlotSelectionAlgorithm):
         self.name = "AMP" if policy == "first" else "AMP-cheapest"
         self._extractor = EarliestStartExtractor()
 
-    def select(self, job: JobLike, pool: SlotPool) -> Optional[Window]:
-        """Best window for ``job`` by this algorithm's criterion (see base class)."""
-        if self.policy == "cheapest":
-            result = aep_scan(job, pool, self._extractor, stop_at_first=True)
-            return result.window if result is not None else None
-        return self._select_first_policy(job, pool)
+    def select(
+        self,
+        job: JobLike,
+        pool: SlotPool,
+        *,
+        leg_factory: Optional[LegFactory] = None,
+    ) -> Optional[Window]:
+        """Best window for ``job`` by this algorithm's criterion (see base class).
 
-    def _select_first_policy(self, job: JobLike, pool: SlotPool) -> Optional[Window]:
+        ``leg_factory`` optionally shares a per-(node, request) leg cache
+        across repeated scans of the same request (CSA's AMP re-runs).
+        """
+        if self.policy == "cheapest":
+            result = aep_scan(
+                job, pool, self._extractor, stop_at_first=True, leg_factory=leg_factory
+            )
+            return result.window if result is not None else None
+        return self._select_first_policy(job, pool, leg_factory=leg_factory)
+
+    def _select_first_policy(
+        self,
+        job: JobLike,
+        pool: SlotPool,
+        *,
+        leg_factory: Optional[LegFactory] = None,
+    ) -> Optional[Window]:
         """The eviction scan of the paper-faithful AMP (see module docs)."""
         request = request_of(job)
         n = request.node_count
@@ -72,11 +91,12 @@ class AMP(SlotSelectionAlgorithm):
         if budget != float("inf"):
             budget += COST_EPSILON * (1.0 + abs(budget))
         deadline = request.deadline
+        legs = leg_factory if leg_factory is not None else LegFactory(request)
         candidates: list[WindowSlot] = []
         for slot in pool:
             if not request.node_matches(slot.node):
                 continue
-            leg = WindowSlot.for_request(slot, request)
+            leg = legs.leg(slot)
             window_start = slot.start
             candidates = [ws for ws in candidates if ws.fits_from(window_start)]
             if not leg.fits_from(window_start):

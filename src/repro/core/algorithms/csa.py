@@ -16,8 +16,10 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.aep import request_of
 from repro.core.algorithms.amp import AMP
 from repro.core.algorithms.base import JobLike, SlotSelectionAlgorithm
+from repro.core.candidates import LegFactory
 from repro.core.criteria import Criterion, best_window
 from repro.model.slotpool import SlotPool
 from repro.model.window import Window
@@ -72,9 +74,12 @@ class CSA(SlotSelectionAlgorithm):
         """
         cap = limit if limit is not None else self.max_alternatives
         working = pool.copy()
+        # One leg cache across all AMP re-runs: runtimes/costs depend only
+        # on (node, request), and cutting never changes either.
+        legs = LegFactory(request_of(job))
         alternatives: list[Window] = []
         while cap is None or len(alternatives) < cap:
-            window = self._amp.select(job, working)
+            window = self._amp.select(job, working, leg_factory=legs)
             if window is None:
                 break
             alternatives.append(window)

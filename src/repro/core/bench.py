@@ -1,0 +1,174 @@
+"""``repro bench-core``: scan-kernel throughput, incremental vs reference.
+
+Times the AEP window search on the paper's base job (``n = 5``,
+``t = 150``, ``S = 1500``) over freshly generated environments of
+several pool sizes, once through the incremental kernel
+(:func:`repro.core.aep.aep_scan` over the maintained
+:class:`~repro.core.candidates.IncrementalCandidateSet`) and once
+through the frozen pre-change kernel (:mod:`repro.core.reference`).
+Besides wall-clock windows/s and the speedup, every row records the
+structural ``ScanResult`` counters — ``slots_scanned``, ``steps``,
+``candidate_peak``, ``candidate_inserts``, ``candidate_expiries`` — so
+the archived baseline (``BENCH_core.json``) tracks the complexity shape
+("linear in slots, bounded per-slot work") next to the raw speed, which
+is noisy on shared CI hardware.
+
+Both kernels are asserted to select the identical window before any
+timing is believed; a disagreement raises instead of producing numbers.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Callable, Optional, Sequence
+
+from repro.core.aep import ScanResult, aep_scan
+from repro.core.extractors import (
+    EarliestFinishExtractor,
+    EarliestStartExtractor,
+    MinRuntimeSubstitutionExtractor,
+    MinTotalCostExtractor,
+    WindowExtractor,
+)
+from repro.core.reference import (
+    ReferenceMinRuntimeSubstitutionExtractor,
+    reference_scan,
+)
+from repro.environment.generator import EnvironmentConfig, EnvironmentGenerator
+from repro.model.errors import ConfigurationError
+from repro.model.job import ResourceRequest
+from repro.model.slot import Slot
+
+#: The paper's base resource request (Section 3.1): 5 nodes for 150 time
+#: units within a budget of 1500.
+BASE_REQUEST = ResourceRequest(node_count=5, reservation_time=150.0, budget=1500.0)
+
+
+def _criteria() -> list[tuple[str, Callable[[], WindowExtractor], Callable[[], WindowExtractor], bool]]:
+    """(name, incremental extractor, frozen reference extractor, stop_at_first)."""
+    return [
+        ("start_time", EarliestStartExtractor, EarliestStartExtractor, True),
+        ("cost", MinTotalCostExtractor, MinTotalCostExtractor, False),
+        (
+            "runtime",
+            MinRuntimeSubstitutionExtractor,
+            ReferenceMinRuntimeSubstitutionExtractor,
+            False,
+        ),
+        (
+            "finish_time",
+            EarliestFinishExtractor,
+            lambda: EarliestFinishExtractor(
+                runtime_extractor=ReferenceMinRuntimeSubstitutionExtractor()
+            ),
+            False,
+        ),
+    ]
+
+
+def _windows_match(left: Optional[ScanResult], right: Optional[ScanResult]) -> bool:
+    if left is None or right is None:
+        return left is None and right is None
+    if left.window.start != right.window.start:
+        return False
+    left_spans = [
+        (ws.slot.node.node_id, ws.slot.start, ws.slot.end) for ws in left.window.slots
+    ]
+    right_spans = [
+        (ws.slot.node.node_id, ws.slot.start, ws.slot.end) for ws in right.window.slots
+    ]
+    return left_spans == right_spans
+
+
+def _time_scans(run: Callable[[], object], repeats: int) -> float:
+    """Best-of-``repeats`` wall time of one full scan (seconds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = perf_counter()
+        run()
+        best = min(best, perf_counter() - started)
+    return best
+
+
+def bench_core(
+    node_counts: Sequence[int] = (50, 100, 200),
+    repeats: int = 3,
+    seed: int = 2013,
+    request: Optional[ResourceRequest] = None,
+) -> dict[str, object]:
+    """The kernel benchmark payload archived in ``BENCH_core.json``.
+
+    Per (pool size, criterion) row: windows/s through the frozen
+    reference kernel and through the incremental one (best of
+    ``repeats``), their ratio, and the incremental scan's structural
+    counters.  See the module docstring for why both are recorded.
+    """
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    request = request if request is not None else BASE_REQUEST
+    results: list[dict[str, object]] = []
+    for node_count in node_counts:
+        environment = EnvironmentGenerator(
+            EnvironmentConfig(node_count=node_count, seed=seed)
+        ).generate()
+        slots: list[Slot] = environment.slot_pool().ordered()
+        for name, make_incremental, make_reference, stop_at_first in _criteria():
+            incremental_extractor = make_incremental()
+            reference_extractor = make_reference()
+            incremental = aep_scan(
+                request, slots, incremental_extractor, stop_at_first=stop_at_first
+            )
+            reference = reference_scan(
+                request, slots, reference_extractor, stop_at_first=stop_at_first
+            )
+            if not _windows_match(incremental, reference):
+                raise AssertionError(
+                    f"kernel disagreement on criterion {name!r} at "
+                    f"{node_count} nodes — refusing to record timings"
+                )
+            reference_seconds = _time_scans(
+                lambda: reference_scan(
+                    request, slots, reference_extractor, stop_at_first=stop_at_first
+                ),
+                repeats,
+            )
+            incremental_seconds = _time_scans(
+                lambda: aep_scan(
+                    request, slots, incremental_extractor, stop_at_first=stop_at_first
+                ),
+                repeats,
+            )
+            row: dict[str, object] = {
+                "nodes": node_count,
+                "criterion": name,
+                "slots": len(slots),
+                "found": incremental is not None,
+                "reference_windows_per_second": round(1.0 / reference_seconds, 1),
+                "incremental_windows_per_second": round(1.0 / incremental_seconds, 1),
+                "speedup": round(reference_seconds / incremental_seconds, 2),
+            }
+            if incremental is not None:
+                row.update(
+                    {
+                        "window_start": round(incremental.window.start, 3),
+                        "steps": incremental.steps,
+                        "slots_scanned": incremental.slots_scanned,
+                        "candidate_peak": incremental.candidate_peak,
+                        "candidate_inserts": incremental.candidate_inserts,
+                        "candidate_expiries": incremental.candidate_expiries,
+                    }
+                )
+            results.append(row)
+    return {
+        "benchmark": "core_scan",
+        "config": {
+            "seed": seed,
+            "repeats": repeats,
+            "request": {
+                "node_count": request.node_count,
+                "reservation_time": request.reservation_time,
+                "budget": request.budget,
+            },
+        },
+        "results": results,
+    }

@@ -23,18 +23,31 @@ module implements one extractor per criterion:
 
 Every extractor returns an :class:`Extraction` — the criterion value plus
 the chosen slots — or ``None`` when no feasible ``n``-subset exists.
+
+Extractors come in two shapes.  The classic ``extract`` takes the alive
+candidates as a plain sequence (in scan order) and remains the
+compatibility surface for direct callers and order-sensitive selections.
+Extractors that can exploit the incrementally maintained candidate
+structure additionally implement ``extract_incremental``, which receives
+the scan's :class:`~repro.core.candidates.IncrementalCandidateSet` and
+consumes its maintained cost/time orders and running cheapest-``n`` sum
+instead of re-sorting per step — identical selection (property-tested
+against :mod:`repro.core.reference`), strictly less work.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, Optional, Protocol, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Protocol, Sequence
 
 import numpy as np
 
 from repro.model.job import ResourceRequest
 from repro.model.window import COST_EPSILON, WindowSlot
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.candidates import IncrementalCandidateSet
 
 
 @dataclass(frozen=True)
@@ -105,6 +118,19 @@ class EarliestStartExtractor:
             return None
         return Extraction(value=window_start, slots=tuple(chosen))
 
+    def extract_incremental(
+        self,
+        window_start: float,
+        candidates: "IncrementalCandidateSet",
+        request: ResourceRequest,
+    ) -> Optional[Extraction]:
+        """Incremental twin of :meth:`extract` (running cheapest-``n`` oracle)."""
+        found = candidates.feasible_cheapest(request.node_count, _budget_of(request))
+        if found is None:
+            return None
+        chosen, _ = found
+        return Extraction(value=window_start, slots=tuple(chosen))
+
 
 class MinTotalCostExtractor:
     """Selects the ``n`` cheapest candidates; value is their total cost.
@@ -126,6 +152,53 @@ class MinTotalCostExtractor:
             return None
         return Extraction(value=sum(ws.cost for ws in chosen), slots=tuple(chosen))
 
+    def extract_incremental(
+        self,
+        window_start: float,
+        candidates: "IncrementalCandidateSet",
+        request: ResourceRequest,
+    ) -> Optional[Extraction]:
+        """Incremental twin of :meth:`extract` (running cheapest-``n`` oracle)."""
+        found = candidates.feasible_cheapest(request.node_count, _budget_of(request))
+        if found is None:
+            return None
+        chosen, total = found
+        return Extraction(value=total, slots=tuple(chosen))
+
+
+def _substitute_runtime(
+    ordered: Sequence[WindowSlot], n: int, budget: float
+) -> Optional[Extraction]:
+    """The substitution walk over cost-``ordered`` candidates.
+
+    Shared by the sequence and incremental entry points of
+    :class:`MinRuntimeSubstitutionExtractor`; the replacement target is
+    the *first* longest member, matching ``max(..., key=...)`` of the
+    reference implementation.
+    """
+    if len(ordered) < n:
+        return None
+    result = list(ordered[:n])
+    cost = sum(ws.cost for ws in result)
+    if cost > budget:
+        return None
+    times = [ws.required_time for ws in result]
+    for short in ordered[n:]:
+        longest_index = 0
+        longest_time = times[0]
+        for index in range(1, n):
+            if times[index] > longest_time:
+                longest_time = times[index]
+                longest_index = index
+        if (
+            short.required_time < longest_time
+            and cost - result[longest_index].cost + short.cost <= budget
+        ):
+            cost += short.cost - result[longest_index].cost
+            result[longest_index] = short
+            times[longest_index] = short.required_time
+    return Extraction(value=max(times), slots=tuple(result))
+
 
 class MinRuntimeSubstitutionExtractor:
     """The paper's substitution heuristic for the minimum-runtime window.
@@ -146,29 +219,45 @@ class MinRuntimeSubstitutionExtractor:
         request: ResourceRequest,
     ) -> Optional[Extraction]:
         """Best feasible ``n``-subset at this scan step (see class docs)."""
-        n = request.node_count
-        budget = _budget_of(request)
         ordered = sorted(candidates, key=lambda ws: (ws.cost, ws.required_time))
-        if len(ordered) < n:
-            return None
-        result = ordered[:n]
-        cost = sum(ws.cost for ws in result)
-        if cost > budget:
-            return None
-        for short in ordered[n:]:
-            longest_index = max(
-                range(len(result)), key=lambda i: result[i].required_time
-            )
-            longest = result[longest_index]
-            if (
-                short.required_time < longest.required_time
-                and cost - longest.cost + short.cost <= budget
-            ):
-                cost += short.cost - longest.cost
-                result[longest_index] = short
-        return Extraction(
-            value=max(ws.required_time for ws in result), slots=tuple(result)
+        return _substitute_runtime(ordered, request.node_count, _budget_of(request))
+
+    def extract_incremental(
+        self,
+        window_start: float,
+        candidates: "IncrementalCandidateSet",
+        request: ResourceRequest,
+    ) -> Optional[Extraction]:
+        """Incremental twin of :meth:`extract` (maintained cost order)."""
+        return _substitute_runtime(
+            candidates.ordered(), request.node_count, _budget_of(request)
         )
+
+
+def _exact_runtime_sweep(
+    by_time: Sequence[WindowSlot], n: int, budget: float
+) -> Optional[Extraction]:
+    """The cheapest-``n``-per-prefix sweep over time-``by_time`` candidates."""
+    if len(by_time) < n:
+        return None
+    heap: list[tuple[float, int]] = []  # max-heap by cost via negation
+    kept: dict[int, WindowSlot] = {}
+    cost_sum = 0.0
+    for index, ws in enumerate(by_time):
+        if len(heap) < n:
+            heapq.heappush(heap, (-ws.cost, index))
+            kept[index] = ws
+            cost_sum += ws.cost
+        elif ws.cost < -heap[0][0]:
+            _, evicted = heapq.heapreplace(heap, (-ws.cost, index))
+            cost_sum += ws.cost - kept.pop(evicted).cost
+            kept[index] = ws
+        if len(heap) == n and cost_sum <= budget:
+            chosen = list(kept.values())
+            return Extraction(
+                value=max(w.required_time for w in chosen), slots=tuple(chosen)
+            )
+    return None
 
 
 class MinRuntimeExactExtractor:
@@ -188,29 +277,19 @@ class MinRuntimeExactExtractor:
         request: ResourceRequest,
     ) -> Optional[Extraction]:
         """Best feasible ``n``-subset at this scan step (see class docs)."""
-        n = request.node_count
-        budget = _budget_of(request)
-        if len(candidates) < n:
-            return None
         by_time = sorted(candidates, key=lambda ws: (ws.required_time, ws.cost))
-        heap: list[tuple[float, int]] = []  # max-heap by cost via negation
-        kept: dict[int, WindowSlot] = {}
-        cost_sum = 0.0
-        for index, ws in enumerate(by_time):
-            if len(heap) < n:
-                heapq.heappush(heap, (-ws.cost, index))
-                kept[index] = ws
-                cost_sum += ws.cost
-            elif ws.cost < -heap[0][0]:
-                _, evicted = heapq.heapreplace(heap, (-ws.cost, index))
-                cost_sum += ws.cost - kept.pop(evicted).cost
-                kept[index] = ws
-            if len(heap) == n and cost_sum <= budget:
-                chosen = list(kept.values())
-                return Extraction(
-                    value=max(w.required_time for w in chosen), slots=tuple(chosen)
-                )
-        return None
+        return _exact_runtime_sweep(by_time, request.node_count, _budget_of(request))
+
+    def extract_incremental(
+        self,
+        window_start: float,
+        candidates: "IncrementalCandidateSet",
+        request: ResourceRequest,
+    ) -> Optional[Extraction]:
+        """Incremental twin of :meth:`extract` (maintained time order)."""
+        return _exact_runtime_sweep(
+            candidates.ordered_by_time(), request.node_count, _budget_of(request)
+        )
 
 
 class EarliestFinishExtractor:
@@ -232,6 +311,25 @@ class EarliestFinishExtractor:
     ) -> Optional[Extraction]:
         """Best feasible ``n``-subset at this scan step (see class docs)."""
         extraction = self._runtime.extract(window_start, candidates, request)
+        if extraction is None:
+            return None
+        runtime = max(ws.required_time for ws in extraction.slots)
+        return Extraction(value=window_start + runtime, slots=extraction.slots)
+
+    def extract_incremental(
+        self,
+        window_start: float,
+        candidates: "IncrementalCandidateSet",
+        request: ResourceRequest,
+    ) -> Optional[Extraction]:
+        """Incremental twin of :meth:`extract` (delegates like it does)."""
+        inner = getattr(self._runtime, "extract_incremental", None)
+        if inner is not None:
+            extraction = inner(window_start, candidates, request)
+        else:
+            extraction = self._runtime.extract(
+                window_start, candidates.scan_ordered(), request
+            )
         if extraction is None:
             return None
         runtime = max(ws.required_time for ws in extraction.slots)
@@ -320,32 +418,67 @@ class GreedyAdditiveExtractor:
         chosen = cheapest_subset(candidates, n, budget)
         if chosen is None:
             return None
-        current = list(chosen)
-        in_window = set(map(id, current))
+        in_window = set(map(id, chosen))
         outside = [ws for ws in candidates if id(ws) not in in_window]
-        cost = sum(ws.cost for ws in current)
+        return self._swap_search(list(chosen), outside, budget)
+
+    def extract_incremental(
+        self,
+        window_start: float,
+        candidates: "IncrementalCandidateSet",
+        request: ResourceRequest,
+    ) -> Optional[Extraction]:
+        """Incremental twin of :meth:`extract` (running cheapest-``n`` oracle)."""
+        found = candidates.feasible_cheapest(request.node_count, _budget_of(request))
+        if found is None:
+            return None
+        chosen, _ = found
+        in_window = set(map(id, chosen))
+        outside = [ws for ws in candidates.scan_ordered() if id(ws) not in in_window]
+        return self._swap_search(chosen, outside, _budget_of(request))
+
+    def _swap_search(
+        self, current: list[WindowSlot], outside: list[WindowSlot], budget: float
+    ) -> Extraction:
+        """The swap loop, over key/cost arrays computed once per extraction."""
+        key = self._key
+        current_keys = [key(ws) for ws in current]
+        current_costs = [ws.cost for ws in current]
+        outside_keys = [key(ws) for ws in outside]
+        outside_costs = [ws.cost for ws in outside]
+        cost = sum(current_costs)
+        out_range = range(len(outside))
         for _ in range(self._max_rounds):
             best_gain = 0.0
             best_swap: Optional[tuple[int, int]] = None
-            for out_index, out_ws in enumerate(current):
-                for in_index, in_ws in enumerate(outside):
-                    if cost - out_ws.cost + in_ws.cost > budget:
+            for out_index in range(len(current)):
+                out_cost = current_costs[out_index]
+                out_key = current_keys[out_index]
+                headroom = cost - out_cost
+                for in_index in out_range:
+                    if headroom + outside_costs[in_index] > budget:
                         continue
-                    gain = self._key(out_ws) - self._key(in_ws)
+                    gain = out_key - outside_keys[in_index]
                     if gain > best_gain + 1e-12:
                         best_gain = gain
                         best_swap = (out_index, in_index)
             if best_swap is None:
                 break
             out_index, in_index = best_swap
-            cost += outside[in_index].cost - current[out_index].cost
+            cost += outside_costs[in_index] - current_costs[out_index]
             current[out_index], outside[in_index] = (
                 outside[in_index],
                 current[out_index],
             )
-        return Extraction(
-            value=sum(self._key(ws) for ws in current), slots=tuple(current)
-        )
+            current_keys[out_index], outside_keys[in_index] = (
+                outside_keys[in_index],
+                current_keys[out_index],
+            )
+            current_costs[out_index], outside_costs[in_index] = (
+                outside_costs[in_index],
+                current_costs[out_index],
+            )
+        return Extraction(value=sum(current_keys), slots=tuple(current))
 
 
 class ExactAdditiveExtractor:

@@ -1,133 +1,36 @@
-"""Incrementally sorted AEP scans for the cheapest-subset criteria.
+"""Deprecation shim: the fast scans are now the main path.
 
-The generic scan re-sorts the alive candidates at every extraction, an
-``O(N log N)`` step.  For the criteria whose extraction only needs the
-candidates *ordered by cost* — MinCost and the cheapest-subset AMP — the
-order can be maintained incrementally instead: insert each arriving slot
-by bisection (``O(N)`` memory move, no comparison sort) and prune dead
-slots with one order-preserving sweep.  The result is identical window
-selection (the equivalence is property-tested) at a measurably lower
-constant; see ``benchmarks/test_ablation_fast_scan.py``.
-
-This module exists as the performance-engineering ablation: it shows the
-paper's linear-scan structure leaves easy constant-factor headroom without
-touching the algorithmics.
+This module used to maintain its own incrementally sorted candidate list
+(``_CostOrdered``) as a performance-engineering ablation for the
+cheapest-subset criteria.  That specialization has been absorbed into the
+main scan kernel — :mod:`repro.core.candidates` maintains the cost order
+(and more) for *every* criterion, and its public
+:meth:`~repro.core.candidates.IncrementalCandidateSet.eligible` API
+replaces the private ``_CostOrdered._items`` walk the deadline path used
+here.  ``fast_min_cost`` / ``fast_earliest_start`` are kept as thin
+wrappers so existing callers and the ablation benchmark keep working;
+new code should call :class:`repro.core.MinCost` / ``AMP`` (or
+:func:`repro.core.aep.aep_scan` directly) instead.
 """
 
 from __future__ import annotations
 
-from bisect import insort
 from typing import Optional
 
-from repro.core.aep import request_of
+from repro.core.aep import aep_scan
 from repro.core.algorithms.base import JobLike
-from repro.model.slot import TIME_EPSILON
+from repro.core.extractors import EarliestStartExtractor, MinTotalCostExtractor
 from repro.model.slotpool import SlotPool
-from repro.model.window import COST_EPSILON, Window, WindowSlot
-
-
-class _CostOrdered:
-    """Alive candidates maintained in ascending-cost order."""
-
-    __slots__ = ("_items", "_serial")
-
-    def __init__(self) -> None:
-        self._items: list[tuple[float, int, WindowSlot]] = []
-        self._serial = 0
-
-    def add(self, leg: WindowSlot) -> None:
-        """Add one element/value to the structure."""
-        self._serial += 1
-        insort(self._items, (leg.cost, self._serial, leg))
-
-    def prune(self, window_start: float) -> None:
-        """Drop candidates that no longer fit; keeps the cost order."""
-        self._items = [
-            entry for entry in self._items if entry[2].fits_from(window_start)
-        ]
-
-    def __len__(self) -> int:
-        return len(self._items)
-
-    def cheapest(self, n: int) -> list[WindowSlot]:
-        """The ``n`` cheapest alive candidates."""
-        return [entry[2] for entry in self._items[:n]]
-
-    def cheapest_cost(self, n: int) -> float:
-        """Total cost of the ``n`` cheapest alive candidates."""
-        return sum(entry[0] for entry in self._items[:n])
-
-
-def _budget_of(request) -> float:
-    budget = request.effective_budget
-    if budget != float("inf"):
-        budget += COST_EPSILON * (1.0 + abs(budget))
-    return budget
-
-
-def _fast_scan(
-    job: JobLike, pool: SlotPool, *, stop_at_first: bool
-) -> Optional[Window]:
-    """Shared scan: track the cheapest-``n`` subset incrementally.
-
-    ``stop_at_first=True`` returns the earliest feasible window (AMP with
-    the cheapest policy); ``False`` keeps the cheapest feasible window of
-    the whole interval (MinCost).
-    """
-    request = request_of(job)
-    n = request.node_count
-    budget = _budget_of(request)
-    deadline = request.deadline
-    ordered = _CostOrdered()
-    best: Optional[Window] = None
-    best_cost = float("inf")
-
-    for slot in pool:
-        if not request.node_matches(slot.node):
-            continue
-        leg = WindowSlot.for_request(slot, request)
-        window_start = slot.start
-        ordered.prune(window_start)
-        if not leg.fits_from(window_start):
-            continue
-        if (
-            deadline is not None
-            and window_start + leg.required_time > deadline + TIME_EPSILON
-        ):
-            continue
-        ordered.add(leg)
-        if len(ordered) < n:
-            continue
-        if deadline is not None:
-            eligible = [
-                entry
-                for entry in ordered._items
-                if window_start + entry[2].required_time <= deadline + TIME_EPSILON
-            ][:n]
-            if len(eligible) < n:
-                continue
-            cost = sum(entry[0] for entry in eligible)
-            chosen = [entry[2] for entry in eligible]
-        else:
-            cost = ordered.cheapest_cost(n)
-            chosen = None
-        if cost > budget:
-            continue
-        if cost < best_cost - 1e-12 or (stop_at_first and best is None):
-            if chosen is None:
-                chosen = ordered.cheapest(n)
-            best = Window(start=window_start, slots=tuple(chosen))
-            best_cost = cost
-            if stop_at_first:
-                return best
-    return best
+from repro.model.window import Window
 
 
 def fast_min_cost(job: JobLike, pool: SlotPool) -> Optional[Window]:
-    """Drop-in fast equivalent of :class:`repro.core.MinCost`."""
-    return _fast_scan(job, pool, stop_at_first=False)
+    """Deprecated alias for the MinCost scan (see module docs)."""
+    result = aep_scan(job, pool, MinTotalCostExtractor())
+    return result.window if result is not None else None
 
 
 def fast_earliest_start(job: JobLike, pool: SlotPool) -> Optional[Window]:
-    """Drop-in fast equivalent of ``AMP(policy="cheapest")``."""
-    return _fast_scan(job, pool, stop_at_first=True)
+    """Deprecated alias for ``AMP(policy="cheapest")`` (see module docs)."""
+    result = aep_scan(job, pool, EarliestStartExtractor(), stop_at_first=True)
+    return result.window if result is not None else None

@@ -1,0 +1,204 @@
+"""Frozen pre-incremental scan kernel — the equivalence baseline.
+
+This module preserves, verbatim, the generic AEP scan and the two
+extractors whose inner loops were rewritten when the incremental
+extended-window kernel (:mod:`repro.core.candidates`) became the main
+path:
+
+* :func:`reference_scan` — the original ``aep_scan``: per-slot
+  list-comprehension pruning, per-step deadline filtering, and a fresh
+  :meth:`WindowSlot.for_request` per slot;
+* :class:`ReferenceMinRuntimeSubstitutionExtractor` — the substitution
+  heuristic with a full ``sorted()`` per extraction;
+* :class:`ReferenceGreedyAdditiveExtractor` — the swap search calling
+  ``self._key`` inside the O(n·m) loop.
+
+It exists for two jobs only: the old-vs-new equivalence property tests
+(``tests/core/test_scan_equivalence.py``), which assert window-for-window
+identical selection, and the ``repro bench-core`` baseline, which reports
+the incremental kernel's speedup against these exact code paths.  Do not
+"optimize" this module — its value is that it does not change.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+from repro.core.extractors import (
+    Extraction,
+    WindowExtractor,
+    _budget_of,
+    cheapest_subset,
+)
+from repro.model.job import Job, ResourceRequest
+from repro.model.slot import TIME_EPSILON
+from repro.model.window import Window, WindowSlot
+
+#: Kept equal to :data:`repro.core.aep.VALUE_EPSILON`.
+VALUE_EPSILON = 1e-12
+
+
+def _request_of(job: Union[Job, ResourceRequest]) -> ResourceRequest:
+    if isinstance(job, Job):
+        return job.request
+    return job
+
+
+def reference_scan(
+    job: Union[Job, ResourceRequest],
+    slots: Iterable,
+    extractor: WindowExtractor,
+    *,
+    stop_at_first: bool = False,
+):
+    """The pre-incremental ``aep_scan``, byte-for-byte (see module docs)."""
+    from repro.core.aep import ScanResult
+
+    request = _request_of(job)
+    n = request.node_count
+    deadline = request.deadline
+
+    candidates: list[WindowSlot] = []
+    best: Optional[ScanResult] = None
+    best_value = float("inf")
+    steps = 0
+    slots_scanned = 0
+    candidate_peak = 0
+    previous_start = None
+
+    for slot in slots:
+        slots_scanned += 1
+        if previous_start is not None and slot.start < previous_start - TIME_EPSILON:
+            raise ValueError(
+                "reference_scan requires slots ordered by non-decreasing start time"
+            )
+        previous_start = slot.start
+        if not request.node_matches(slot.node):
+            continue
+        leg = WindowSlot.for_request(slot, request)
+        window_start = slot.start
+        candidates = [ws for ws in candidates if ws.fits_from(window_start)]
+        if not leg.fits_from(window_start):
+            continue
+        if deadline is not None and window_start + leg.required_time > deadline + TIME_EPSILON:
+            continue
+        candidates.append(leg)
+        candidate_peak = max(candidate_peak, len(candidates))
+        if deadline is not None:
+            eligible = [
+                ws
+                for ws in candidates
+                if window_start + ws.required_time <= deadline + TIME_EPSILON
+            ]
+        else:
+            eligible = candidates
+        if len(eligible) < n:
+            continue
+        steps += 1
+        extraction = extractor.extract(window_start, eligible, request)
+        if extraction is None:
+            continue
+        if extraction.value < best_value - VALUE_EPSILON:
+            best_value = extraction.value
+            best = ScanResult(
+                window=Window(start=window_start, slots=extraction.slots),
+                value=extraction.value,
+                steps=steps,
+            )
+            if stop_at_first:
+                break
+    if best is not None:
+        return ScanResult(
+            window=best.window,
+            value=best.value,
+            steps=steps,
+            slots_scanned=slots_scanned,
+            candidate_peak=candidate_peak,
+        )
+    return None
+
+
+class ReferenceMinRuntimeSubstitutionExtractor:
+    """The substitution heuristic as it stood before the rewrite."""
+
+    def extract(
+        self,
+        window_start: float,
+        candidates: Sequence[WindowSlot],
+        request: ResourceRequest,
+    ) -> Optional[Extraction]:
+        """Best feasible ``n``-subset at this scan step (frozen)."""
+        n = request.node_count
+        budget = _budget_of(request)
+        ordered = sorted(candidates, key=lambda ws: (ws.cost, ws.required_time))
+        if len(ordered) < n:
+            return None
+        result = ordered[:n]
+        cost = sum(ws.cost for ws in result)
+        if cost > budget:
+            return None
+        for short in ordered[n:]:
+            longest_index = max(
+                range(len(result)), key=lambda i: result[i].required_time
+            )
+            longest = result[longest_index]
+            if (
+                short.required_time < longest.required_time
+                and cost - longest.cost + short.cost <= budget
+            ):
+                cost += short.cost - longest.cost
+                result[longest_index] = short
+        return Extraction(
+            value=max(ws.required_time for ws in result), slots=tuple(result)
+        )
+
+
+class ReferenceGreedyAdditiveExtractor:
+    """The additive swap search as it stood before the rewrite."""
+
+    def __init__(
+        self,
+        key: Callable[[WindowSlot], float] = lambda ws: ws.required_time,
+        max_rounds: int = 64,
+    ):
+        self._key = key
+        self._max_rounds = max(1, max_rounds)
+
+    def extract(
+        self,
+        window_start: float,
+        candidates: Sequence[WindowSlot],
+        request: ResourceRequest,
+    ) -> Optional[Extraction]:
+        """Best feasible ``n``-subset at this scan step (frozen)."""
+        n = request.node_count
+        budget = _budget_of(request)
+        chosen = cheapest_subset(candidates, n, budget)
+        if chosen is None:
+            return None
+        current = list(chosen)
+        in_window = set(map(id, current))
+        outside = [ws for ws in candidates if id(ws) not in in_window]
+        cost = sum(ws.cost for ws in current)
+        for _ in range(self._max_rounds):
+            best_gain = 0.0
+            best_swap: Optional[tuple[int, int]] = None
+            for out_index, out_ws in enumerate(current):
+                for in_index, in_ws in enumerate(outside):
+                    if cost - out_ws.cost + in_ws.cost > budget:
+                        continue
+                    gain = self._key(out_ws) - self._key(in_ws)
+                    if gain > best_gain + 1e-12:
+                        best_gain = gain
+                        best_swap = (out_index, in_index)
+            if best_swap is None:
+                break
+            out_index, in_index = best_swap
+            cost += outside[in_index].cost - current[out_index].cost
+            current[out_index], outside[in_index] = (
+                outside[in_index],
+                current[out_index],
+            )
+        return Extraction(
+            value=sum(self._key(ws) for ws in current), slots=tuple(current)
+        )

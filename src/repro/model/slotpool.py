@@ -11,13 +11,31 @@ time.
 
 from __future__ import annotations
 
-from bisect import insort
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional
 
 from repro.model.errors import AllocationError
 from repro.model.slot import TIME_EPSILON, Slot
 from repro.model.window import Window
+
+
+def _find_entry(
+    entries: list[tuple[tuple[float, float, int], Slot]],
+    entry: tuple[tuple[float, float, int], Slot],
+) -> Optional[int]:
+    """Index of ``entry`` in a sorted entry list, or ``None`` if absent.
+
+    Bisects to the first equal sort key, then compares slots by equality
+    (several distinct slots may share a key only through float collisions,
+    so the scan is almost always a single comparison).
+    """
+    index = bisect_left(entries, entry)
+    while index < len(entries) and entries[index][0] == entry[0]:
+        if entries[index][1] == entry[1]:
+            return index
+        index += 1
+    return None
 
 
 @dataclass
@@ -35,6 +53,14 @@ class SlotPool:
 
     min_usable_length: float = TIME_EPSILON
     _slots: list[tuple[tuple[float, float, int], Slot]] = field(default_factory=list)
+    #: Per-node index: node_id -> the node's entries, same tuples as
+    #: ``_slots`` and kept in the same (total) order.  Node-scoped
+    #: operations — coalescing, host lookup, overlap checks — walk one
+    #: short bucket instead of the whole pool, and ``node_count`` is O(1)
+    #: (empty buckets are deleted eagerly).
+    _by_node: dict[int, list[tuple[tuple[float, float, int], Slot]]] = field(
+        default_factory=dict
+    )
 
     @classmethod
     def from_slots(cls, slots: Iterable[Slot], min_usable_length: float = TIME_EPSILON) -> "SlotPool":
@@ -59,7 +85,10 @@ class SlotPool:
         return [slot for _, slot in self._slots]
 
     def __contains__(self, slot: Slot) -> bool:
-        return any(existing == slot for _, existing in self._slots)
+        bucket = self._by_node.get(slot.node.node_id)
+        if not bucket:
+            return False
+        return _find_entry(bucket, (slot.sort_key(), slot)) is not None
 
     # ------------------------------------------------------------------
     # Mutation
@@ -77,51 +106,55 @@ class SlotPool:
             return
         if coalesce:
             slot = self._coalesce(slot)
-        insort(self._slots, (slot.sort_key(), slot))
+        entry = (slot.sort_key(), slot)
+        insort(self._slots, entry)
+        insort(self._by_node.setdefault(slot.node.node_id, []), entry)
 
     def _coalesce(self, slot: Slot) -> Slot:
         """Absorb same-node neighbours touching ``slot`` and return the union.
 
         In a per-node-disjoint pool at most one slot can end at ``slot.start``
         and at most one can start at ``slot.end``; both are removed from the
-        pool and the merged span is returned for insertion.
+        pool and the merged span is returned for insertion.  Only the
+        node's own index bucket is inspected.
         """
-        left_index: Optional[int] = None
-        right_index: Optional[int] = None
-        for index, (_, other) in enumerate(self._slots):
-            if other.node != slot.node:
-                continue
-            if abs(other.end - slot.start) <= TIME_EPSILON:
-                left_index = index
-            elif abs(slot.end - other.start) <= TIME_EPSILON:
-                right_index = index
-        if left_index is None and right_index is None:
+        bucket = self._by_node.get(slot.node.node_id)
+        if not bucket:
             return slot
-        start = slot.start if left_index is None else self._slots[left_index][1].start
-        end = slot.end if right_index is None else self._slots[right_index][1].end
-        for index in sorted(
-            (i for i in (left_index, right_index) if i is not None), reverse=True
-        ):
-            del self._slots[index]
+        left: Optional[Slot] = None
+        right: Optional[Slot] = None
+        for _, other in bucket:
+            if abs(other.end - slot.start) <= TIME_EPSILON:
+                left = other
+            elif abs(slot.end - other.start) <= TIME_EPSILON:
+                right = other
+        if left is None and right is None:
+            return slot
+        start = slot.start if left is None else left.start
+        end = slot.end if right is None else right.end
+        for neighbour in (left, right):
+            if neighbour is not None:
+                self.remove(neighbour)
         return Slot(slot.node, start, end)
 
     def remove(self, slot: Slot) -> None:
         """Remove one slot; raises :class:`AllocationError` if absent."""
         entry = (slot.sort_key(), slot)
-        index = self._find(entry)
+        index = _find_entry(self._slots, entry)
         if index is None:
             raise AllocationError(f"slot not in pool: {slot!r}")
         del self._slots[index]
+        self._bucket_discard(entry)
 
-    def _find(self, entry: tuple[tuple[float, float, int], Slot]) -> Optional[int]:
-        from bisect import bisect_left
-
-        index = bisect_left(self._slots, entry)
-        while index < len(self._slots) and self._slots[index][0] == entry[0]:
-            if self._slots[index][1] == entry[1]:
-                return index
-            index += 1
-        return None
+    def _bucket_discard(self, entry: tuple[tuple[float, float, int], Slot]) -> None:
+        """Drop ``entry`` (known present) from its node's index bucket."""
+        node_id = entry[1].node.node_id
+        bucket = self._by_node[node_id]
+        index = _find_entry(bucket, entry)
+        if index is not None:  # pragma: no branch - present by invariant
+            del bucket[index]
+        if not bucket:
+            del self._by_node[node_id]
 
     def cut_window(self, window: Window, mode: str = "split") -> None:
         """Remove a window's reservations from the pool.
@@ -176,10 +209,8 @@ class SlotPool:
             span_start = window.start
             span_end = window.start + ws.required_time
             host: Optional[Slot] = None
-            for _, slot in self._slots:
-                if slot.node.node_id == ws.slot.node.node_id and slot.contains(
-                    span_start, span_end
-                ):
+            for _, slot in self._by_node.get(ws.slot.node.node_id, ()):
+                if slot.contains(span_start, span_end):
                     host = slot
                     break
             if host is None:
@@ -213,9 +244,7 @@ class SlotPool:
             for ws in window.slots
         ]
         for node, span_start, span_end in spans:
-            for slot in self:
-                if slot.node.node_id != node.node_id:
-                    continue
+            for _, slot in self._by_node.get(node.node_id, ()):
                 if (
                     slot.start < span_end - TIME_EPSILON
                     and span_start < slot.end - TIME_EPSILON
@@ -237,30 +266,43 @@ class SlotPool:
         slots removed or truncated.  The broker service calls this at the
         start of every cycle so searches only ever see future time.
         """
+        # Every slot starting at or after ``time + TIME_EPSILON`` is kept
+        # untouched (its end exceeds its start, hence the cutoff too), so
+        # only the prefix up to that point needs per-slot inspection.
+        cutoff = bisect_left(self._slots, ((time + TIME_EPSILON,),))
+        if cutoff == 0:
+            return 0
         changed = 0
         rebuilt: list[tuple[tuple[float, float, int], Slot]] = []
-        for entry in self._slots:
+        for entry in self._slots[:cutoff]:
             slot = entry[1]
             if slot.end <= time + TIME_EPSILON:
                 changed += 1
+                self._bucket_discard(entry)
                 continue
             if slot.start < time - TIME_EPSILON:
                 changed += 1
+                self._bucket_discard(entry)
                 tail = slot.end - time
                 if tail > TIME_EPSILON and tail >= self.min_usable_length - TIME_EPSILON:
                     trimmed = Slot(slot.node, time, slot.end)
-                    rebuilt.append((trimmed.sort_key(), trimmed))
+                    trimmed_entry = (trimmed.sort_key(), trimmed)
+                    rebuilt.append(trimmed_entry)
+                    insort(self._by_node.setdefault(trimmed.node.node_id, []), trimmed_entry)
                 continue
             rebuilt.append(entry)
         if changed:
             rebuilt.sort()
-            self._slots = rebuilt
+            self._slots[:cutoff] = rebuilt
         return changed
 
     def copy(self) -> "SlotPool":
         """A shallow copy (slots are immutable, so this is fully safe)."""
         twin = SlotPool(min_usable_length=self.min_usable_length)
         twin._slots = list(self._slots)
+        twin._by_node = {
+            node_id: list(bucket) for node_id, bucket in self._by_node.items()
+        }
         return twin
 
     # ------------------------------------------------------------------
@@ -271,15 +313,19 @@ class SlotPool:
         return sum(slot.length for slot in self)
 
     def by_node(self) -> dict[int, list[Slot]]:
-        """Slots grouped by node id (each group start-ordered)."""
-        groups: dict[int, list[Slot]] = {}
-        for slot in self:
-            groups.setdefault(slot.node.node_id, []).append(slot)
-        return groups
+        """Slots grouped by node id (each group start-ordered).
+
+        Served from the per-node index; the returned lists are fresh
+        copies, so callers may mutate them freely.
+        """
+        return {
+            node_id: [slot for _, slot in bucket]
+            for node_id, bucket in self._by_node.items()
+        }
 
     def node_count(self) -> int:
-        """Number of distinct nodes contributing at least one slot."""
-        return len({slot.node.node_id for slot in self})
+        """Number of distinct nodes contributing at least one slot (O(1))."""
+        return len(self._by_node)
 
     def assert_disjoint_per_node(self) -> None:
         """Invariant check: slots of one node never overlap.

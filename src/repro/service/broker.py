@@ -4,8 +4,9 @@ This is the long-running counterpart of the one-shot batch cycle
 (:class:`~repro.scheduling.BatchScheduler`): jobs are submitted one at a
 time through admission control into a bounded queue; a size-or-deadline
 trigger coalesces them into scheduling cycles; each cycle runs phase one
-in parallel across jobs on per-job pool snapshots, picks the phase-two
-combination, and commits it onto the shared pool under one lock.  A
+in parallel across jobs on one shared read-only pool snapshot (reused
+persistent worker pool), picks the phase-two combination, and commits it
+onto the shared pool under one lock.  A
 virtual-clock lifecycle retires finished jobs and returns their slots
 via :meth:`~repro.model.SlotPool.release`, so the service can run
 indefinitely without fragmenting or leaking the pool.
@@ -22,6 +23,7 @@ the configuration — never on wall-clock or worker count.
 from __future__ import annotations
 
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
 from typing import Iterable, Optional, Sequence
 
@@ -94,7 +96,42 @@ class BrokerService:
         self._lifecycle = JobLifecycle(emitter=self.events)
         self._lock = threading.RLock()
         self._now = clock_start
+        #: Persistent phase-one executor, created on first parallel cycle
+        #: and reused for the broker's lifetime (thread spawn per cycle
+        #: was pure overhead); ``close()`` shuts it down.
+        self._executor: Optional[ThreadPoolExecutor] = None
         self.pool.trim_before(self._now)
+
+    # ------------------------------------------------------------------
+    # Resource management
+    # ------------------------------------------------------------------
+    def _phase_one_executor(self) -> Optional[ThreadPoolExecutor]:
+        """The persistent worker pool (lazily created; None when inline)."""
+        if self.config.workers <= 1:
+            return None
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.config.workers,
+                thread_name_prefix="repro-phase1",
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Release the phase-one worker pool (idempotent).
+
+        The broker remains usable afterwards — the next parallel cycle
+        simply creates a fresh executor.
+        """
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+
+    def __enter__(self) -> "BrokerService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Clock and introspection
@@ -261,6 +298,7 @@ class BrokerService:
             self.pool,
             workers=self.config.workers,
             limit=self.config.alternatives_per_job,
+            executor=self._phase_one_executor(),
         )
         search_seconds = perf_counter() - search_started
         self.stats.search_seconds += search_seconds

@@ -106,6 +106,7 @@ def run_service_trace(
         service.process(generator.iter_arrivals(config.jobs, rate=config.rate))
         elapsed = perf_counter() - started
     finally:
+        service.close()
         service.events.close()
     if validator is not None:
         validator.check(expect_drained=True)

@@ -1,17 +1,22 @@
 """Parallel phase one: window search fanned out across the batch.
 
 Phase one is embarrassingly parallel — each job's alternative search
-reads the pool and writes nothing — so the broker hands every job its
-own :meth:`SlotPool.copy` snapshot and runs the searches on a
-``concurrent.futures`` thread pool.  Snapshots are taken up front in
-job order and results are merged back in job order, so the output is
-*identical* for any worker count: parallelism changes wall-clock time,
-never assignments.
+reads the pool and writes nothing (``select`` never mutates, and CSA
+copies internally before cutting) — so the broker publishes **one**
+read-only snapshot of the pool per cycle and fans the searches out over
+it on a ``concurrent.futures`` thread pool.  Results are merged back in
+job order, so the output is *identical* for any worker count:
+parallelism changes wall-clock time, never assignments.
+
+The single shared snapshot replaces the per-job ``SlotPool.copy()`` the
+first service version took: with hundreds of jobs per cycle those copies
+dominated the cycle's allocation churn while providing no isolation the
+read-only discipline did not already guarantee.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Executor, ThreadPoolExecutor
 from typing import Optional, Sequence
 
 from repro.core.algorithms.base import SlotSelectionAlgorithm
@@ -26,25 +31,36 @@ def parallel_find_alternatives(
     pool: SlotPool,
     workers: int = 1,
     limit: Optional[int] = None,
+    executor: Optional[Executor] = None,
 ) -> dict[str, list[Window]]:
-    """Phase-one alternatives per job, searched on per-job pool snapshots.
+    """Phase-one alternatives per job, searched on a shared pool snapshot.
 
-    Every job is searched against its own copy of ``pool`` as published
-    at the start of the cycle (the non-consuming discipline of
+    Every job is searched against the same frozen copy of ``pool`` as
+    published at the start of the cycle (the non-consuming discipline of
     :class:`~repro.scheduling.BatchScheduler`), so job order carries no
     information and the searches are independent.  With ``workers <= 1``
     the loop runs inline; either path returns the same mapping, keyed in
     ``jobs`` order.
+
+    ``executor`` optionally supplies a persistent executor (the broker
+    keeps one for its lifetime); when omitted and ``workers > 1`` a
+    transient :class:`ThreadPoolExecutor` is created for the call.
     """
-    snapshots = [pool.copy() for _ in jobs]
+    snapshot = pool.copy()
     if workers <= 1 or len(jobs) <= 1:
         return {
             job.job_id: search.find_alternatives(job, snapshot, limit=limit)
-            for job, snapshot in zip(jobs, snapshots)
+            for job in jobs
         }
-    with ThreadPoolExecutor(max_workers=workers) as executor:
+    if executor is not None:
         futures = [
             executor.submit(search.find_alternatives, job, snapshot, limit)
-            for job, snapshot in zip(jobs, snapshots)
+            for job in jobs
+        ]
+        return {job.job_id: future.result() for job, future in zip(jobs, futures)}
+    with ThreadPoolExecutor(max_workers=workers) as transient:
+        futures = [
+            transient.submit(search.find_alternatives, job, snapshot, limit)
+            for job in jobs
         ]
         return {job.job_id: future.result() for job, future in zip(jobs, futures)}

@@ -1,0 +1,181 @@
+"""Unit tests for the incremental extended-window kernel, plus the
+complexity-counter regression: amortized per-slot work must stay bounded
+as the pool grows (each candidate enters and leaves the structure at most
+once, so ``inserts + expiries <= 2 * slots_scanned`` at every size)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aep import aep_scan
+from repro.core.candidates import IncrementalCandidateSet, LegFactory
+from repro.core.extractors import MinRuntimeSubstitutionExtractor, MinTotalCostExtractor
+from repro.environment import EnvironmentConfig, EnvironmentGenerator
+from repro.model import ResourceRequest, Slot
+from tests.conftest import make_node, make_slot
+
+
+def leg_of(slot, request):
+    return LegFactory(request).leg(slot)
+
+
+@pytest.fixture
+def request3():
+    return ResourceRequest(node_count=3, reservation_time=20.0, budget=1000.0)
+
+
+class TestLegFactory:
+    def test_caches_per_node(self, request3):
+        factory = LegFactory(request3)
+        node = make_node(1, performance=4.0, price=2.0)
+        first = factory.leg(Slot(node, 0.0, 50.0))
+        second = factory.leg(Slot(node, 60.0, 90.0))
+        # task(20) on perf 4 runs 5 units and costs 10 at price 2
+        assert first.required_time == second.required_time == 5.0
+        assert first.cost == second.cost == 10.0
+        assert first.slot.start == 0.0 and second.slot.start == 60.0
+
+    def test_matches_window_slot_for_request(self, request3):
+        from repro.model.window import WindowSlot
+
+        factory = LegFactory(request3)
+        slot = make_slot(2, 10.0, 80.0, performance=5.0, price=4.0)
+        direct = WindowSlot.for_request(slot, request3)
+        cached = factory.leg(slot)
+        assert cached.required_time == direct.required_time
+        assert cached.cost == direct.cost
+
+
+class TestIncrementalCandidateSet:
+    def test_insert_orders_by_cost_then_time_then_arrival(self, request3):
+        candidates = IncrementalCandidateSet(2)
+        legs = [
+            leg_of(make_slot(0, 0.0, 100.0, performance=2.0, price=3.0), request3),
+            leg_of(make_slot(1, 0.0, 100.0, performance=4.0, price=1.0), request3),
+            leg_of(make_slot(2, 0.0, 100.0, performance=4.0, price=1.0), request3),
+        ]
+        for leg in legs:
+            candidates.insert(leg)
+        ordered = candidates.ordered()
+        # node 1 and node 2 tie on (cost, time); arrival order breaks the tie
+        assert [ws.slot.node.node_id for ws in ordered] == [1, 2, 0]
+        by_time = candidates.ordered_by_time()
+        assert [ws.required_time for ws in by_time] == sorted(
+            ws.required_time for ws in legs
+        )
+        assert [ws.slot.node.node_id for ws in candidates.scan_ordered()] == [0, 1, 2]
+
+    def test_cheap_sum_tracks_n_cheapest(self, request3):
+        candidates = IncrementalCandidateSet(2)
+        prices = [5.0, 1.0, 3.0, 0.5]
+        for node_id, price in enumerate(prices):
+            candidates.insert(
+                leg_of(
+                    make_slot(node_id, 0.0, 100.0, performance=4.0, price=price),
+                    request3,
+                )
+            )
+            costs = sorted(ws.cost for ws in candidates.ordered())
+            expected = sum(costs[:2])
+            assert candidates.cheapest_sum == pytest.approx(expected, abs=1e-9)
+
+    def test_prune_expires_by_slot_end(self, request3):
+        candidates = IncrementalCandidateSet(1)
+        short = leg_of(make_slot(0, 0.0, 22.0, performance=4.0), request3)  # runs 5
+        long = leg_of(make_slot(1, 0.0, 100.0, performance=4.0), request3)
+        candidates.insert(short)
+        candidates.insert(long)
+        assert len(candidates) == 2
+        # short fits while window_start <= 17; prune at 18 drops it
+        assert candidates.prune(17.0) == 0
+        assert candidates.prune(18.0) == 1
+        assert [ws.slot.node.node_id for ws in candidates.ordered()] == [1]
+        assert candidates.inserted == 2 and candidates.expired == 1
+
+    def test_deadline_expires_earlier_than_slot_end(self):
+        request = ResourceRequest(
+            node_count=1, reservation_time=20.0, budget=100.0, deadline=30.0
+        )
+        candidates = IncrementalCandidateSet(1, deadline=30.0)
+        leg = leg_of(make_slot(0, 0.0, 100.0, performance=4.0), request)  # runs 5
+        candidates.insert(leg)
+        # eligible while window_start + 5 <= 30
+        assert candidates.prune(25.0) == 0
+        assert candidates.prune(26.0) == 1
+
+    def test_feasible_cheapest_budget_boundary(self, request3):
+        candidates = IncrementalCandidateSet(2)
+        for node_id in range(3):
+            candidates.insert(
+                leg_of(make_slot(node_id, 0.0, 100.0, performance=4.0), request3)
+            )  # each costs 10
+        assert candidates.feasible_cheapest(2, 19.0) is None
+        found = candidates.feasible_cheapest(2, 20.0)
+        assert found is not None
+        chosen, total = found
+        assert total == 20.0 and len(chosen) == 2
+        assert candidates.feasible_cheapest(4, float("inf")) is None  # too few
+
+    def test_eligible_filters_by_deadline(self):
+        request = ResourceRequest(node_count=2, reservation_time=20.0, budget=1000.0)
+        candidates = IncrementalCandidateSet(2, deadline=50.0)
+        fast = leg_of(make_slot(0, 0.0, 100.0, performance=10.0), request)  # runs 2
+        slow = leg_of(make_slot(1, 0.0, 100.0, performance=1.0, price=0.1), request)  # runs 20
+        candidates.insert(fast)
+        candidates.insert(slow)
+        # At window start 40, slow (20 units) misses the 50 deadline.
+        eligible = candidates.eligible(2, 40.0)
+        assert [ws.slot.node.node_id for ws in eligible] == [0]
+        # Explicit deadline overrides the constructed one.
+        assert len(candidates.eligible(2, 40.0, deadline=80.0)) == 2
+
+
+class TestComplexityCounters:
+    """The amortized-O(1) bookkeeping bound, asserted as pool size grows."""
+
+    NODE_COUNTS = (50, 100, 200)
+
+    def _scan(self, node_count, extractor):
+        environment = EnvironmentGenerator(
+            EnvironmentConfig(node_count=node_count, seed=2013)
+        ).generate()
+        slots = environment.slot_pool().ordered()
+        request = ResourceRequest(node_count=5, reservation_time=150.0, budget=1500.0)
+        result = aep_scan(request, slots, extractor)
+        assert result is not None
+        return result, node_count
+
+    @pytest.mark.parametrize("nodes", NODE_COUNTS)
+    def test_per_slot_work_bounded(self, nodes):
+        result, node_count = self._scan(nodes, MinRuntimeSubstitutionExtractor())
+        assert result.candidate_inserts <= result.slots_scanned
+        assert result.candidate_expiries <= result.candidate_inserts
+        # Each slot contributes at most one insert and one expiry over the
+        # whole scan — the linearity invariant, independent of pool size.
+        mutations = result.candidate_inserts + result.candidate_expiries
+        assert mutations <= 2 * result.slots_scanned
+        assert result.candidate_peak <= node_count
+
+    def test_mutation_ratio_does_not_grow(self):
+        """Amortized mutations per scanned slot stay <= 2 at every size —
+        the regression guard against reintroducing per-step rebuilds."""
+        ratios = []
+        for nodes in self.NODE_COUNTS:
+            result, _ = self._scan(nodes, MinTotalCostExtractor())
+            ratios.append(
+                (result.candidate_inserts + result.candidate_expiries)
+                / result.slots_scanned
+            )
+        assert all(ratio <= 2.0 for ratio in ratios)
+
+    def test_counters_default_zero(self):
+        from repro.core.aep import ScanResult
+        from repro.model.window import Window, WindowSlot
+
+        request = ResourceRequest(node_count=1, reservation_time=20.0, budget=100.0)
+        leg = WindowSlot.for_request(make_slot(0, 0.0, 100.0), request)
+        result = ScanResult(
+            window=Window(start=0.0, slots=(leg,)), value=0.0, steps=0
+        )
+        assert result.candidate_inserts == 0
+        assert result.candidate_expiries == 0

@@ -1,0 +1,136 @@
+"""The zero-copy phase-one fan-out: one shared snapshot per cycle, a
+persistent executor on the broker, and — above all — determinism: the
+alternatives must be identical inline, with a transient pool, and with a
+caller-supplied persistent executor."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.algorithms.csa import CSA
+from repro.environment import EnvironmentConfig, EnvironmentGenerator
+from repro.model import Job, ResourceRequest
+from repro.service import BrokerService, ServiceConfig
+from repro.service.parallel import parallel_find_alternatives
+
+
+def make_pool(node_count: int = 30, seed: int = 5):
+    environment = EnvironmentGenerator(
+        EnvironmentConfig(node_count=node_count, seed=seed)
+    ).generate()
+    return environment.slot_pool()
+
+
+def make_jobs(count: int = 8) -> list[Job]:
+    return [
+        Job(
+            f"job-{index}",
+            ResourceRequest(
+                node_count=2 + index % 2, reservation_time=20.0, budget=2000.0
+            ),
+        )
+        for index in range(count)
+    ]
+
+
+def fingerprint(alternatives):
+    return {
+        job_id: [
+            (window.start, tuple(sorted(window.nodes())))
+            for window in windows
+        ]
+        for job_id, windows in alternatives.items()
+    }
+
+
+class TestSharedSnapshotFanOut:
+    def test_identical_across_execution_modes(self):
+        pool = make_pool()
+        jobs = make_jobs()
+        search = CSA(max_alternatives=5)
+        inline = parallel_find_alternatives(search, jobs, pool, workers=1, limit=5)
+        transient = parallel_find_alternatives(search, jobs, pool, workers=4, limit=5)
+        with ThreadPoolExecutor(max_workers=4) as executor:
+            persistent = parallel_find_alternatives(
+                search, jobs, pool, workers=4, limit=5, executor=executor
+            )
+        assert fingerprint(inline) == fingerprint(transient) == fingerprint(persistent)
+
+    def test_pool_unchanged_by_fan_out(self):
+        pool = make_pool()
+        before = [(slot.node.node_id, slot.start, slot.end) for slot in pool]
+        parallel_find_alternatives(
+            CSA(max_alternatives=3), make_jobs(4), pool, workers=4, limit=3
+        )
+        after = [(slot.node.node_id, slot.start, slot.end) for slot in pool]
+        assert before == after
+
+    def test_result_keyed_in_job_order(self):
+        pool = make_pool()
+        jobs = make_jobs(5)
+        result = parallel_find_alternatives(
+            CSA(max_alternatives=2), jobs, pool, workers=3, limit=2
+        )
+        assert list(result) == [job.job_id for job in jobs]
+
+
+class TestPersistentBrokerExecutor:
+    def test_executor_reused_across_cycles(self):
+        service = BrokerService(
+            make_pool(), config=ServiceConfig(workers=4, batch_size=2, max_wait=5.0)
+        )
+        assert service._executor is None  # lazy until the first parallel cycle
+        for index, job in enumerate(make_jobs(8)):
+            service.advance_to(float(index))
+            service.submit(job)
+            service.pump()
+        first = service._executor
+        assert first is not None
+        service.drain()
+        assert service._executor is first  # same pool across all cycles
+        service.close()
+        assert service._executor is None
+        service.close()  # idempotent
+
+    def test_inline_broker_never_builds_executor(self):
+        service = BrokerService(
+            make_pool(), config=ServiceConfig(workers=1, batch_size=2, max_wait=5.0)
+        )
+        for index, job in enumerate(make_jobs(6)):
+            service.advance_to(float(index))
+            service.submit(job)
+            service.pump()
+        service.drain()
+        assert service._executor is None
+        service.close()
+
+    def test_context_manager_closes(self):
+        with BrokerService(
+            make_pool(), config=ServiceConfig(workers=2, batch_size=1, max_wait=5.0)
+        ) as service:
+            service.submit(make_jobs(1)[0])
+            service.pump()
+            service.drain()
+            assert service._executor is not None
+        assert service._executor is None
+
+    def test_worker_count_invariance_end_to_end(self):
+        jobs = make_jobs(10)
+
+        def run(workers: int):
+            service = BrokerService(
+                make_pool(),
+                config=ServiceConfig(workers=workers, batch_size=3, max_wait=5.0),
+            )
+            for index, job in enumerate(jobs):
+                service.advance_to(float(index))
+                service.submit(job)
+                service.pump()
+            service.drain()
+            service.close()
+            return {
+                job_id: (window.start, tuple(sorted(window.nodes())))
+                for job_id, window in service.assignments.items()
+            }
+
+        assert run(1) == run(4)
