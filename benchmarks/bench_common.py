@@ -2,10 +2,30 @@
 
 from __future__ import annotations
 
+import os
+
 from repro.analysis import comparison_table
 from repro.core import Criterion
-from repro.simulation import ComparisonResult, make_generator
+from repro.simulation import ComparisonResult, make_generator, run_comparison
 from repro.simulation.config import ExperimentConfig
+
+
+def bench_workers() -> int:
+    """Worker processes for multi-cycle studies (``REPRO_BENCH_WORKERS``).
+
+    0 (the default) runs in-process; any value produces bit-identical
+    aggregates, so the knob only changes wall-clock.
+    """
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+
+
+def run_study(config: ExperimentConfig, **kwargs) -> ComparisonResult:
+    """A multi-cycle comparison through the experiment engine.
+
+    The single entry point for every statistical benchmark: spawned
+    per-cycle streams, fanned out over ``REPRO_BENCH_WORKERS`` processes.
+    """
+    return run_comparison(config, workers=bench_workers() or None, **kwargs)
 
 
 def fresh_pool(config: ExperimentConfig):

@@ -16,6 +16,10 @@ Scale knobs (environment variables):
 ``REPRO_BENCH_FULL``
     Set to 1 to sweep the paper's full parameter grids (nodes up to 400,
     intervals up to 3600) instead of the abbreviated default grids.
+``REPRO_BENCH_WORKERS``
+    Worker processes for the Fig. 2-4 statistics (default 0 = in-process;
+    the aggregates are bit-identical for every worker count, so this only
+    changes wall-clock).
 """
 
 from __future__ import annotations
@@ -25,7 +29,9 @@ import os
 import pytest
 
 from repro.environment import EnvironmentConfig
-from repro.simulation import ExperimentConfig, run_comparison
+from repro.simulation import ExperimentConfig
+
+from benchmarks.bench_common import run_study
 
 BENCH_SEED = 20130901  # PaCT 2013 took place in September 2013.
 
@@ -65,7 +71,7 @@ def base_experiment_config(cycles: int) -> ExperimentConfig:
 @pytest.fixture(scope="session")
 def base_result():
     """The Section 3.1 base experiment, shared by the Fig. 2-4 benchmarks."""
-    return run_comparison(base_experiment_config(bench_cycles()))
+    return run_study(base_experiment_config(bench_cycles()))
 
 
 @pytest.fixture(scope="session")

@@ -18,7 +18,9 @@ from repro.analysis import render_table
 from repro.core import Criterion
 from repro.core.algorithms import MinCost, MinRunTime
 from repro.environment import preset
-from repro.simulation import ExperimentConfig, run_comparison
+from repro.simulation import ExperimentConfig
+
+from benchmarks.bench_common import run_study
 from repro.simulation.experiment import make_generator
 
 CYCLES = 25
@@ -37,7 +39,7 @@ def config_for(name: str) -> ExperimentConfig:
 
 
 def test_sensitivity_across_environments(benchmark, base_config):
-    results = {name: run_comparison(config_for(name)) for name in PRESET_NAMES}
+    results = {name: run_study(config_for(name)) for name in PRESET_NAMES}
 
     window = benchmark(
         MinRunTime().select,

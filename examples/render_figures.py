@@ -5,7 +5,7 @@ SVG per figure into ``figures/``: bar charts for Figs. 2-4 (with the
 paper's published values as dashed reference markers) and line charts for
 the Figs. 5-6 scaling curves.
 
-Run:  python examples/render_figures.py [cycles]    (default 100)
+Run:  python examples/render_figures.py [cycles] [workers]    (default 100, in-process)
 """
 
 import os
@@ -34,12 +34,13 @@ CURVE_ALGORITHMS = ("AMP", "MinRunTime", "MinFinish", "MinProcTime", "MinCost")
 
 def main() -> None:
     cycles = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 0
     out_dir = os.path.join(os.path.dirname(__file__), "..", "figures")
     os.makedirs(out_dir, exist_ok=True)
 
     config = paper_base_config(cycles=cycles, seed=2013)
     print(f"running {cycles} comparison cycles ...")
-    result = run_comparison(config)
+    result = run_comparison(config, workers=workers or None)
     for stem, title, criterion in FIGURES:
         means = result.all_means(criterion)
         path = os.path.join(out_dir, f"{stem}.svg")

@@ -23,6 +23,10 @@ Installed as the ``repro`` console script (also runnable as
     Time one window search per criterion through the incremental scan
     kernel and the frozen pre-change kernel, and archive the JSON
     baseline (``BENCH_core.json``).
+``repro bench-experiments``
+    Time the process-parallel Monte-Carlo experiment engine across worker
+    counts, verify worker-count-invariant aggregates, and archive the
+    JSON baseline (``BENCH_experiments.json``).
 """
 
 from __future__ import annotations
@@ -40,6 +44,7 @@ from repro.environment import EnvironmentConfig, EnvironmentGenerator
 from repro.io import load_environment, save_environment
 from repro.scheduling import BatchScheduler
 from repro.simulation import (
+    DEFAULT_CHUNK_SIZE,
     ExperimentConfig,
     run_comparison,
     sweep_interval_lengths,
@@ -73,6 +78,7 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
         environment=EnvironmentConfig(node_count=args.nodes),
         cycles=args.cycles,
         seed=args.seed,
+        stream_mode=getattr(args, "stream_mode", "spawned"),
     )
 
 
@@ -81,9 +87,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
     config = _experiment_config(args)
     print(
         f"running {config.cycles} cycles on {args.nodes} nodes "
-        f"(seed {args.seed}) ..."
+        f"(seed {args.seed}, {config.stream_mode} streams, "
+        f"{args.workers or 'in-process'} worker(s)) ..."
     )
-    result = run_comparison(config)
+    result = run_comparison(config, workers=args.workers or None)
     print(
         f"slots/cycle {result.slot_count.mean:.1f} (paper 472.6); "
         f"CSA alternatives/cycle {result.csa.alternatives.mean:.1f} (paper 57)"
@@ -329,6 +336,48 @@ def cmd_bench_core(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_experiments(args: argparse.Namespace) -> int:
+    """Handler of the ``repro bench-experiments`` subcommand."""
+    from repro.io import save_json
+    from repro.simulation.bench import InvarianceError, bench_experiments
+
+    worker_counts = [int(value) for value in args.workers.split(",")]
+    print(
+        f"benchmarking the experiment engine: {args.cycles} cycles on "
+        f"{args.nodes} nodes at worker counts {worker_counts} "
+        f"(seed {args.seed}, chunk {args.chunk_size}) ..."
+    )
+    try:
+        payload = bench_experiments(
+            cycles=args.cycles,
+            worker_counts=worker_counts,
+            seed=args.seed,
+            node_count=args.nodes,
+            chunk_size=args.chunk_size,
+        )
+    except InvarianceError as error:
+        print(f"WORKER-COUNT INVARIANCE VIOLATION\n{error}", file=sys.stderr)
+        return 1
+    for row in payload["results"]:
+        speedup = row.get("speedup_vs_1_worker")
+        print(
+            f"  {row['mode']:<12} workers {row['workers']}: "
+            f"{row['seconds']:8.2f}s  {row['cycles_per_second']:7.1f} cycles/s"
+            + (f"  {speedup:.2f}x vs 1 worker" if speedup is not None else "")
+        )
+    host = payload["host"]
+    print(
+        f"aggregates bit-identical across all rows "
+        f"(fingerprint {payload['aggregate_fingerprint'][:16]}); "
+        f"{host['usable_cpus']} usable CPU(s)"
+        + (" — speedup is CPU-bound on this host" if host["cpu_limited"] else "")
+    )
+    if args.output:
+        save_json(payload, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def cmd_presets(args: argparse.Namespace) -> int:
     """Handler of the ``repro presets`` subcommand."""
     from repro.environment import PRESETS, EnvironmentGenerator, preset
@@ -453,6 +502,16 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--nodes", type=int, default=100)
     compare.add_argument("--seed", type=int, default=2013)
     compare.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes for the cycle fan-out (0 = in-process; "
+             "aggregates are identical for every value)",
+    )
+    compare.add_argument(
+        "--stream-mode", default="spawned", choices=["spawned", "sequential"],
+        help="per-cycle RNG discipline: spawned = independent parallel-safe "
+             "streams (default), sequential = the legacy single stream",
+    )
+    compare.add_argument(
         "--latex", help="also write the figure tables as LaTeX to this path"
     )
     compare.set_defaults(func=cmd_compare)
@@ -561,6 +620,30 @@ def build_parser() -> argparse.ArgumentParser:
     bench_core.add_argument("-o", "--output",
                             help="write the JSON payload here (BENCH_core.json)")
     bench_core.set_defaults(func=cmd_bench_core)
+
+    bench_experiments = sub.add_parser(
+        "bench-experiments",
+        help="experiment-engine wall-clock across worker counts "
+             "(verifies worker-count-invariant aggregates)",
+    )
+    bench_experiments.add_argument("--cycles", type=int, default=250)
+    bench_experiments.add_argument("--nodes", type=int, default=100)
+    bench_experiments.add_argument("--seed", type=int, default=2013)
+    bench_experiments.add_argument(
+        "--workers", default="1,2,4,8",
+        help="comma-separated worker counts (the in-process reference row "
+             "always runs first)",
+    )
+    bench_experiments.add_argument(
+        "--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
+        help="cycles per worker task (fixed per run; part of the "
+             "deterministic merge tree)",
+    )
+    bench_experiments.add_argument(
+        "-o", "--output",
+        help="write the JSON payload here (BENCH_experiments.json)",
+    )
+    bench_experiments.set_defaults(func=cmd_bench_experiments)
 
     presets = sub.add_parser("presets", help="list environment presets")
     presets.add_argument("--nodes", type=int, default=100)

@@ -250,9 +250,10 @@ class IncrementalCandidateSet:
         """Up to ``n`` cheapest candidates able to finish by ``deadline``.
 
         The public replacement for reaching into the private cost order
-        (``fastscan`` used to walk ``_CostOrdered._items`` directly).
-        ``deadline=None`` falls back to the set's constructed deadline;
-        when that is also ``None`` every alive candidate is eligible.
+        (the retired ``fastscan`` shim used to walk ``_CostOrdered._items``
+        directly).  ``deadline=None`` falls back to the set's constructed
+        deadline; when that is also ``None`` every alive candidate is
+        eligible.
         """
         limit = deadline if deadline is not None else self._deadline
         legs = self._legs

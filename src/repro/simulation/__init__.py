@@ -10,11 +10,13 @@ from repro.simulation.config import (
     PAPER_RESERVATION_TIME,
     PAPER_TABLE_CYCLES,
     PAPER_TASK_COUNT,
+    STREAM_MODES,
     ExperimentConfig,
     paper_base_config,
 )
 from repro.simulation.experiment import (
     CycleOutcome,
+    CycleSummary,
     make_generator,
     paper_algorithm_suite,
     run_cycle,
@@ -27,7 +29,12 @@ from repro.simulation.metrics import (
     RunningStat,
     WindowStats,
 )
-from repro.simulation.runner import ComparisonResult, run_comparison
+from repro.simulation.runner import (
+    DEFAULT_CHUNK_SIZE,
+    ComparisonResult,
+    run_comparison,
+    run_spawned_cycle,
+)
 from repro.simulation.timing import (
     TimingRow,
     TimingStudy,
@@ -41,6 +48,8 @@ __all__ = [
     "ComparisonResult",
     "CsaStats",
     "CycleOutcome",
+    "CycleSummary",
+    "DEFAULT_CHUNK_SIZE",
     "ExperimentConfig",
     "JobGenerator",
     "JobGeneratorConfig",
@@ -63,7 +72,9 @@ __all__ = [
     "REPORTED_CRITERIA",
     "run_comparison",
     "run_cycle",
+    "run_spawned_cycle",
     "RunningStat",
+    "STREAM_MODES",
     "sweep_interval_lengths",
     "sweep_node_counts",
     "TimingRow",

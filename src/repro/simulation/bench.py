@@ -1,0 +1,179 @@
+"""``repro bench-experiments``: Monte-Carlo engine wall-clock + invariance.
+
+Times the multi-cycle comparison runner on the Section 3.1 base
+experiment (spawned streams) across a list of worker counts, always
+including the no-subprocess in-process mode as the reference row, and
+*verifies before it reports*: every row's aggregate statistics must be
+bit-identical to the in-process reference — the runner's central
+worker-count-invariance guarantee — or the benchmark raises instead of
+producing numbers (the same refuse-to-record discipline as
+``repro bench-core``).
+
+The archived payload (``BENCH_experiments.json``) records per row the
+wall-clock seconds, cycles/s, and the speedup against the 1-worker row,
+plus the host's usable CPU count — parallel speedup is bounded by the
+hardware, and a 1-core CI runner measuring ~1.0x is the expected
+reading, not a regression (no timing gate in CI for exactly that
+reason).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+from time import perf_counter
+from typing import Optional, Sequence
+
+from repro.model.errors import ConfigurationError
+from repro.simulation.config import ExperimentConfig, paper_base_config
+from repro.simulation.metrics import RunningStat, WindowStats
+from repro.simulation.runner import (
+    DEFAULT_CHUNK_SIZE,
+    ComparisonResult,
+    run_comparison,
+)
+
+
+class InvarianceError(AssertionError):
+    """Aggregates differed across worker counts — never record timings."""
+
+
+def _stat_fields(stat: RunningStat) -> list:
+    return [
+        stat.count,
+        stat.mean.hex(),
+        stat._m2.hex(),
+        stat.minimum.hex(),
+        stat.maximum.hex(),
+    ]
+
+
+def _window_stats_fields(stats: WindowStats) -> dict:
+    return {
+        "attempts": stats.attempts,
+        "found": stats.found,
+        "metrics": {
+            criterion.value: _stat_fields(stat)
+            for criterion, stat in stats.metrics.items()
+        },
+    }
+
+
+def result_fingerprint(result: ComparisonResult) -> str:
+    """SHA-256 over every accumulator field, bit-exact via ``float.hex``."""
+    payload = {
+        "cycles_run": result.cycles_run,
+        "slot_count": _stat_fields(result.slot_count),
+        "algorithms": {
+            name: _window_stats_fields(stats)
+            for name, stats in sorted(result.algorithms.items())
+        },
+        "csa_alternatives": _stat_fields(result.csa.alternatives),
+        "csa_selections": {
+            criterion.value: _window_stats_fields(stats)
+            for criterion, stats in result.csa.selections.items()
+        },
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("ascii")
+    ).hexdigest()
+    return digest
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def bench_experiments(
+    cycles: int = 250,
+    worker_counts: Sequence[int] = (1, 2, 4, 8),
+    seed: int = 2013,
+    node_count: int = 100,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    include_csa: bool = True,
+    config: Optional[ExperimentConfig] = None,
+) -> dict[str, object]:
+    """The experiment-engine benchmark payload (``BENCH_experiments.json``).
+
+    Runs the base experiment once in-process (workers = 0, the reference)
+    and once per entry of ``worker_counts``, asserting bit-identical
+    aggregates throughout, and reports wall-clock plus speedup-vs-1-worker
+    per row.  Raises :class:`InvarianceError` on any aggregate mismatch.
+    """
+    if cycles < 1:
+        raise ConfigurationError(f"cycles must be >= 1, got {cycles}")
+    if any(workers < 1 for workers in worker_counts):
+        raise ConfigurationError(f"worker counts must be >= 1, got {worker_counts}")
+    if config is None:
+        config = paper_base_config(cycles=cycles, seed=seed).with_node_count(
+            node_count
+        )
+    else:
+        config = config.with_cycles(cycles)
+    if config.stream_mode != "spawned":
+        raise ConfigurationError(
+            "bench_experiments measures the parallel engine; "
+            "config.stream_mode must be 'spawned'"
+        )
+
+    rows: list[dict[str, object]] = []
+    reference_digest: Optional[str] = None
+    for workers in [0, *worker_counts]:
+        began = perf_counter()
+        result = run_comparison(
+            config,
+            include_csa=include_csa,
+            workers=workers or None,
+            chunk_size=chunk_size,
+        )
+        elapsed = perf_counter() - began
+        digest = result_fingerprint(result)
+        if reference_digest is None:
+            reference_digest = digest
+        elif digest != reference_digest:
+            raise InvarianceError(
+                f"aggregates at workers={workers} differ from the in-process "
+                f"reference ({digest[:12]} != {reference_digest[:12]}) — "
+                "refusing to record timings"
+            )
+        rows.append(
+            {
+                "workers": workers,
+                "mode": "in-process" if workers == 0 else "process-pool",
+                "seconds": round(elapsed, 3),
+                "cycles_per_second": round(cycles / elapsed, 2),
+                "fingerprint": digest[:16],
+            }
+        )
+
+    single = next((row for row in rows if row["workers"] == 1), None)
+    for row in rows:
+        if single is not None:
+            row["speedup_vs_1_worker"] = round(
+                float(single["seconds"]) / float(row["seconds"]), 2
+            )
+    cpus = _usable_cpus()
+    return {
+        "benchmark": "experiments_engine",
+        "config": {
+            "cycles": cycles,
+            "node_count": node_count,
+            "seed": seed,
+            "chunk_size": chunk_size,
+            "stream_mode": config.stream_mode,
+            "include_csa": include_csa,
+        },
+        "host": {
+            "usable_cpus": cpus,
+            "python": platform.python_version(),
+            "cpu_limited": cpus < max(worker_counts, default=1),
+        },
+        "invariant": True,
+        "aggregate_fingerprint": reference_digest,
+        "results": rows,
+    }

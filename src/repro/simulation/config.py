@@ -27,6 +27,9 @@ PAPER_TABLE_CYCLES = 1000
 PAPER_NODE_SWEEP = (50, 100, 200, 300, 400)
 PAPER_INTERVAL_SWEEP = (600.0, 1200.0, 1800.0, 2400.0, 3000.0, 3600.0)
 
+#: Valid values of :attr:`ExperimentConfig.stream_mode`.
+STREAM_MODES = ("spawned", "sequential")
+
 
 @dataclass(frozen=True)
 class ExperimentConfig:
@@ -38,8 +41,19 @@ class ExperimentConfig:
     budget: Optional[float] = PAPER_BUDGET
     cycles: int = PAPER_FIGURE_CYCLES
     seed: Optional[int] = None
+    #: ``"spawned"`` (default): every cycle draws from its own
+    #: ``SeedSequence.spawn`` child stream, so cycles are independent and
+    #: can run in any order on any number of worker processes.
+    #: ``"sequential"``: the legacy single stream threaded through every
+    #: cycle in order — cycle *k* depends on all prior draws, execution is
+    #: forced in-process, but pre-existing seeded results reproduce exactly.
+    stream_mode: str = "spawned"
 
     def __post_init__(self) -> None:
+        if self.stream_mode not in STREAM_MODES:
+            raise ConfigurationError(
+                f"stream_mode must be one of {STREAM_MODES}, got {self.stream_mode!r}"
+            )
         if self.cycles < 1:
             raise ConfigurationError(f"cycles must be >= 1, got {self.cycles}")
         if self.node_count_requested < 1:
@@ -66,6 +80,21 @@ class ExperimentConfig:
     def with_cycles(self, cycles: int) -> "ExperimentConfig":
         """A copy with a different cycle count."""
         return replace(self, cycles=cycles)
+
+    def with_stream_mode(self, stream_mode: str) -> "ExperimentConfig":
+        """A copy with a different RNG stream discipline."""
+        return replace(self, stream_mode=stream_mode)
+
+    def spawn_cycle_seeds(self) -> list:
+        """One independent ``SeedSequence`` child per cycle (spawned mode).
+
+        Spawning happens once, in the parent, so the per-cycle streams are
+        a pure function of ``seed`` — identical no matter which process
+        runs which cycle in which order.
+        """
+        import numpy as np
+
+        return np.random.SeedSequence(self.seed).spawn(self.cycles)
 
     def with_node_count(self, node_count: int) -> "ExperimentConfig":
         """A copy scaling the environment's node count (Table 1 sweep)."""

@@ -23,6 +23,7 @@ from repro.model.job import Job
 from repro.model.slotpool import SlotPool
 from repro.model.window import Window
 from repro.simulation.config import ExperimentConfig
+from repro.simulation.metrics import csa_selection_metrics, window_metrics
 
 
 def paper_algorithm_suite(
@@ -43,6 +44,28 @@ def paper_algorithm_suite(
 
 
 @dataclass(frozen=True)
+class CycleSummary:
+    """Compact per-cycle metric record — everything aggregation needs.
+
+    A :class:`CycleOutcome` retains the full :class:`Environment` (every
+    node timeline) and every selected :class:`Window`; accumulating
+    thousands of them is pure memory drag, and shipping them between
+    processes is O(nodes) IPC per cycle.  The summary keeps only the
+    evaluated criterion values — O(algorithms × criteria) floats — which
+    is all the streaming accumulators consume.
+    """
+
+    windows: dict[str, Optional[dict[Criterion, float]]]
+    csa_alternative_count: int
+    csa_selections: dict[Criterion, Optional[dict[Criterion, float]]]
+    slot_count: int
+
+    def metrics_of(self, algorithm_name: str) -> Optional[dict[Criterion, float]]:
+        """The named algorithm's criterion record this cycle (or ``None``)."""
+        return self.windows.get(algorithm_name)
+
+
+@dataclass(frozen=True)
 class CycleOutcome:
     """Results of one simulated scheduling cycle."""
 
@@ -54,6 +77,21 @@ class CycleOutcome:
     def window_of(self, algorithm_name: str) -> Optional[Window]:
         """The named algorithm's window this cycle (or ``None``)."""
         return self.windows.get(algorithm_name)
+
+    def summary(self) -> CycleSummary:
+        """This cycle as a compact record, dropping the environment.
+
+        The multi-cycle runner accumulates summaries by default so a
+        5000-cycle study never holds more than one environment alive.
+        """
+        return CycleSummary(
+            windows={
+                name: window_metrics(window) for name, window in self.windows.items()
+            },
+            csa_alternative_count=len(self.csa_alternatives),
+            csa_selections=csa_selection_metrics(self.csa_alternatives),
+            slot_count=self.slot_count,
+        )
 
 
 def run_cycle(

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Mapping, Optional
 
 from repro.core.criteria import Criterion
 from repro.model.window import Window
@@ -44,6 +44,30 @@ class RunningStat:
         self._m2 += delta * (value - self.mean)
         self.minimum = min(self.minimum, value)
         self.maximum = max(self.maximum, value)
+
+    def merge(self, other: "RunningStat") -> None:
+        """Fold another accumulator in (Chan et al. parallel Welford).
+
+        Merging an empty accumulator is a bitwise no-op and merging *into*
+        an empty one is a bitwise copy, so a fixed merge order over fixed
+        chunks yields bit-identical aggregates for any worker count.
+        """
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.mean += delta * other.count / total
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
 
     @property
     def variance(self) -> float:
@@ -82,12 +106,28 @@ class WindowStats:
 
     def observe(self, window: Optional[Window]) -> None:
         """Record one cycle's outcome (``None`` = no feasible window)."""
+        self.observe_metrics(window_metrics(window))
+
+    def observe_metrics(self, values: Optional[Mapping[Criterion, float]]) -> None:
+        """Record one cycle from a compact metric record (``None`` = miss).
+
+        The record form of :meth:`observe`: the criterion values were
+        evaluated where the window lived (e.g. in a worker process), so
+        the window and its environment never have to travel or be kept.
+        """
         self.attempts += 1
-        if window is None:
+        if values is None:
             return
         self.found += 1
         for criterion, stat in self.metrics.items():
-            stat.add(criterion.evaluate(window))
+            stat.add(values[criterion])
+
+    def merge(self, other: "WindowStats") -> None:
+        """Fold another algorithm accumulator in (see RunningStat.merge)."""
+        self.attempts += other.attempts
+        self.found += other.found
+        for criterion, stat in self.metrics.items():
+            stat.merge(other.metrics[criterion])
 
     @property
     def find_rate(self) -> float:
@@ -125,14 +165,45 @@ class CsaStats:
 
     def observe(self, windows: list[Window]) -> None:
         """Record one cycle's alternative list."""
-        self.alternatives.add(float(len(windows)))
+        self.observe_metrics(len(windows), csa_selection_metrics(windows))
+
+    def observe_metrics(
+        self,
+        alternative_count: int,
+        selections: Mapping[Criterion, Optional[Mapping[Criterion, float]]],
+    ) -> None:
+        """Record one cycle from compact records (see WindowStats)."""
+        self.alternatives.add(float(alternative_count))
         for criterion, stats in self.selections.items():
-            if not windows:
-                stats.observe(None)
-                continue
-            best = min(windows, key=criterion.evaluate)
-            stats.observe(best)
+            stats.observe_metrics(selections[criterion])
+
+    def merge(self, other: "CsaStats") -> None:
+        """Fold another CSA accumulator in (see RunningStat.merge)."""
+        self.alternatives.merge(other.alternatives)
+        for criterion, stats in self.selections.items():
+            stats.merge(other.selections[criterion])
 
     def diagonal(self, criterion: Criterion) -> float:
         """Mean of the criterion over its own best-by selections."""
         return self.selections[criterion].mean(criterion)
+
+
+def window_metrics(window: Optional[Window]) -> Optional[dict[Criterion, float]]:
+    """Every criterion of one window as a compact, picklable record."""
+    if window is None:
+        return None
+    return {criterion: criterion.evaluate(window) for criterion in Criterion}
+
+
+def csa_selection_metrics(
+    windows: list[Window],
+) -> dict[Criterion, Optional[dict[Criterion, float]]]:
+    """Per criterion, the metric record of the best-by-that-criterion
+    alternative — exactly the windows :meth:`CsaStats.observe` selects."""
+    selections: dict[Criterion, Optional[dict[Criterion, float]]] = {}
+    for criterion in Criterion:
+        if not windows:
+            selections[criterion] = None
+            continue
+        selections[criterion] = window_metrics(min(windows, key=criterion.evaluate))
+    return selections

@@ -1,13 +1,35 @@
-"""Multi-cycle comparison runner — the engine behind Figs. 2-4.
+"""Multi-cycle comparison runner — the engine behind every study.
 
 Runs the paper's base experiment for a configured number of cycles and
 aggregates, per algorithm, the five reported window characteristics plus
 the CSA alternative statistics.  All randomness flows from the experiment
 seed, so results are exactly reproducible.
+
+The 5000-cycle Monte-Carlo campaign of Section 3 is embarrassingly
+parallel *if* the cycles are independent, and the config's
+``stream_mode`` decides exactly that:
+
+``"spawned"`` (default)
+    ``np.random.SeedSequence(seed).spawn(cycles)`` gives every cycle its
+    own independent child stream; cycle *k* is a pure function of the
+    seed, so cycles fan out in fixed-size chunks over a
+    ``ProcessPoolExecutor`` (processes, not threads — the scan kernel is
+    pure Python and GIL-bound).  Workers fold their chunk into compact
+    partial accumulators (:class:`~repro.simulation.metrics.WindowStats`
+    et al., O(algorithms × criteria) floats) and the parent merges the
+    partials in deterministic chunk order, so **any worker count —
+    including 1 and the no-subprocess in-process mode — produces
+    bit-identical aggregate statistics**.
+
+``"sequential"``
+    The legacy single stream threaded through every cycle in order.
+    Cycle *k* depends on all prior draws, execution is forced in-process,
+    and pre-change seeded results reproduce bit-for-bit.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -15,10 +37,23 @@ import numpy as np
 
 from repro.core.algorithms.base import SlotSelectionAlgorithm
 from repro.core.criteria import Criterion
+from repro.environment.generator import EnvironmentGenerator
+from repro.model.errors import ConfigurationError
 from repro.model.job import Job
 from repro.simulation.config import ExperimentConfig
-from repro.simulation.experiment import make_generator, paper_algorithm_suite, run_cycle
+from repro.simulation.experiment import (
+    CycleSummary,
+    make_generator,
+    paper_algorithm_suite,
+    run_cycle,
+)
 from repro.simulation.metrics import CsaStats, RunningStat, WindowStats
+
+#: Cycles folded per worker task.  Fixed (never derived from the worker
+#: count) because the chunk decomposition *is* the merge tree: identical
+#: chunks merged in identical order is what makes aggregates bit-identical
+#: across worker counts.
+DEFAULT_CHUNK_SIZE = 16
 
 
 @dataclass
@@ -53,30 +88,146 @@ class ComparisonResult:
         return sorted(means, key=means.__getitem__)
 
 
-def run_comparison(
+def run_spawned_cycle(
     config: ExperimentConfig,
+    cycle_seed,
     algorithms: Optional[Sequence[SlotSelectionAlgorithm]] = None,
     *,
     include_csa: bool = True,
     validate: bool = False,
     job: Optional[Job] = None,
-) -> ComparisonResult:
-    """Run ``config.cycles`` independent scheduling cycles and aggregate.
+) -> CycleSummary:
+    """One self-contained cycle of a spawned-stream study.
 
-    Parameters
-    ----------
-    config:
-        The study configuration (environment model, base job, cycle count).
-    algorithms:
-        Algorithms to compare; the paper's suite by default.
-    include_csa:
-        Also run the CSA multi-alternative search each cycle (dominates the
-        running time, exactly as in the paper).
-    validate:
-        Validate every returned window against the request (for tests).
-    job:
-        Override the predefined base job.
+    Everything random — the environment and MinProcTime's selection —
+    draws from a generator built from ``cycle_seed`` alone, so the
+    summary is identical no matter which process runs the cycle when.
     """
+    rng = np.random.default_rng(cycle_seed)
+    generator = EnvironmentGenerator(config.environment, rng=rng)
+    if algorithms is None:
+        algorithms = paper_algorithm_suite(rng=rng)
+    target_job = job if job is not None else config.base_job()
+    outcome = run_cycle(
+        generator, target_job, algorithms, include_csa=include_csa, validate=validate
+    )
+    return outcome.summary()
+
+
+@dataclass
+class _ChunkTask:
+    """One worker task: a contiguous block of cycles of one study."""
+
+    index: int
+    config: ExperimentConfig
+    cycle_seeds: list
+    algorithms: Optional[list[SlotSelectionAlgorithm]]
+    algorithm_names: list[str]
+    include_csa: bool
+    validate: bool
+    job: Optional[Job]
+
+
+@dataclass
+class _ChunkResult:
+    """Partial accumulators of one chunk — O(algorithms × criteria) IPC."""
+
+    index: int
+    algorithms: dict[str, WindowStats]
+    csa: CsaStats
+    slot_count: RunningStat
+    cycles: int
+
+
+def _run_chunk(task: _ChunkTask) -> _ChunkResult:
+    """Fold one chunk's cycles into fresh partial accumulators.
+
+    Module-level so ``ProcessPoolExecutor`` can pickle it; also the exact
+    code path of the in-process mode, which is what keeps the two modes
+    bit-identical.
+    """
+    partial = _ChunkResult(
+        index=task.index,
+        algorithms={name: WindowStats() for name in task.algorithm_names},
+        csa=CsaStats(),
+        slot_count=RunningStat(),
+        cycles=0,
+    )
+    for cycle_seed in task.cycle_seeds:
+        summary = run_spawned_cycle(
+            task.config,
+            cycle_seed,
+            task.algorithms,
+            include_csa=task.include_csa,
+            validate=task.validate,
+            job=task.job,
+        )
+        _observe_summary(partial, summary, task.include_csa)
+    return partial
+
+
+def _observe_summary(
+    partial: _ChunkResult, summary: CycleSummary, include_csa: bool
+) -> None:
+    for name, stats in partial.algorithms.items():
+        stats.observe_metrics(summary.windows[name])
+    if include_csa:
+        partial.csa.observe_metrics(
+            summary.csa_alternative_count, summary.csa_selections
+        )
+    partial.slot_count.add(float(summary.slot_count))
+    partial.cycles += 1
+
+
+def _chunk_tasks(
+    config: ExperimentConfig,
+    algorithms: Optional[Sequence[SlotSelectionAlgorithm]],
+    algorithm_names: list[str],
+    include_csa: bool,
+    validate: bool,
+    job: Optional[Job],
+    chunk_size: int,
+) -> list[_ChunkTask]:
+    cycle_seeds = config.spawn_cycle_seeds()
+    tasks = []
+    for index, begin in enumerate(range(0, config.cycles, chunk_size)):
+        tasks.append(
+            _ChunkTask(
+                index=index,
+                config=config,
+                cycle_seeds=cycle_seeds[begin : begin + chunk_size],
+                algorithms=list(algorithms) if algorithms is not None else None,
+                algorithm_names=algorithm_names,
+                include_csa=include_csa,
+                validate=validate,
+                job=job,
+            )
+        )
+    return tasks
+
+
+def _merge_chunks(
+    result: ComparisonResult, partials: Sequence[_ChunkResult], include_csa: bool
+) -> ComparisonResult:
+    """Merge partial accumulators in chunk order — the deterministic tree."""
+    for partial in sorted(partials, key=lambda p: p.index):
+        for name, stats in result.algorithms.items():
+            stats.merge(partial.algorithms[name])
+        if include_csa:
+            result.csa.merge(partial.csa)
+        result.slot_count.merge(partial.slot_count)
+        result.cycles_run += partial.cycles
+    return result
+
+
+def _run_sequential(
+    config: ExperimentConfig,
+    algorithms: Optional[Sequence[SlotSelectionAlgorithm]],
+    include_csa: bool,
+    validate: bool,
+    job: Optional[Job],
+) -> ComparisonResult:
+    """The legacy single-stream loop, kept verbatim for exact reproduction."""
     generator = make_generator(config)
     if algorithms is None:
         algorithms = paper_algorithm_suite(rng=generator.rng)
@@ -94,10 +245,88 @@ def run_comparison(
             include_csa=include_csa,
             validate=validate,
         )
+        summary = outcome.summary()
         for algorithm in algorithms:
-            result.algorithms[algorithm.name].observe(outcome.windows[algorithm.name])
+            result.algorithms[algorithm.name].observe_metrics(
+                summary.windows[algorithm.name]
+            )
         if include_csa:
-            result.csa.observe(outcome.csa_alternatives)
-        result.slot_count.add(float(outcome.slot_count))
+            result.csa.observe_metrics(
+                summary.csa_alternative_count, summary.csa_selections
+            )
+        result.slot_count.add(float(summary.slot_count))
         result.cycles_run += 1
     return result
+
+
+def run_comparison(
+    config: ExperimentConfig,
+    algorithms: Optional[Sequence[SlotSelectionAlgorithm]] = None,
+    *,
+    include_csa: bool = True,
+    validate: bool = False,
+    job: Optional[Job] = None,
+    workers: Optional[int] = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> ComparisonResult:
+    """Run ``config.cycles`` independent scheduling cycles and aggregate.
+
+    Parameters
+    ----------
+    config:
+        The study configuration (environment model, base job, cycle count,
+        RNG stream discipline).
+    algorithms:
+        Algorithms to compare; the paper's suite by default.  In spawned
+        mode the default suite is rebuilt per cycle around the cycle's own
+        stream; an explicit list is reused as-is (and must be picklable
+        when ``workers`` is set — avoid algorithms holding private RNGs,
+        their state would depend on execution order).
+    include_csa:
+        Also run the CSA multi-alternative search each cycle (dominates the
+        running time, exactly as in the paper).
+    validate:
+        Validate every returned window against the request (for tests).
+    job:
+        Override the predefined base job.
+    workers:
+        ``None`` or ``0`` — in-process, no subprocesses (the default).
+        ``n >= 1`` — fan the chunks out over ``n`` worker processes
+        (spawned mode only).  Aggregates are bit-identical for every
+        value of ``workers``.
+    chunk_size:
+        Cycles per worker task.  Part of the deterministic merge tree: the
+        same ``(seed, cycles, chunk_size)`` always yields bit-identical
+        aggregates, while changing ``chunk_size`` may shift the last few
+        ULPs (never the statistics).
+    """
+    if chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    if workers is not None and workers < 0:
+        raise ConfigurationError(f"workers must be >= 0, got {workers}")
+    if config.stream_mode == "sequential":
+        if workers is not None and workers > 1:
+            raise ConfigurationError(
+                "stream_mode='sequential' threads one RNG stream through every "
+                "cycle and cannot run on multiple workers; use "
+                "stream_mode='spawned' (the default) for parallel execution"
+            )
+        return _run_sequential(config, algorithms, include_csa, validate, job)
+
+    if algorithms is None:
+        algorithm_names = [a.name for a in paper_algorithm_suite()]
+    else:
+        algorithm_names = [a.name for a in algorithms]
+    tasks = _chunk_tasks(
+        config, algorithms, algorithm_names, include_csa, validate, job, chunk_size
+    )
+    result = ComparisonResult(config=config)
+    for name in algorithm_names:
+        result.algorithms[name] = WindowStats()
+
+    if workers is None or workers == 0:
+        partials = [_run_chunk(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            partials = list(executor.map(_run_chunk, tasks))
+    return _merge_chunks(result, partials, include_csa)

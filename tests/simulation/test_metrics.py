@@ -125,3 +125,124 @@ class TestCsaStats:
         # The runtime-selected window is the fast one; its start is 50.
         runtime_selection = stats.selections[Criterion.RUNTIME]
         assert runtime_selection.mean(Criterion.START_TIME) == pytest.approx(50.0)
+
+def accumulate(values):
+    stat = RunningStat()
+    for value in values:
+        stat.add(float(value))
+    return stat
+
+
+def stat_fields(stat):
+    return (
+        stat.count,
+        stat.mean.hex(),
+        stat.variance.hex(),
+        stat.minimum.hex(),
+        stat.maximum.hex(),
+    )
+
+
+class TestRunningStatMerge:
+    """The parallel (Chan et al.) merge behind chunked aggregation."""
+
+    def test_merge_matches_single_stream(self):
+        rng = np.random.default_rng(7)
+        values = rng.normal(50.0, 12.0, size=400)
+        for split in (1, 13, 200, 399):
+            left = accumulate(values[:split])
+            right = accumulate(values[split:])
+            left.merge(right)
+            whole = accumulate(values)
+            assert left.count == whole.count
+            assert left.mean == pytest.approx(whole.mean, rel=1e-12)
+            assert left.variance == pytest.approx(whole.variance, rel=1e-9)
+            assert left.minimum == whole.minimum
+            assert left.maximum == whole.maximum
+
+    def test_merge_associative_on_random_splits(self):
+        rng = np.random.default_rng(11)
+        values = rng.uniform(-5.0, 5.0, size=300)
+        cuts = sorted(rng.integers(1, 299, size=2))
+        b = accumulate(values[cuts[0] : cuts[1]])
+        c = accumulate(values[cuts[1] :])
+        # (a + b) + c
+        left = accumulate(values[: cuts[0]])
+        left.merge(b)
+        left.merge(c)
+        # a + (b + c)
+        bc = accumulate(values[cuts[0] : cuts[1]])
+        bc.merge(c)
+        right = accumulate(values[: cuts[0]])
+        right.merge(bc)
+        assert left.count == right.count == len(values)
+        assert left.mean == pytest.approx(right.mean, rel=1e-12)
+        assert left.variance == pytest.approx(right.variance, rel=1e-9)
+
+    def test_merge_commutative_in_value(self):
+        x = accumulate([1.0, 2.0, 9.0])
+        y = accumulate([4.0, 4.5])
+        xy = accumulate([1.0, 2.0, 9.0])
+        xy.merge(y)
+        yx = accumulate([4.0, 4.5])
+        yx.merge(x)
+        assert xy.count == yx.count
+        assert xy.mean == pytest.approx(yx.mean, rel=1e-12)
+        assert xy.variance == pytest.approx(yx.variance, rel=1e-12)
+        assert (xy.minimum, xy.maximum) == (yx.minimum, yx.maximum)
+
+    def test_merge_empty_is_bitwise_noop(self):
+        stat = accumulate([3.0, 7.0, 11.0])
+        before = stat_fields(stat)
+        stat.merge(RunningStat())
+        assert stat_fields(stat) == before
+
+    def test_merge_into_empty_is_bitwise_copy(self):
+        source = accumulate([3.0, 7.0, 11.0])
+        target = RunningStat()
+        target.merge(source)
+        assert stat_fields(target) == stat_fields(source)
+
+    def test_merge_single_samples(self):
+        stat = RunningStat()
+        for value in (2.0, 8.0):
+            single = RunningStat()
+            single.add(value)
+            stat.merge(single)
+        direct = accumulate([2.0, 8.0])
+        assert stat_fields(stat) == stat_fields(direct)
+
+
+class TestAggregateMerge:
+    """WindowStats / CsaStats merging equals interleaved observation."""
+
+    def test_window_stats_merge(self):
+        windows = [window(start=float(s)) for s in (0, 10, 20, 30)]
+        observations = [windows[0], None, windows[1], windows[2], None, windows[3]]
+        whole = WindowStats()
+        left, right = WindowStats(), WindowStats()
+        for index, item in enumerate(observations):
+            whole.observe(item)
+            (left if index < 3 else right).observe(item)
+        left.merge(right)
+        assert left.attempts == whole.attempts
+        assert left.found == whole.found
+        for criterion in Criterion:
+            assert left.mean(criterion) == pytest.approx(whole.mean(criterion))
+
+    def test_csa_stats_merge(self):
+        cycles = [
+            [window(start=0.0, node_id=0), window(start=50.0, node_id=1)],
+            [],
+            [window(start=25.0, node_id=0)],
+        ]
+        whole = CsaStats()
+        left, right = CsaStats(), CsaStats()
+        for index, alternatives in enumerate(cycles):
+            whole.observe(alternatives)
+            (left if index < 2 else right).observe(alternatives)
+        left.merge(right)
+        assert left.alternatives.count == whole.alternatives.count
+        assert left.alternatives.mean == pytest.approx(whole.alternatives.mean)
+        for criterion in Criterion:
+            assert left.diagonal(criterion) == pytest.approx(whole.diagonal(criterion))
