@@ -2,7 +2,8 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-full figures report examples clean
+.PHONY: install test bench bench-full bench-core bench-experiments \
+	bench-resilience figures report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +13,17 @@ test:
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# The committed baselines: regenerate after intentional changes to the
+# kernels, the experiment engine or the resilience layer, and diff.
+bench-core:
+	PYTHONPATH=src $(PY) -m repro.cli bench-core -o BENCH_core.json
+
+bench-experiments:
+	PYTHONPATH=src $(PY) -m repro.cli bench-experiments -o BENCH_experiments.json
+
+bench-resilience:
+	PYTHONPATH=src $(PY) -m repro.cli bench-resilience -o BENCH_resilience.json
 
 # The paper-scale run (hours): 5000 cycles, 1000 reps, full grids.
 bench-full:

@@ -17,11 +17,13 @@ import numpy as np
 
 from repro.analysis import render_table
 from repro.core import AMP, MinCost, MinFinish, MinRunTime
-from repro.execution import PoissonDisturbances, replay_execution
+from repro.execution import paper_disturbance_model, replay_execution
 from repro.simulation.experiment import make_generator
 
 SAMPLES = 20
-MODEL = PoissonDisturbances(rate=0.002, length_range=(10.0, 40.0))
+# The shared paper-scale calibration — the same model the broker's live
+# resilience layer injects from, so offline and online studies agree.
+MODEL = paper_disturbance_model()
 
 ALGORITHMS = (AMP(), MinFinish(), MinRunTime(), MinCost())
 

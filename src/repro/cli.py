@@ -15,7 +15,12 @@ Installed as the ``repro`` console script (also runnable as
     environment and print the assignments plus an ASCII Gantt chart.
 ``repro serve``
     Stream a scripted Poisson arrival trace through the on-line broker
-    service and print its stats block.
+    service and print its stats block.  ``--disturbance-rate`` /
+    ``--recovery-policy`` switch on live fault injection and recovery.
+``repro bench-resilience``
+    Sweep disturbance rates x recovery policies through the broker's
+    live resilience layer and archive the goodput baseline
+    (``BENCH_resilience.json``).
 ``repro bench-service``
     Time the broker service across pool sizes and archive the JSON
     throughput baseline (``BENCH_service.json``).
@@ -214,10 +219,17 @@ def cmd_schedule(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Handler of the ``repro serve`` subcommand."""
-    from repro.service import ServiceConfig, TraceConfig, run_service_trace
+    from repro.service import ResilienceConfig, ServiceConfig, TraceConfig, run_service_trace
 
     from repro.service.tracing import TraceInvariantError
 
+    resilience = None
+    if args.disturbance_rate > 0:
+        resilience = ResilienceConfig(
+            rate=args.disturbance_rate,
+            seed=args.disturbance_seed,
+            policy=args.recovery_policy,
+        )
     config = TraceConfig(
         jobs=args.jobs,
         rate=args.rate,
@@ -230,6 +242,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             alternatives_per_job=args.alternatives,
             criterion=Criterion[args.criterion.upper()],
             completion_factor=args.completion_factor,
+            resilience=resilience,
         ),
         trace_path=args.trace,
         validate_trace=args.validate_trace,
@@ -265,14 +278,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"p95 {stats.cycle_latency.p95 * 1e3:.2f}ms; "
         f"{stats.windows_per_second:.0f} windows/s"
     )
+    if stats.revocations:
+        print(
+            f"resilience ({args.recovery_policy}): {stats.revocations} "
+            f"revocations, {stats.repaired} repaired, "
+            f"{stats.replanned} replanned, {stats.abandoned} abandoned; "
+            f"forfeited {stats.forfeited_node_seconds:.1f} node-s, "
+            f"delivered {stats.delivered_node_seconds:.1f} node-s"
+        )
     if args.trace:
         print(f"wrote event trace to {args.trace}")
     if outcome.validator is not None:
         summary = outcome.validator.summary()
+        kept = (
+            summary["scheduled"] - summary["replanned"] - summary["abandoned"]
+        )
         print(
             f"trace invariants OK: {summary['events']} events, "
-            f"{summary['scheduled']} scheduled + {summary['dropped']} dropped "
-            f"+ {summary['pending']} pending = {summary['admitted']} admitted"
+            f"{kept} kept + {summary['dropped']} dropped "
+            f"+ {summary['abandoned']} abandoned + {summary['pending']} pending "
+            f"= {summary['admitted']} admitted"
         )
     return 0
 
@@ -306,6 +331,59 @@ def cmd_bench_service(args: argparse.Namespace) -> int:
     if args.output:
         save_json(payload, args.output)
         print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_bench_resilience(args: argparse.Namespace) -> int:
+    """Handler of the ``repro bench-resilience`` subcommand."""
+    from repro.io import save_json
+    from repro.service.resilience import bench_resilience
+
+    rates = [float(value) for value in args.rates.split(",")]
+    policies = args.policies.split(",")
+    print(
+        f"benchmarking recovery policies: {args.jobs} jobs on {args.nodes} "
+        f"nodes, rates {rates} x policies {policies} "
+        f"(seed {args.seed}, disturbance seed {args.disturbance_seed}) ..."
+    )
+    payload = bench_resilience(
+        jobs=args.jobs,
+        node_count=args.nodes,
+        rates=rates,
+        policies=policies,
+        seed=args.seed,
+        disturbance_seed=args.disturbance_seed,
+    )
+    for row in payload["results"]:
+        print(
+            f"  rate {row['rate']:<6g} {row['policy']:<8} "
+            f"goodput {row['goodput']:7.3f} node-s/t  "
+            f"revoked {row['revocations']:>3}  repaired {row['repaired']:>3}  "
+            f"replanned {row['replanned']:>3}  abandoned {row['abandoned']:>3}  "
+            f"retired {row['retired']:>3}"
+        )
+    if args.output:
+        save_json(payload, args.output)
+        print(f"wrote {args.output}")
+    # The headline claim: at the paper-scale disturbance rate, repairing
+    # in place must deliver strictly more goodput than replanning.
+    from repro.execution import PAPER_DISTURBANCE_RATE
+    from repro.service.resilience import goodput_by_policy
+
+    if PAPER_DISTURBANCE_RATE in rates:
+        at_paper_rate = goodput_by_policy(payload, PAPER_DISTURBANCE_RATE)
+        if {"repair", "replan"} <= set(at_paper_rate):
+            repair, replan = at_paper_rate["repair"], at_paper_rate["replan"]
+            if repair <= replan:
+                print(
+                    f"FAIL: repair goodput {repair:.4f} <= replan "
+                    f"{replan:.4f} at rate {PAPER_DISTURBANCE_RATE}"
+                )
+                return 1
+            print(
+                f"ordering holds at rate {PAPER_DISTURBANCE_RATE}: "
+                f"repair {repair:.4f} > replan {replan:.4f}"
+            )
     return 0
 
 
@@ -583,6 +661,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of the reservation jobs actually use (<1 = early finish)",
     )
     serve.add_argument(
+        "--disturbance-rate", type=float, default=0.0,
+        help="local-job arrivals per active node per virtual time unit "
+             "(0 = no fault injection, the default)",
+    )
+    serve.add_argument(
+        "--disturbance-seed", type=int, default=97,
+        help="root seed of the revocation injector's spawned streams",
+    )
+    serve.add_argument(
+        "--recovery-policy", default="repair",
+        choices=["repair", "replan", "abandon"],
+        help="what to do with a committed window hit by a revocation",
+    )
+    serve.add_argument(
         "--trace", help="write a JSONL event trace (one event per line) here"
     )
     serve.add_argument(
@@ -608,6 +700,30 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("-o", "--output",
                        help="write the JSON payload here (BENCH_service.json)")
     bench.set_defaults(func=cmd_bench_service)
+
+    bench_resilience = sub.add_parser(
+        "bench-resilience",
+        help="recovery-policy goodput under live slot revocation",
+    )
+    bench_resilience.add_argument("--jobs", type=int, default=150)
+    bench_resilience.add_argument("--nodes", type=int, default=50)
+    bench_resilience.add_argument(
+        "--rates", default="0.0,0.002,0.01",
+        help="comma-separated disturbance rates (arrivals/node/time unit)",
+    )
+    bench_resilience.add_argument(
+        "--policies", default="repair,replan,abandon",
+        help="comma-separated recovery policies to sweep",
+    )
+    bench_resilience.add_argument("--seed", type=int, default=2013,
+                                  help="job-stream / environment seed")
+    bench_resilience.add_argument("--disturbance-seed", type=int, default=97,
+                                  help="revocation injector seed")
+    bench_resilience.add_argument(
+        "-o", "--output",
+        help="write the JSON payload here (BENCH_resilience.json)",
+    )
+    bench_resilience.set_defaults(func=cmd_bench_resilience)
 
     bench_core = sub.add_parser(
         "bench-core", help="scan-kernel windows/s, incremental vs reference"

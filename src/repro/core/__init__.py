@@ -25,6 +25,7 @@ from repro.core.algorithms import (
     SlotSelectionAlgorithm,
 )
 from repro.core.criteria import Criterion, best_window
+from repro.core.repair import find_fixed_start_replacements
 from repro.core.search import find_window
 from repro.core.extractors import (
     EarliestFinishExtractor,
@@ -58,6 +59,7 @@ __all__ = [
     "ExactAdditiveExtractor",
     "Exhaustive",
     "Extraction",
+    "find_fixed_start_replacements",
     "find_window",
     "FirstFit",
     "GreedyAdditiveExtractor",

@@ -1,6 +1,13 @@
 """Execution replay on non-dedicated resources (disturbance robustness)."""
 
-from repro.execution.disturbance import PoissonDisturbances, Preemption
+from repro.execution.disturbance import (
+    PAPER_DISTURBANCE_RATE,
+    PAPER_LOCAL_JOB_LENGTH_RANGE,
+    PoissonDisturbances,
+    Preemption,
+    paper_disturbance_model,
+    sample_preemption_schedule,
+)
 from repro.execution.replay import (
     ExecutionReport,
     JobOutcome,
@@ -11,8 +18,12 @@ from repro.execution.replay import (
 __all__ = [
     "ExecutionReport",
     "JobOutcome",
+    "PAPER_DISTURBANCE_RATE",
+    "PAPER_LOCAL_JOB_LENGTH_RANGE",
+    "paper_disturbance_model",
     "PoissonDisturbances",
     "Preemption",
     "replay_execution",
+    "sample_preemption_schedule",
     "TaskOutcome",
 ]

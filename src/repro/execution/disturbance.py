@@ -18,10 +18,21 @@ finishes late).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
 from repro.model.errors import ConfigurationError
+
+#: The paper-scale disturbance intensity: expected local-job arrivals per
+#: node per time unit.  Over the base scheduling interval of 600 units
+#: this is ~1.2 local arrivals per node — the regime the robustness study
+#: and the live resilience benchmark both probe.
+PAPER_DISTURBANCE_RATE = 0.002
+
+#: Uniform bounds of a local job's length; the floor matches the paper's
+#: minimum local-job length of 10.
+PAPER_LOCAL_JOB_LENGTH_RANGE = (10.0, 40.0)
 
 
 @dataclass(frozen=True)
@@ -73,3 +84,47 @@ class PoissonDisturbances:
         ]
         events.sort(key=lambda event: event.arrival)
         return events
+
+
+def paper_disturbance_model(
+    rate: float = PAPER_DISTURBANCE_RATE,
+    length_range: tuple[float, float] = PAPER_LOCAL_JOB_LENGTH_RANGE,
+) -> PoissonDisturbances:
+    """The disturbance model at the paper-scale calibration.
+
+    Both the offline robustness study (``benchmarks/
+    test_robustness_disturbances.py``) and the live resilience layer
+    (:mod:`repro.service.resilience`) build their models here, so the
+    two never drift apart on rate or local-job lengths.
+    """
+    return PoissonDisturbances(rate=rate, length_range=length_range)
+
+
+def sample_preemption_schedule(
+    model: PoissonDisturbances,
+    node_ids: Iterable[int],
+    horizon: float,
+    rng: np.random.Generator,
+    offset: float = 0.0,
+) -> dict[int, list[Preemption]]:
+    """Per-node preemption events over ``[offset, offset + horizon)``.
+
+    The single shared sampling path: the execution replay
+    (:func:`repro.execution.replay.replay_execution`) and the broker's
+    live :class:`~repro.service.resilience.RevocationInjector` both draw
+    their local-job arrivals through this function, one node at a time in
+    the order ``node_ids`` is given, so offline studies and online
+    injection agree on the statistics by construction.  Arrivals are
+    shifted by ``offset`` (the replay samples from 0, the injector from
+    the start of the advanced interval).
+    """
+    schedule: dict[int, list[Preemption]] = {}
+    for node_id in node_ids:
+        events = model.sample(horizon, rng)
+        if offset:
+            events = [
+                Preemption(arrival=event.arrival + offset, length=event.length)
+                for event in events
+            ]
+        schedule[node_id] = events
+    return schedule

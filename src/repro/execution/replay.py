@@ -25,7 +25,11 @@ from typing import Optional
 
 import numpy as np
 
-from repro.execution.disturbance import PoissonDisturbances, Preemption
+from repro.execution.disturbance import (
+    PoissonDisturbances,
+    Preemption,
+    sample_preemption_schedule,
+)
 from repro.model.window import Window
 
 
@@ -209,9 +213,9 @@ def replay_execution(
         horizon = 2.0 * latest if latest > 0 else 0.0
 
     task_outcomes: dict[str, list[TaskOutcome]] = {job_id: [] for job_id in assignments}
+    schedule = sample_preemption_schedule(model, per_node, horizon, rng)
     for node_id, reservations in per_node.items():
-        preemptions = model.sample(horizon, rng)
-        for outcome in _replay_node(reservations, preemptions):
+        for outcome in _replay_node(reservations, schedule[node_id]):
             task_outcomes[outcome.job_id].append(
                 TaskOutcome(
                     job_id=outcome.job_id,

@@ -38,6 +38,21 @@ from repro.service.events import (
 from repro.service.lifecycle import ActiveJob, JobLifecycle
 from repro.service.parallel import parallel_find_alternatives
 from repro.service.queueing import BoundedJobQueue, CycleTrigger, QueuedJob
+# Resilience names are imported from the subpackage's leaf modules, not
+# from the subpackage itself: when an import chain *starts* inside
+# repro.service.resilience (whose manager module initialises this
+# package), the subpackage is still partially initialised here, but its
+# config/injector/policies modules are already complete.
+# ResilienceManager and bench_resilience live in repro.service.resilience.
+from repro.service.resilience.config import POLICY_NAMES, ResilienceConfig
+from repro.service.resilience.injector import NodePreemption, RevocationInjector
+from repro.service.resilience.policies import (
+    AbandonPolicy,
+    RecoveryPolicy,
+    RepairPolicy,
+    ReplanPolicy,
+    RevocationContext,
+)
 from repro.service.stats import (
     LatencyTracker,
     ServiceStats,
@@ -51,6 +66,7 @@ from repro.service.tracing import (
 )
 
 __all__ = [
+    "AbandonPolicy",
     "ActiveJob",
     "AdmissionController",
     "AdmissionDecision",
@@ -70,11 +86,19 @@ __all__ = [
     "JsonlSink",
     "LatencyTracker",
     "load_trace",
+    "NodePreemption",
     "parallel_find_alternatives",
     "percentile",
     "percentile_of_sorted",
+    "POLICY_NAMES",
     "QueuedJob",
+    "RecoveryPolicy",
     "RejectionReason",
+    "RepairPolicy",
+    "ReplanPolicy",
+    "ResilienceConfig",
+    "RevocationContext",
+    "RevocationInjector",
     "RingBufferSink",
     "run_service_trace",
     "ServiceConfig",

@@ -96,6 +96,27 @@ class BrokerService:
         self._lifecycle = JobLifecycle(emitter=self.events)
         self._lock = threading.RLock()
         self._now = clock_start
+        #: Live fault injection + recovery; ``None`` (the default) keeps
+        #: every clock/cycle path — and the traces — byte-identical to a
+        #: broker without the subsystem.  Imported lazily: the manager
+        #: module pulls in service submodules, so a module-level import
+        #: would close an import cycle for some entry points.
+        self._resilience = None
+        if self.config.resilience is not None:
+            from repro.service.resilience.manager import ResilienceManager
+
+            self._resilience = ResilienceManager(
+                self.config.resilience,
+                pool=self.pool,
+                lifecycle=self._lifecycle,
+                queue=self._queue,
+                stats=self.stats,
+                emitter=self.events,
+                assignments=self.assignments,
+                cut_mode=self.config.cut_mode,
+                completion_factor=self.config.completion_factor,
+                record_assignments=self.config.record_assignments,
+            )
         #: Persistent phase-one executor, created on first parallel cycle
         #: and reused for the broker's lifetime (thread spawn per cycle
         #: was pure overhead); ``close()`` shuts it down.
@@ -151,6 +172,11 @@ class BrokerService:
         """Jobs scheduled and not yet retired."""
         return self._lifecycle.active_count
 
+    @property
+    def resilience(self):
+        """The resilience manager, or ``None`` when the layer is off."""
+        return self._resilience
+
     # ------------------------------------------------------------------
     # Intake
     # ------------------------------------------------------------------
@@ -167,6 +193,10 @@ class BrokerService:
             self.stats.submitted += 1
             self.events.emit(EventType.SUBMITTED, job_id=job.job_id)
             known = self._queue.job_ids() | self._lifecycle.active_ids()
+            if self._resilience is not None:
+                # A replanned job waiting out its backoff is still in
+                # flight: resubmitting its id would fork the job.
+                known |= self._resilience.pending_ids()
             decision = self._admission.evaluate(
                 job,
                 self.pool,
@@ -199,14 +229,36 @@ class BrokerService:
                 ran += 1
             return ran
 
+    def _step_clock(self, target: float) -> None:
+        """Move the clock to ``target``, injecting faults along the way.
+
+        Without a resilience layer this is a plain clock assignment.
+        With one, the interval ``[now, target)`` is sampled for local-job
+        arrivals on the active nodes and each preemption is applied *at
+        its arrival time*: jobs that complete before it are retired
+        first (their windows are no longer revocable), then the
+        compromised windows are recovered.  The ordering makes revocation
+        timing independent of how coarsely callers step the clock.
+        """
+        if self._resilience is None or target <= self._now + TIME_EPSILON:
+            self._now = max(self._now, target)
+            return
+        for hit in self._resilience.sample_interval(self._now, target):
+            self._now = max(self._now, hit.arrival)
+            self._retire_and_trim()
+            self._resilience.apply(hit, self._now)
+        self._now = max(self._now, target)
+
     def advance_to(self, now: float) -> int:
         """Advance the virtual clock, firing cycles as they come due.
 
         Cycles triggered by the max-wait deadline fire *at* their deadline
         (not at ``now``), so batching behaviour does not depend on how
-        coarsely the caller steps the clock.  Finished jobs are retired
-        and past free time trimmed.  Returns the number of cycles run.
-        The clock is monotone: moving backwards raises.
+        coarsely the caller steps the clock.  Finished jobs are retired,
+        past free time trimmed, and — with a resilience layer — due
+        retry re-enqueues and sampled revocations applied in order.
+        Returns the number of cycles run.  The clock is monotone: moving
+        backwards raises.
         """
         if now < self._now - TIME_EPSILON:
             raise SchedulingError(
@@ -215,34 +267,76 @@ class BrokerService:
         with self._lock:
             ran = 0
             while True:
+                due: list[float] = []
                 fire = self._trigger.next_fire_time(self._queue, self._now)
-                if fire is None or fire > now + TIME_EPSILON:
+                if fire is not None and fire <= now + TIME_EPSILON:
+                    due.append(fire)
+                if self._resilience is not None:
+                    wake = self._resilience.next_wakeup()
+                    if wake is not None and wake <= now + TIME_EPSILON:
+                        due.append(wake)
+                if not due:
                     break
-                self._now = max(self._now, fire)
-                self._run_cycle()
-                ran += 1
-            self._now = max(self._now, now)
+                target = min(due)
+                self._step_clock(target)
+                if self._resilience is not None:
+                    self._resilience.release_due_retries(self._now)
+                if fire is not None and fire <= target + TIME_EPSILON:
+                    self._run_cycle()
+                    ran += 1
+            self._step_clock(now)
+            if self._resilience is not None:
+                self._resilience.release_due_retries(self._now)
             self._retire_and_trim()
             return ran
 
     def drain(self, max_cycles: int = 100_000) -> float:
         """Run until the queue is empty and every job retired.
 
-        Advances the clock to each pending trigger or completion in turn;
-        deferral caps guarantee progress.  Returns the final virtual time.
+        Advances the clock to each pending trigger, retry wake-up or
+        completion in turn; deferral and retry caps guarantee progress.
+        Returns the final virtual time.
         """
         with self._lock:
             for _ in range(max_cycles):
-                if self._queue.depth == 0 and self._lifecycle.active_count == 0:
+                pending_retries = (
+                    self._resilience.pending_retries
+                    if self._resilience is not None
+                    else 0
+                )
+                if (
+                    self._queue.depth == 0
+                    and self._lifecycle.active_count == 0
+                    and pending_retries == 0
+                ):
                     return self._now
+                wake = (
+                    self._resilience.next_wakeup()
+                    if self._resilience is not None
+                    else None
+                )
                 fire = self._trigger.next_fire_time(self._queue, self._now)
                 if fire is not None:
-                    self._now = max(self._now, fire)
-                    self._run_cycle()
+                    # Step to the retry wake-up first when it is earlier,
+                    # so re-enqueues happen at their ready time (as in
+                    # advance_to), not lumped onto the next cycle.
+                    target = fire if wake is None else min(fire, wake)
+                    self._step_clock(max(self._now, target))
+                    if self._resilience is not None:
+                        self._resilience.release_due_retries(self._now)
+                    if fire <= target + TIME_EPSILON:
+                        self._run_cycle()
                     continue
+                candidates = []
                 completion = self._lifecycle.next_completion()
-                assert completion is not None  # queue empty => jobs active
-                self._now = max(self._now, completion)
+                if completion is not None:
+                    candidates.append(completion)
+                if wake is not None:
+                    candidates.append(wake)
+                assert candidates  # queue empty => jobs active or retries pending
+                self._step_clock(max(self._now, min(candidates)))
+                if self._resilience is not None:
+                    self._resilience.release_due_retries(self._now)
                 self._retire_and_trim()
             raise SchedulingError(
                 f"drain() did not converge within {max_cycles} cycles"
@@ -255,6 +349,12 @@ class BrokerService:
         """Retire finished jobs (releasing slots) and drop past free time."""
         retired = self._lifecycle.retire_due(self._now, self.pool)
         self.stats.retired += len(retired)
+        for entry in retired:
+            # Goodput numerator: node-seconds actually delivered to jobs
+            # that ran to completion (repaired windows count in full).
+            self.stats.delivered_node_seconds += entry.window.processor_time
+            if self._resilience is not None:
+                self._resilience.forget(entry.job.job_id)
         self.pool.trim_before(self._now)
         self.stats.active_jobs = self._lifecycle.active_count
         return retired
@@ -327,6 +427,8 @@ class BrokerService:
                 nodes=window.nodes(),
                 node_seconds=window.processor_time,
             )
+            if self._resilience is not None:
+                self._resilience.on_scheduled(job_id, self._now)
         self.stats.scheduled += len(report.scheduled)
 
         for job_id in report.unscheduled:
@@ -341,6 +443,8 @@ class BrokerService:
                     cause="max_deferrals",
                     deferrals=item.deferrals,
                 )
+                if self._resilience is not None:
+                    self._resilience.forget(job_id)
             elif not self._queue.push(item.job, self._now, deferrals=deferrals):
                 # The re-push can meet a full queue (e.g. the bound was
                 # shrunk while the batch was in flight); counting the job
@@ -355,6 +459,8 @@ class BrokerService:
                     cause="queue_full",
                     deferrals=item.deferrals,
                 )
+                if self._resilience is not None:
+                    self._resilience.forget(job_id)
             else:
                 self.stats.deferred += 1
                 self.events.emit(

@@ -15,6 +15,7 @@ from typing import Optional
 
 from repro.core.criteria import Criterion
 from repro.model.errors import ConfigurationError
+from repro.service.resilience.config import ResilienceConfig
 
 
 @dataclass(frozen=True)
@@ -61,6 +62,12 @@ class ServiceConfig:
         Keep a ``job_id -> Window`` map of every assignment ever made.
         Off by default so an indefinitely running service does not grow
         memory; tests switch it on to compare runs.
+    resilience:
+        Live fault injection and recovery
+        (:class:`~repro.service.resilience.ResilienceConfig`).  ``None``
+        (the default) leaves the layer out entirely; the broker's
+        behaviour — including its event traces — is then byte-identical
+        to a build without the subsystem.
     """
 
     queue_capacity: int = 256
@@ -74,6 +81,7 @@ class ServiceConfig:
     completion_factor: float = 1.0
     check_invariants: bool = True
     record_assignments: bool = False
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:

@@ -32,6 +32,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
+from repro.model.errors import ConfigurationError
+
 #: Field-name prefix marking measured wall-clock values (phase timings),
 #: the only event content allowed to differ between identically seeded
 #: runs.  Everything else is deterministic.
@@ -54,6 +56,10 @@ class EventType(enum.Enum):
     DEFERRED = "deferred"  #: unscheduled this cycle, re-queued
     DROPPED = "dropped"  #: gave up on the job (``cause``)
     RETIRED = "retired"  #: it finished; slots released (node-seconds)
+    REVOKED = "revoked"  #: a local job preempted committed legs (``nodes``)
+    REPAIRED = "repaired"  #: revoked legs replaced at the same start time
+    REPLANNED = "replanned"  #: window cancelled, job re-queued with backoff
+    ABANDONED = "abandoned"  #: recovery gave up (budget/deadline/retries)
 
 
 @dataclass(frozen=True)
@@ -102,11 +108,32 @@ class Event:
 
     @classmethod
     def from_dict(cls, payload: dict[str, object]) -> "Event":
-        """Inverse of :meth:`to_dict` (used by the trace loader)."""
+        """Inverse of :meth:`to_dict` (used by the trace loader).
+
+        An event type this build does not know — a trace written by a
+        newer broker — raises :class:`ConfigurationError` naming the
+        offending type, so old validators degrade with a clear message
+        instead of a raw lookup error.  Missing envelope keys are
+        reported the same way.
+        """
         data = dict(payload)
-        seq = int(data.pop("seq"))
-        event_type = EventType(data.pop("type"))
-        time = float(data.pop("time"))
+        for key in ("seq", "type", "time"):
+            if key not in data:
+                raise ConfigurationError(
+                    f"trace event is missing the {key!r} envelope field: "
+                    f"{payload!r}"
+                )
+        seq = int(data.pop("seq"))  # type: ignore[arg-type]
+        raw_type = data.pop("type")
+        try:
+            event_type = EventType(raw_type)
+        except ValueError:
+            known = ", ".join(sorted(t.value for t in EventType))
+            raise ConfigurationError(
+                f"unknown event type {raw_type!r} in trace (this build knows: "
+                f"{known}) — the trace was likely written by a newer broker"
+            ) from None
+        time = float(data.pop("time"))  # type: ignore[arg-type]
         job_id = data.pop("job_id", None)
         return cls(
             seq=seq,
@@ -193,13 +220,23 @@ class JsonlSink(EventSink):
 
 
 def load_trace(path: str) -> list[Event]:
-    """Read a JSONL trace written by :class:`JsonlSink` back into events."""
+    """Read a JSONL trace written by :class:`JsonlSink` back into events.
+
+    A malformed record raises :class:`ConfigurationError` carrying the
+    file and line number on top of :meth:`Event.from_dict`'s diagnosis.
+    """
     events: list[Event] = []
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+        for line_number, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 events.append(Event.from_dict(json.loads(line)))
+            except ConfigurationError as error:
+                raise ConfigurationError(
+                    f"{path}:{line_number}: {error}"
+                ) from None
     return events
 
 

@@ -49,6 +49,21 @@ class JobLifecycle:
         """Ids of every running job."""
         return set(self._active)
 
+    def entries(self) -> list[ActiveJob]:
+        """Every active entry, ordered by (window start, job id).
+
+        The deterministic scan order the resilience layer uses to find
+        windows compromised by a node preemption.
+        """
+        return sorted(
+            self._active.values(),
+            key=lambda entry: (entry.window.start, entry.job.job_id),
+        )
+
+    def get(self, job_id: str) -> Optional[ActiveJob]:
+        """The active entry for ``job_id``, or ``None``."""
+        return self._active.get(job_id)
+
     def next_completion(self) -> Optional[float]:
         """Earliest completion time among running jobs, ``None`` when idle."""
         if not self._active:
@@ -81,6 +96,41 @@ class JobLifecycle:
             completes_at=window.start + window.runtime * completion_factor,
         )
         self._active[job.job_id] = entry
+        return entry
+
+    def replace(
+        self, job_id: str, window: Window, completion_factor: float = 1.0
+    ) -> ActiveJob:
+        """Swap a running job's window for a repaired one.
+
+        Used by the resilience layer after an in-place repair: the start
+        time is preserved by construction, but the runtime (and hence
+        the completion time) may change when a substitute leg sits on a
+        slower node.  ``scheduled_at`` is kept from the original entry —
+        the job never left the schedule.
+        """
+        old = self._active.get(job_id)
+        if old is None:
+            raise SchedulingError(f"job {job_id!r} is not running")
+        entry = ActiveJob(
+            job=old.job,
+            window=window,
+            scheduled_at=old.scheduled_at,
+            completes_at=window.start + window.runtime * completion_factor,
+        )
+        self._active[job_id] = entry
+        return entry
+
+    def cancel(self, job_id: str) -> ActiveJob:
+        """Remove a running job *without* releasing its slots.
+
+        The resilience layer releases the surviving legs itself (the
+        revoked ones are forfeited, not free), so this only drops the
+        registry entry.  Raises :class:`SchedulingError` if absent.
+        """
+        entry = self._active.pop(job_id, None)
+        if entry is None:
+            raise SchedulingError(f"job {job_id!r} is not running")
         return entry
 
     def retire_due(self, now: float, pool: SlotPool) -> list[ActiveJob]:

@@ -1,0 +1,114 @@
+"""Configuration of the broker's live resilience layer.
+
+One frozen block carries everything the revocation injector and the
+recovery policies need: the disturbance intensity (shared calibration
+with the offline robustness study), the injector's seed, the policy name
+and the replan backoff schedule.  ``ServiceConfig.resilience`` holds an
+instance of this — or ``None``, in which case the whole layer is compiled
+out of the broker's paths (a strict no-op, byte-identical traces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.execution.disturbance import (
+    PAPER_LOCAL_JOB_LENGTH_RANGE,
+    PoissonDisturbances,
+)
+from repro.model.errors import ConfigurationError
+
+#: Names accepted by :attr:`ResilienceConfig.policy`, in decreasing order
+#: of effort spent on a compromised window.
+POLICY_NAMES = ("repair", "replan", "abandon")
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Parameters of the revocation/recovery subsystem.
+
+    Parameters
+    ----------
+    rate:
+        Expected local-job arrivals per node per virtual time unit on the
+        nodes hosting committed legs.  ``0`` keeps the layer wired in but
+        injects nothing (useful for A/B runs with one config object).
+    length_range:
+        Uniform bounds of a local job's busy time, shared with the paper
+        calibration of the offline replay.
+    seed:
+        Root seed of the injector: every injection interval draws from
+        its own spawned ``SeedSequence`` child, the same stream
+        discipline as the experiment engine's per-cycle spawning.
+    policy:
+        Recovery policy for compromised windows: ``"repair"`` (replace
+        revoked legs at the same start, falling back to replan),
+        ``"replan"`` (cancel and re-queue with backoff), ``"abandon"``
+        (give up immediately).
+    max_retries:
+        Bound on replans per job; one more revocation abandons it.
+    backoff_base, backoff_factor:
+        Exponential backoff of the replan re-enqueue: the ``k``-th retry
+        becomes eligible ``backoff_base * backoff_factor**k`` virtual
+        time units after its revocation.  A retry whose eligibility time
+        already crosses the job's deadline is abandoned instead
+        (deadline-aware backoff).
+    """
+
+    rate: float = 0.0
+    length_range: tuple[float, float] = PAPER_LOCAL_JOB_LENGTH_RANGE
+    seed: int = 0
+    policy: str = "repair"
+    max_retries: int = 3
+    backoff_base: float = 5.0
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ConfigurationError(f"rate must be >= 0, got {self.rate}")
+        low, high = self.length_range
+        if low <= 0 or high < low:
+            raise ConfigurationError(f"invalid length_range {self.length_range}")
+        if self.policy not in POLICY_NAMES:
+            raise ConfigurationError(
+                f"unknown recovery policy {self.policy!r}; "
+                f"expected one of {POLICY_NAMES}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base <= 0:
+            raise ConfigurationError(
+                f"backoff_base must be positive, got {self.backoff_base}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def build_model(self) -> PoissonDisturbances:
+        """The disturbance model the injector samples from."""
+        return PoissonDisturbances(rate=self.rate, length_range=self.length_range)
+
+    def build_policy(self):
+        """The configured :class:`~repro.service.resilience.RecoveryPolicy`."""
+        from repro.service.resilience.policies import (
+            AbandonPolicy,
+            RepairPolicy,
+            ReplanPolicy,
+        )
+
+        if self.policy == "repair":
+            return RepairPolicy(
+                max_retries=self.max_retries,
+                backoff_base=self.backoff_base,
+                backoff_factor=self.backoff_factor,
+            )
+        if self.policy == "replan":
+            return ReplanPolicy(
+                max_retries=self.max_retries,
+                backoff_base=self.backoff_base,
+                backoff_factor=self.backoff_factor,
+            )
+        return AbandonPolicy()

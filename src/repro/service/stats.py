@@ -91,7 +91,11 @@ class ServiceStats:
     ``submitted = admitted + rejected``; every admitted job eventually
     lands in exactly one of ``scheduled`` (then ``retired`` once finished)
     or ``dropped``; ``deferred`` counts deferral *events* (a job deferred
-    twice contributes two).
+    twice contributes two).  With fault injection enabled a scheduled job
+    may additionally be ``replanned`` (re-queued, so it is counted under
+    ``scheduled`` again when it lands) or ``abandoned`` (terminal); the
+    conservation law becomes ``admitted = (scheduled - replanned) +
+    dropped + abandoned + pending``.
     """
 
     submitted: int = 0
@@ -108,6 +112,16 @@ class ServiceStats:
     windows_found: int = 0
     search_seconds: float = 0.0
     cycle_latency: LatencyTracker = field(default_factory=LatencyTracker)
+    # --- resilience layer (all zero unless fault injection is enabled) ---
+    revocations: int = 0
+    legs_revoked: int = 0
+    repaired: int = 0
+    replanned: int = 0
+    abandoned: int = 0
+    retried: int = 0
+    forfeited_node_seconds: float = 0.0
+    delivered_node_seconds: float = 0.0
+    recovery_latency: LatencyTracker = field(default_factory=LatencyTracker)
 
     def record_rejection(self, reason: str) -> None:
         """Count one rejected submission under its reason."""
@@ -149,6 +163,17 @@ class ServiceStats:
                 "mean": round(self.cycle_latency.mean * 1e3, 3),
                 "p50": round(latency_p50 * 1e3, 3),
                 "p95": round(latency_p95 * 1e3, 3),
+            },
+            "delivered_node_seconds": round(self.delivered_node_seconds, 6),
+            "resilience": {
+                "revocations": self.revocations,
+                "legs_revoked": self.legs_revoked,
+                "repaired": self.repaired,
+                "replanned": self.replanned,
+                "abandoned": self.abandoned,
+                "retried": self.retried,
+                "forfeited_node_seconds": round(self.forfeited_node_seconds, 6),
+                "recovery_latency_mean": round(self.recovery_latency.mean, 6),
             },
         }
         if elapsed_seconds is not None and elapsed_seconds > 0:

@@ -39,10 +39,14 @@ class JobState(enum.Enum):
     RETIRED = "retired"  #: finished; slots released
     DROPPED = "dropped"  #: given up (max deferrals or full queue)
     REJECTED = "rejected"  #: turned away at admission
+    ABANDONED = "abandoned"  #: recovery gave the job up after a revocation
 
 
 #: Transitions the event stream is allowed to make.  QUEUED and DEFERRED
 #: keep a job pending — they describe *how* it waits, not a new state.
+#: REVOKED/REPAIRED keep a job scheduled (the window is damaged, then
+#: mended in place); REPLANNED sends it back to pending; ABANDONED is the
+#: resilience layer's terminal verdict.
 _TRANSITIONS: dict[EventType, tuple[tuple[Optional[JobState], JobState], ...]] = {
     EventType.ADMITTED: ((JobState.SUBMITTED, JobState.PENDING),),
     EventType.REJECTED: ((JobState.SUBMITTED, JobState.REJECTED),),
@@ -51,12 +55,16 @@ _TRANSITIONS: dict[EventType, tuple[tuple[Optional[JobState], JobState], ...]] =
     EventType.SCHEDULED: ((JobState.PENDING, JobState.SCHEDULED),),
     EventType.DROPPED: ((JobState.PENDING, JobState.DROPPED),),
     EventType.RETIRED: ((JobState.SCHEDULED, JobState.RETIRED),),
+    EventType.REVOKED: ((JobState.SCHEDULED, JobState.SCHEDULED),),
+    EventType.REPAIRED: ((JobState.SCHEDULED, JobState.SCHEDULED),),
+    EventType.REPLANNED: ((JobState.SCHEDULED, JobState.PENDING),),
+    EventType.ABANDONED: ((JobState.SCHEDULED, JobState.ABANDONED),),
 }
 
 #: Terminal states a job id may be resubmitted from (a retired or
 #: rejected id is free again as far as the broker's duplicate check goes).
 _RESUBMITTABLE = frozenset(
-    {JobState.RETIRED, JobState.DROPPED, JobState.REJECTED}
+    {JobState.RETIRED, JobState.DROPPED, JobState.REJECTED, JobState.ABANDONED}
 )
 
 
@@ -88,6 +96,9 @@ class TraceValidator(EventSink):
         self._committed: dict[str, float] = {}
         self._committed_total = 0.0
         self._released_total = 0.0
+        self._forfeited_total = 0.0
+        self._window_start: dict[str, float] = {}
+        self._revocation_open: set[str] = set()
         self._last_time: Optional[float] = None
         self._cycle_open: Optional[int] = None
         self._last_cycle: Optional[int] = None
@@ -200,6 +211,12 @@ class TraceValidator(EventSink):
             self._on_scheduled(event, job_id)
         elif event.type is EventType.RETIRED:
             self._on_retired(event, job_id)
+        elif event.type is EventType.REVOKED:
+            self._on_revoked(event, job_id)
+        elif event.type is EventType.REPAIRED:
+            self._on_repaired(event, job_id)
+        elif event.type in (EventType.REPLANNED, EventType.ABANDONED):
+            self._on_window_released(event, job_id)
 
     def _on_scheduled(self, event: Event, job_id: str) -> None:
         node_seconds = event.fields.get("node_seconds")
@@ -208,8 +225,29 @@ class TraceValidator(EventSink):
             return
         self._committed[job_id] = float(node_seconds)
         self._committed_total += float(node_seconds)
+        window_start = event.fields.get("window_start")
+        if isinstance(window_start, (int, float)):
+            self._window_start[job_id] = float(window_start)
+
+    def _check_release_totals(self, event: Event) -> None:
+        """Global law: released + forfeited never exceed committed."""
+        if (
+            self._released_total + self._forfeited_total
+            > self._committed_total + TIME_EPSILON
+        ):
+            self._violate(
+                event,
+                f"cumulative released ({self._released_total}) + forfeited "
+                f"({self._forfeited_total}) node-seconds exceed committed "
+                f"({self._committed_total})",
+            )
 
     def _on_retired(self, event: Event, job_id: str) -> None:
+        if job_id in self._revocation_open:
+            self._violate(
+                event, f"job {job_id!r} retired with an unresolved revocation"
+            )
+            self._revocation_open.discard(job_id)
         released = event.fields.get("released_node_seconds")
         if not isinstance(released, (int, float)) or released < 0:
             self._violate(
@@ -227,12 +265,105 @@ class TraceValidator(EventSink):
                 f"but committed only {committed}",
             )
         self._released_total += float(released)
-        if self._released_total > self._committed_total + TIME_EPSILON:
+        self._check_release_totals(event)
+        self._window_start.pop(job_id, None)
+
+    # ------------------------------------------------------------------
+    # Resilience events
+    # ------------------------------------------------------------------
+    def _on_revoked(self, event: Event, job_id: str) -> None:
+        if job_id in self._revocation_open:
             self._violate(
                 event,
-                f"cumulative released node-seconds ({self._released_total}) "
-                f"exceed committed ({self._committed_total})",
+                f"job {job_id!r} revoked again before the previous "
+                "revocation was resolved",
             )
+        self._revocation_open.add(job_id)
+        node_seconds = event.fields.get("node_seconds")
+        if not isinstance(node_seconds, (int, float)) or node_seconds < 0:
+            self._violate(event, "revoked event without valid 'node_seconds'")
+            return
+        committed = self._committed.get(job_id)
+        if committed is None:
+            self._violate(event, f"job {job_id!r} revoked without a commitment")
+            return
+        if node_seconds > committed + TIME_EPSILON:
+            self._violate(
+                event,
+                f"job {job_id!r} lost {node_seconds} node-seconds to a "
+                f"revocation but held only {committed}",
+            )
+        # Revoked time is forfeited: it can never be released again.
+        self._committed[job_id] = committed - float(node_seconds)
+        self._forfeited_total += float(node_seconds)
+        self._check_release_totals(event)
+
+    def _on_repaired(self, event: Event, job_id: str) -> None:
+        if job_id not in self._revocation_open:
+            self._violate(
+                event, f"job {job_id!r} repaired without an open revocation"
+            )
+        self._revocation_open.discard(job_id)
+        added = event.fields.get("node_seconds_added")
+        if not isinstance(added, (int, float)) or added < 0:
+            self._violate(
+                event, "repaired event without valid 'node_seconds_added'"
+            )
+            return
+        self._committed[job_id] = self._committed.get(job_id, 0.0) + float(added)
+        self._committed_total += float(added)
+        # A repair must keep the window where it was: same start time...
+        window_start = event.fields.get("window_start")
+        expected = self._window_start.get(job_id)
+        if (
+            isinstance(window_start, (int, float))
+            and expected is not None
+            and abs(float(window_start) - expected) > TIME_EPSILON
+        ):
+            self._violate(
+                event,
+                f"repaired window for job {job_id!r} moved its start: "
+                f"{expected} -> {window_start}",
+            )
+        # ... and distinct nodes across surviving + replacement legs.
+        nodes = event.fields.get("nodes")
+        if isinstance(nodes, list) and len(set(nodes)) != len(nodes):
+            self._violate(
+                event,
+                f"repaired window for job {job_id!r} reuses nodes: {nodes}",
+            )
+
+    def _on_window_released(self, event: Event, job_id: str) -> None:
+        """REPLANNED / ABANDONED: the surviving legs go back to the pool."""
+        if job_id not in self._revocation_open:
+            self._violate(
+                event,
+                f"job {job_id!r} {event.type.value} without an open revocation",
+            )
+        self._revocation_open.discard(job_id)
+        released = event.fields.get("released_node_seconds")
+        if not isinstance(released, (int, float)) or released < 0:
+            self._violate(
+                event,
+                f"{event.type.value} event without valid "
+                "'released_node_seconds'",
+            )
+            return
+        committed = self._committed.pop(job_id, None)
+        if committed is None:
+            self._violate(
+                event, f"job {job_id!r} {event.type.value} without a commitment"
+            )
+            return
+        if released > committed + TIME_EPSILON:
+            self._violate(
+                event,
+                f"job {job_id!r} released {released} node-seconds "
+                f"but committed only {committed}",
+            )
+        self._released_total += float(released)
+        self._check_release_totals(event)
+        self._window_start.pop(job_id, None)
 
     # ------------------------------------------------------------------
     # Terminal accounting
@@ -260,6 +391,11 @@ class TraceValidator(EventSink):
     def released_node_seconds(self) -> float:
         return self._released_total
 
+    @property
+    def forfeited_node_seconds(self) -> float:
+        """Node-seconds lost to revocations (never releasable)."""
+        return self._forfeited_total
+
     def check(self, expect_drained: bool = False) -> "TraceValidator":
         """Run the end-of-trace conservation checks and raise on failure.
 
@@ -276,16 +412,26 @@ class TraceValidator(EventSink):
         scheduled = self.counts[EventType.SCHEDULED]
         dropped = self.counts[EventType.DROPPED]
         retired = self.counts[EventType.RETIRED]
+        replanned = self.counts[EventType.REPLANNED]
+        abandoned = self.counts[EventType.ABANDONED]
         if submitted != admitted + rejected:
             failures.append(
                 f"submitted ({submitted}) != admitted ({admitted}) "
                 f"+ rejected ({rejected})"
             )
         pending = tally[JobState.PENDING]
-        if admitted != scheduled + dropped + pending:
+        # Each REPLANNED hands its job's one surplus SCHEDULED back, so
+        # ``scheduled - replanned - abandoned`` counts windows that were
+        # *kept* (retired or still running); adding terminal abandons,
+        # drops and the still-pending backlog must recover every
+        # admission.  With no resilience events this reduces to the
+        # original ``admitted = scheduled + dropped + pending``.
+        net_scheduled = scheduled - replanned - abandoned
+        if admitted != net_scheduled + dropped + abandoned + pending:
             failures.append(
-                f"admitted ({admitted}) != scheduled ({scheduled}) + dropped "
-                f"({dropped}) + still-pending ({pending}): jobs were lost"
+                f"admitted ({admitted}) != kept windows ({net_scheduled}) "
+                f"+ dropped ({dropped}) + abandoned ({abandoned}) "
+                f"+ still-pending ({pending}): jobs were lost"
             )
         if tally[JobState.SUBMITTED]:
             failures.append(
@@ -294,9 +440,18 @@ class TraceValidator(EventSink):
             )
         if self._cycle_open is not None:
             failures.append(f"cycle {self._cycle_open} never ended")
-        if self._released_total > self._committed_total + TIME_EPSILON:
+        if self._revocation_open:
             failures.append(
-                f"released node-seconds ({self._released_total}) exceed "
+                f"{len(self._revocation_open)} revocation(s) were never "
+                "resolved (no repaired/replanned/abandoned follow-up)"
+            )
+        if (
+            self._released_total + self._forfeited_total
+            > self._committed_total + TIME_EPSILON
+        ):
+            failures.append(
+                f"released ({self._released_total}) + forfeited "
+                f"({self._forfeited_total}) node-seconds exceed "
                 f"committed ({self._committed_total})"
             )
         if expect_drained:
@@ -305,10 +460,10 @@ class TraceValidator(EventSink):
                     f"trace claims a drained service but {pending} job(s) "
                     "are still pending"
                 )
-            if retired != scheduled:
+            if retired != net_scheduled:
                 failures.append(
                     f"trace claims a drained service but retired ({retired}) "
-                    f"!= scheduled ({scheduled})"
+                    f"!= scheduled - replanned - abandoned ({net_scheduled})"
                 )
         if failures:
             raise TraceInvariantError(
@@ -329,8 +484,13 @@ class TraceValidator(EventSink):
             "dropped": self.counts[EventType.DROPPED],
             "retired": self.counts[EventType.RETIRED],
             "pending": tally[JobState.PENDING],
+            "revoked": self.counts[EventType.REVOKED],
+            "repaired": self.counts[EventType.REPAIRED],
+            "replanned": self.counts[EventType.REPLANNED],
+            "abandoned": self.counts[EventType.ABANDONED],
             "committed_node_seconds": round(self._committed_total, 6),
             "released_node_seconds": round(self._released_total, 6),
+            "forfeited_node_seconds": round(self._forfeited_total, 6),
             "violations": len(self.violations),
         }
 

@@ -1,0 +1,136 @@
+"""Fixed-start replacement search (the repair policy's kernel).
+
+All scenarios share a small heterogeneous pool where per-leg costs are
+easy to read: a perf-4/price-p node runs a 20-unit task in 5 units at
+cost ``5 p``.  The search must return the cheapest ``count`` legs able
+to host ``[start, start + required_time)``, honour node exclusions, the
+remaining budget and the deadline, and certify infeasibility with
+``None``.
+"""
+
+from __future__ import annotations
+
+from repro.core.repair import find_fixed_start_replacements
+from repro.model import ResourceRequest, SlotPool
+
+from tests.conftest import make_slot
+
+
+def request(budget: float = 1000.0, deadline: float | None = None) -> ResourceRequest:
+    return ResourceRequest(
+        node_count=2, reservation_time=20.0, budget=budget, deadline=deadline
+    )
+
+
+def heterogeneous_pool() -> SlotPool:
+    return SlotPool.from_slots(
+        [
+            make_slot(1, 0.0, 100.0, performance=4.0, price=1.0),  # cost 5
+            make_slot(2, 0.0, 100.0, performance=4.0, price=2.0),  # cost 10
+            make_slot(3, 0.0, 100.0, performance=4.0, price=4.0),  # cost 20
+            make_slot(4, 0.0, 100.0, performance=2.0, price=1.0),  # cost 10, len 10
+        ]
+    )
+
+
+def test_returns_the_cheapest_legs_in_cost_order():
+    legs = find_fixed_start_replacements(
+        heterogeneous_pool(), request(), start=10.0, count=2,
+        exclude_nodes=set(), budget=1000.0,
+    )
+    assert legs is not None
+    assert [leg.slot.node.node_id for leg in legs] == [1, 2]
+    assert [leg.cost for leg in legs] == [5.0, 10.0]
+    assert all(leg.fits_from(10.0) for leg in legs)
+
+
+def test_excluded_nodes_never_host_a_replacement():
+    legs = find_fixed_start_replacements(
+        heterogeneous_pool(), request(), start=10.0, count=2,
+        exclude_nodes={1, 3}, budget=1000.0,
+    )
+    assert legs is not None
+    assert {leg.slot.node.node_id for leg in legs} == {2, 4}
+
+
+def test_replacement_nodes_are_distinct():
+    legs = find_fixed_start_replacements(
+        heterogeneous_pool(), request(), start=10.0, count=3,
+        exclude_nodes=set(), budget=1000.0,
+    )
+    assert legs is not None
+    nodes = [leg.slot.node.node_id for leg in legs]
+    assert len(set(nodes)) == len(nodes) == 3
+
+
+def test_cheapest_count_over_budget_is_infeasible():
+    # Cheapest pair costs 15; a budget of 12 cannot host any pair.
+    assert (
+        find_fixed_start_replacements(
+            heterogeneous_pool(), request(), start=10.0, count=2,
+            exclude_nodes=set(), budget=12.0,
+        )
+        is None
+    )
+
+
+def test_too_few_eligible_candidates_is_infeasible():
+    assert (
+        find_fixed_start_replacements(
+            heterogeneous_pool(), request(), start=10.0, count=4,
+            exclude_nodes={2}, budget=1000.0,
+        )
+        is None
+    )
+
+
+def test_slot_must_contain_the_fixed_span():
+    # A slot opening after the fixed start, and one whose tail is shorter
+    # than the task, can never host the span.
+    pool = SlotPool.from_slots(
+        [
+            make_slot(1, 15.0, 100.0),  # opens after start
+            make_slot(2, 0.0, 12.0),  # tail [10, 12) < runtime 5
+            make_slot(3, 0.0, 100.0),
+        ]
+    )
+    legs = find_fixed_start_replacements(
+        pool, request(), start=10.0, count=1, exclude_nodes=set(), budget=1000.0
+    )
+    assert legs is not None
+    assert [leg.slot.node.node_id for leg in legs] == [3]
+    assert (
+        find_fixed_start_replacements(
+            pool, request(), start=10.0, count=2, exclude_nodes=set(), budget=1000.0
+        )
+        is None
+    )
+
+
+def test_deadline_rules_out_late_finishes():
+    pool = heterogeneous_pool()
+    # start 10 + runtime 5 = finish 15: fine under deadline 20, not 13.
+    assert (
+        find_fixed_start_replacements(
+            pool, request(deadline=20.0), start=10.0, count=1,
+            exclude_nodes=set(), budget=1000.0,
+        )
+        is not None
+    )
+    assert (
+        find_fixed_start_replacements(
+            pool, request(deadline=13.0), start=10.0, count=1,
+            exclude_nodes=set(), budget=1000.0,
+        )
+        is None
+    )
+
+
+def test_zero_count_is_trivially_satisfied():
+    assert (
+        find_fixed_start_replacements(
+            heterogeneous_pool(), request(), start=10.0, count=0,
+            exclude_nodes=set(), budget=0.0,
+        )
+        == []
+    )

@@ -6,6 +6,7 @@ import json
 
 import pytest
 
+from repro.model.errors import ConfigurationError
 from repro.service import (
     CollectingSink,
     Event,
@@ -119,3 +120,39 @@ class TestJsonlSink:
         view = deterministic_trace(events)
         assert all("wall_cycle_seconds" not in record for record in view)
         assert all(record["batch"] == 2 for record in view)
+
+
+class TestFromDictValidation:
+    """Forward-compatibility diagnosis: satellite regression for the loader."""
+
+    def test_unknown_event_type_names_the_type_and_the_known_set(self):
+        payload = {"seq": 0, "type": "teleported", "time": 1.0}
+        with pytest.raises(ConfigurationError, match="unknown event type 'teleported'"):
+            Event.from_dict(payload)
+        with pytest.raises(ConfigurationError, match="scheduled"):
+            Event.from_dict(payload)
+
+    def test_missing_envelope_key_is_diagnosed(self):
+        for key in ("seq", "type", "time"):
+            payload = {"seq": 0, "type": "scheduled", "time": 1.0}
+            del payload[key]
+            with pytest.raises(ConfigurationError, match=f"missing the {key!r}"):
+                Event.from_dict(payload)
+
+    def test_resilience_event_types_round_trip(self):
+        for name in ("revoked", "repaired", "replanned", "abandoned"):
+            event = Event(
+                seq=1, type=EventType(name), time=2.0, job_id="j", fields={}
+            )
+            assert Event.from_dict(json.loads(event.to_json())).type is EventType(name)
+
+    def test_load_trace_wraps_errors_with_path_and_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"seq": 0, "type": "scheduled", "time": 0.0})
+            + "\n"
+            + json.dumps({"seq": 1, "type": "warp", "time": 1.0})
+            + "\n"
+        )
+        with pytest.raises(ConfigurationError, match=r"bad\.jsonl:2: unknown event"):
+            load_trace(str(path))
