@@ -3,7 +3,7 @@
 PY ?= python
 
 .PHONY: install test bench bench-full bench-core bench-experiments \
-	bench-resilience figures report examples clean
+	bench-resilience bench-federation figures report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -24,6 +24,9 @@ bench-experiments:
 
 bench-resilience:
 	PYTHONPATH=src $(PY) -m repro.cli bench-resilience -o BENCH_resilience.json
+
+bench-federation:
+	PYTHONPATH=src $(PY) -m repro.cli bench-federation -o BENCH_federation.json
 
 # The paper-scale run (hours): 5000 cycles, 1000 reps, full grids.
 bench-full:

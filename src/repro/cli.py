@@ -32,6 +32,14 @@ Installed as the ``repro`` console script (also runnable as
     Time the process-parallel Monte-Carlo experiment engine across worker
     counts, verify worker-count-invariant aggregates, and archive the
     JSON baseline (``BENCH_experiments.json``).
+``repro serve-federation``
+    Serve a sharded multi-broker federation over loopback TCP — either
+    listening until shutdown/SIGTERM or self-driving a scripted arrival
+    stream through a real socket client.
+``repro bench-federation``
+    Drive the federation front door over real loopback sockets across
+    shard counts and archive submit-to-schedule latency and throughput
+    (``BENCH_federation.json``).
 """
 
 from __future__ import annotations
@@ -46,6 +54,7 @@ from repro.analysis.gantt import render_gantt
 from repro.analysis.paper_reference import FIGURE_REFERENCES
 from repro.core import CSA, Criterion
 from repro.environment import EnvironmentConfig, EnvironmentGenerator
+from repro.federation.config import POLICY_NAMES as _FEDERATION_POLICIES
 from repro.io import load_environment, save_environment
 from repro.scheduling import BatchScheduler
 from repro.simulation import (
@@ -219,8 +228,13 @@ def cmd_schedule(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Handler of the ``repro serve`` subcommand."""
-    from repro.service import ResilienceConfig, ServiceConfig, TraceConfig, run_service_trace
-
+    from repro.service import (
+        ResilienceConfig,
+        ServiceConfig,
+        TraceConfig,
+        graceful_interrupt,
+        run_service_trace,
+    )
     from repro.service.tracing import TraceInvariantError
 
     resilience = None
@@ -254,7 +268,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"max wait {args.max_wait:g}, {args.workers} worker(s) ..."
         )
     try:
-        outcome = run_service_trace(config)
+        with graceful_interrupt():
+            outcome = run_service_trace(config)
+    except KeyboardInterrupt:
+        print("interrupted — broker closed, trace flushed", file=sys.stderr)
+        return 130
     except TraceInvariantError as error:
         print(f"TRACE INVARIANT VIOLATION\n{error}", file=sys.stderr)
         if args.trace:
@@ -328,6 +346,179 @@ def cmd_bench_service(args: argparse.Namespace) -> int:
             f"p95 {row['cycle_latency_ms_p95']:.2f}ms, "
             f"scheduled {row['scheduled']}/{row['jobs']}"
         )
+    if args.output:
+        save_json(payload, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _federation_manager(args: argparse.Namespace, sinks) -> "object":
+    """A ShardManager built from serve-federation CLI arguments."""
+    from repro.environment import EnvironmentConfig, EnvironmentGenerator
+    from repro.federation import FederationConfig, ShardManager
+    from repro.service import ServiceConfig
+
+    pool = (
+        EnvironmentGenerator(
+            EnvironmentConfig(node_count=args.nodes, seed=args.seed)
+        )
+        .generate()
+        .slot_pool()
+    )
+    config = FederationConfig(
+        shards=args.shards,
+        policy=args.policy,
+        coallocation=not args.no_coallocation,
+        service=ServiceConfig(
+            batch_size=args.batch_size,
+            max_wait=args.max_wait,
+            workers=args.workers,
+            alternatives_per_job=args.alternatives,
+            criterion=Criterion[args.criterion.upper()],
+        ),
+    )
+    return ShardManager(pool, config=config, sinks=sinks)
+
+
+def cmd_serve_federation(args: argparse.Namespace) -> int:
+    """Handler of the ``repro serve-federation`` subcommand.
+
+    With ``--jobs N`` the command self-drives a scripted arrival stream
+    through a loopback client (real sockets end to end) and exits; with
+    ``--jobs 0`` (the default) it listens until a ``shutdown`` frame,
+    SIGTERM, or Ctrl-C, closing every shard broker and flushing JSONL
+    sinks on the way out.
+    """
+    import asyncio
+
+    from repro.federation import (
+        FederationClient,
+        FederationServer,
+        FederationTraceValidator,
+    )
+    from repro.service import graceful_interrupt
+    from repro.service.events import JsonlSink
+    from repro.service.tracing import TraceInvariantError
+    from repro.simulation import JobGenerator
+
+    sinks = []
+    trace_sink = None
+    validator = None
+    if args.trace:
+        trace_sink = JsonlSink(args.trace)
+        sinks.append(trace_sink)
+    if args.validate_trace:
+        validator = FederationTraceValidator()
+        sinks.append(validator)
+    manager = _federation_manager(args, sinks)
+
+    async def _run() -> dict:
+        server = FederationServer(manager, host=args.host, port=args.port)
+        await server.start()
+        print(
+            f"federation of {args.shards} shard(s) over {args.nodes} nodes "
+            f"({args.policy} routing) listening on {args.host}:{server.port}"
+        )
+        try:
+            if not args.jobs:
+                await server.serve_until_shutdown()
+                return {}
+            arrivals = list(
+                JobGenerator(seed=args.seed).iter_arrivals(
+                    args.jobs, rate=args.rate
+                )
+            )
+            client = await FederationClient.connect(port=server.port)
+            async with client:
+                for arrival_time, job in arrivals:
+                    await client.submit(job, at=arrival_time)
+                await client.drain()
+                stats = await client.stats()
+                await client.shutdown()
+            return stats
+        finally:
+            await server.stop()
+
+    try:
+        with graceful_interrupt():
+            stats = asyncio.run(_run())
+    except KeyboardInterrupt:
+        manager.close()
+        if trace_sink is not None:
+            trace_sink.close()
+        print("interrupted — shards closed, trace flushed", file=sys.stderr)
+        return 130
+    finally:
+        if trace_sink is not None:
+            trace_sink.close()
+    if stats:
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            federation = stats["federation"]
+            aggregate = stats["aggregate"]
+            print(
+                f"submitted {federation['submitted']}, "
+                f"routed {federation['routed']}, "
+                f"coallocated {federation['coallocated']}, "
+                f"rejected {federation['rejected']}, "
+                f"dropped {federation['dropped']}"
+            )
+            print(
+                f"shards scheduled {aggregate['scheduled']}, "
+                f"dropped {aggregate['dropped']}, "
+                f"retired {aggregate['retired']} "
+                f"(virtual time {stats['now']:.1f})"
+            )
+    if args.trace:
+        print(f"wrote event trace to {args.trace}")
+    if validator is not None:
+        try:
+            validator.check(expect_drained=bool(args.jobs))
+        except TraceInvariantError as error:
+            print(f"TRACE INVARIANT VIOLATION\n{error}", file=sys.stderr)
+            return 1
+        summary = validator.summary()
+        print(
+            f"federation trace invariants OK: {summary['events']} events, "
+            f"{summary['routed']} routed + {summary['coallocated']} "
+            f"coallocated + {summary['rejected']} rejected across "
+            f"{len(summary['shards'])} shard(s)"
+        )
+    return 0
+
+
+def cmd_bench_federation(args: argparse.Namespace) -> int:
+    """Handler of the ``repro bench-federation`` subcommand."""
+    from repro.federation import bench_federation
+    from repro.io import save_json
+
+    shard_counts = [int(value) for value in args.shards.split(",")]
+    print(
+        f"benchmarking the federation front door: {args.jobs} jobs over "
+        f"loopback sockets at {shard_counts} shard(s), "
+        f"{args.nodes} nodes, {args.policy} routing ..."
+    )
+    payload = bench_federation(
+        shard_counts=shard_counts,
+        jobs=args.jobs,
+        rate=args.rate,
+        node_count=args.nodes,
+        seed=args.seed,
+        policy=args.policy,
+    )
+    for row in payload["results"]:
+        latency = row["submit_to_schedule_s"]
+        print(
+            f"  {row['shards']:>3} shard(s): {row['jobs_per_s']:8.1f} jobs/s, "
+            f"submit→schedule p50 {latency['p50'] * 1e3:.2f}ms "
+            f"p99 {latency['p99'] * 1e3:.2f}ms "
+            f"({latency['samples']} placed), {row['frames']} frames"
+        )
+    if payload["single_shard_equivalence"]:
+        print("  1-shard run matches the single broker exactly")
+    if payload["host"]["cpu_limited"]:
+        print("  note: single-CPU host — throughput is CPU-bound")
     if args.output:
         save_json(payload, args.output)
         print(f"wrote {args.output}")
@@ -700,6 +891,75 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("-o", "--output",
                        help="write the JSON payload here (BENCH_service.json)")
     bench.set_defaults(func=cmd_bench_service)
+
+    serve_fed = sub.add_parser(
+        "serve-federation",
+        help="serve a sharded broker federation over loopback TCP",
+    )
+    serve_fed.add_argument("--shards", type=int, default=4)
+    serve_fed.add_argument("--nodes", type=int, default=64)
+    serve_fed.add_argument("--seed", type=int, default=7)
+    serve_fed.add_argument(
+        "--policy", default="hash", choices=list(_FEDERATION_POLICIES),
+        help="placement policy ordering the shards per job",
+    )
+    serve_fed.add_argument(
+        "--jobs", type=int, default=0,
+        help="self-drive this many scripted arrivals through a loopback "
+             "client and exit (0 = listen until shutdown/SIGTERM)",
+    )
+    serve_fed.add_argument(
+        "--rate", type=float, default=2.0,
+        help="mean arrivals per virtual time unit (self-drive mode)",
+    )
+    serve_fed.add_argument("--host", default="127.0.0.1")
+    serve_fed.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port to bind (0 picks a free port and prints it)",
+    )
+    serve_fed.add_argument("--workers", type=int, default=1,
+                           help="phase-one search threads per shard")
+    serve_fed.add_argument("--batch-size", type=int, default=8)
+    serve_fed.add_argument("--max-wait", type=float, default=25.0)
+    serve_fed.add_argument("--alternatives", type=int, default=10)
+    serve_fed.add_argument(
+        "--criterion",
+        default="finish_time",
+        choices=[criterion.value for criterion in Criterion],
+    )
+    serve_fed.add_argument(
+        "--no-coallocation", action="store_true",
+        help="disable the cross-shard co-allocation fallback",
+    )
+    serve_fed.add_argument(
+        "--trace", help="write the merged JSONL event trace here"
+    )
+    serve_fed.add_argument(
+        "--validate-trace", action="store_true",
+        help="replay the merged stream through the FederationTraceValidator; "
+             "exit non-zero on any conservation violation",
+    )
+    serve_fed.add_argument("--json", action="store_true",
+                           help="emit the stats as JSON")
+    serve_fed.set_defaults(func=cmd_serve_federation)
+
+    bench_fed = sub.add_parser(
+        "bench-federation",
+        help="federation latency/throughput over real loopback sockets",
+    )
+    bench_fed.add_argument("--shards", default="1,4,16",
+                           help="comma-separated shard counts")
+    bench_fed.add_argument("--jobs", type=int, default=200)
+    bench_fed.add_argument("--rate", type=float, default=2.0)
+    bench_fed.add_argument("--nodes", type=int, default=64)
+    bench_fed.add_argument("--seed", type=int, default=2013)
+    bench_fed.add_argument(
+        "--policy", default="hash", choices=list(_FEDERATION_POLICIES)
+    )
+    bench_fed.add_argument("-o", "--output",
+                           help="write the JSON payload here "
+                                "(BENCH_federation.json)")
+    bench_fed.set_defaults(func=cmd_bench_federation)
 
     bench_resilience = sub.add_parser(
         "bench-resilience",

@@ -1,0 +1,97 @@
+"""Sharded multi-broker federation with an asyncio network front door.
+
+The single :class:`~repro.service.broker.BrokerService` of the service
+layer scales the *paper's* scheduling cycle; this package scales the
+*deployment*: the environment's nodes are partitioned into shards, each
+shard runs a full broker (admission, cycle batching, resilience) on a
+shared virtual clock, and an intake tier routes jobs across them —
+mirroring the master/daemon split of network-resident metascheduling
+systems (Uberun-style), where a front-door master speaks a wire protocol
+and autonomous per-partition daemons own their resources.
+
+Layers, bottom up:
+
+* :mod:`~repro.federation.sharding` — node partitioning, the per-shard
+  broker wrappers, and :class:`ShardManager`, the intake tier;
+* :mod:`~repro.federation.router` — pluggable placement policies
+  (``hash``, ``least-loaded``, ``criterion``);
+* :mod:`~repro.federation.coallocation` — cross-shard windows with
+  two-phase commit/rollback;
+* :mod:`~repro.federation.tracing` — conservation laws for merged
+  federation traces;
+* :mod:`~repro.federation.protocol` / :mod:`~repro.federation.server` /
+  :mod:`~repro.federation.client` — the length-prefixed JSON frame
+  protocol and its asyncio endpoints;
+* :mod:`~repro.federation.bench` — socket-driven latency/throughput
+  benchmark with refuse-to-record invariant checks.
+"""
+
+from repro.federation.bench import SubmitLatencyRecorder, bench_federation
+from repro.federation.client import FederationClient, FederationClientError
+from repro.federation.coallocation import CoAllocation, CoAllocator
+from repro.federation.config import POLICY_NAMES, FederationConfig
+from repro.federation.protocol import (
+    MAX_FRAME,
+    ProtocolError,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.federation.router import (
+    CriterionAwarePolicy,
+    HashPolicy,
+    LeastLoadedPolicy,
+    PlacementPolicy,
+    earliest_fit_estimate,
+    make_policy,
+    stable_hash,
+)
+from repro.federation.server import FederationServer
+from repro.federation.sharding import (
+    FederationDecision,
+    FederationStats,
+    Shard,
+    ShardManager,
+    ShardTagSink,
+    partition_nodes,
+    partition_pool,
+)
+from repro.federation.tracing import (
+    FederationTraceValidator,
+    FedJobState,
+    validate_federation_trace_file,
+)
+
+__all__ = [
+    "MAX_FRAME",
+    "POLICY_NAMES",
+    "CoAllocation",
+    "CoAllocator",
+    "CriterionAwarePolicy",
+    "FederationClient",
+    "FederationClientError",
+    "FederationConfig",
+    "FederationDecision",
+    "FederationServer",
+    "FederationStats",
+    "FederationTraceValidator",
+    "FedJobState",
+    "HashPolicy",
+    "LeastLoadedPolicy",
+    "PlacementPolicy",
+    "ProtocolError",
+    "Shard",
+    "ShardManager",
+    "ShardTagSink",
+    "SubmitLatencyRecorder",
+    "bench_federation",
+    "earliest_fit_estimate",
+    "encode_frame",
+    "make_policy",
+    "partition_nodes",
+    "partition_pool",
+    "read_frame",
+    "stable_hash",
+    "validate_federation_trace_file",
+    "write_frame",
+]

@@ -1,0 +1,114 @@
+"""Asyncio client for the federation frame protocol.
+
+One client = one connection = one outstanding request at a time (the
+protocol has no correlation ids; responses arrive in request order, and
+a strictly alternating client needs none).  Benchmarks open several
+clients for concurrency instead of multiplexing one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Optional
+
+from repro.federation.protocol import ProtocolError, read_frame, write_frame
+from repro.io import job_to_dict
+from repro.model.job import Job
+
+
+class FederationClientError(Exception):
+    """The server answered ``ok: false`` or the connection broke."""
+
+
+class FederationClient:
+    """Typed request helpers over one framed connection."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ):
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 0
+    ) -> "FederationClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "FederationClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Raw request/response
+    # ------------------------------------------------------------------
+    async def request(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Send one frame and await its response frame."""
+        await write_frame(self._writer, message)
+        try:
+            response = await read_frame(self._reader)
+        except ProtocolError as error:
+            raise FederationClientError(str(error)) from error
+        if response is None:
+            raise FederationClientError(
+                "connection closed before a response arrived"
+            )
+        return response
+
+    async def _checked(self, message: dict[str, Any]) -> dict[str, Any]:
+        response = await self.request(message)
+        if not response.get("ok"):
+            raise FederationClientError(
+                response.get("error", "request failed")
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # Typed operations
+    # ------------------------------------------------------------------
+    async def ping(self) -> float:
+        """Liveness probe; returns the federation's virtual clock."""
+        return float((await self._checked({"op": "ping"}))["now"])
+
+    async def submit(
+        self, job: Job, at: Optional[float] = None
+    ) -> dict[str, Any]:
+        """Offer a job, optionally advancing the clock to its arrival."""
+        message: dict[str, Any] = {"op": "submit", "job": job_to_dict(job)}
+        if at is not None:
+            message["at"] = at
+        return await self._checked(message)
+
+    async def status(self, job_id: str) -> dict[str, Any]:
+        return await self._checked({"op": "status", "job_id": job_id})
+
+    async def cancel(self, job_id: str) -> bool:
+        response = await self._checked({"op": "cancel", "job_id": job_id})
+        return bool(response["cancelled"])
+
+    async def stats(self) -> dict[str, Any]:
+        return (await self._checked({"op": "stats"}))["stats"]
+
+    async def advance(self, to: float) -> float:
+        response = await self._checked({"op": "advance", "to": to})
+        return float(response["now"])
+
+    async def drain(self) -> float:
+        return float((await self._checked({"op": "drain"}))["now"])
+
+    async def kill_shard(self, shard: int) -> list[str]:
+        response = await self._checked({"op": "kill-shard", "shard": shard})
+        return list(response["evacuated"])
+
+    async def shutdown(self) -> None:
+        await self._checked({"op": "shutdown"})

@@ -1,0 +1,105 @@
+"""Length-prefixed JSON frames for the federation front door.
+
+One frame = a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON (one object per frame).  Requests carry an ``op``
+field; responses carry ``ok`` plus op-specific payload.  The format is
+deliberately dumb: self-delimiting (no sniffing for newlines inside
+payloads), bounded (:data:`MAX_FRAME` caps a single allocation), and
+debuggable with ``xxd``.
+
+Supported operations (see :class:`~repro.federation.server.FederationServer`
+for the authoritative dispatch):
+
+``submit``     offer a job (``job`` payload, optional ``at`` arrival time)
+``status``     locate a job id across the shards
+``cancel``     withdraw a queued job
+``stats``      federation + per-shard counters
+``advance``    move the shared virtual clock (``to``)
+``drain``      run every shard to quiescence
+``ping``       liveness probe
+``kill-shard`` simulate a shard death (``shard``)
+``shutdown``   close the federation and stop serving
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any
+
+#: Upper bound on a single frame's payload, bytes.  A submit frame is a
+#: few hundred bytes; a 16-shard stats frame a few KiB.  1 MiB leaves
+#: generous headroom while keeping a corrupt length prefix from turning
+#: into a multi-gigabyte allocation.
+MAX_FRAME = 1 << 20
+
+_LENGTH = struct.Struct("!I")
+
+
+class ProtocolError(Exception):
+    """A malformed, oversized, or truncated frame."""
+
+
+def encode_frame(message: dict[str, Any]) -> bytes:
+    """Serialise one message to its on-wire representation."""
+    payload = json.dumps(
+        message, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict[str, Any]:
+    """Parse a frame payload; the top level must be a JSON object."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame payload: {error}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid-header ({len(error.partial)} of "
+            f"{_LENGTH.size} bytes)"
+        ) from error
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"declared frame length {length} exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(error.partial)} of "
+            f"{length} bytes)"
+        ) from error
+    return decode_payload(payload)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, message: dict[str, Any]
+) -> None:
+    """Write one frame and wait for the transport buffer to drain.
+
+    The ``drain()`` is the per-connection backpressure: a slow reader
+    suspends its own coroutine here instead of growing an unbounded
+    outbound buffer.
+    """
+    writer.write(encode_frame(message))
+    await writer.drain()

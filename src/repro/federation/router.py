@@ -1,0 +1,161 @@
+"""Placement policies: which shard should try a job first.
+
+The router does not decide *whether* a job runs — every shard's own
+admission control still has the last word — it decides the *order* in
+which shards are offered the job.  Three policies:
+
+* ``hash`` — deterministic spread by job id (CRC-32, not the builtin
+  ``hash``, which is salted per process and would destroy replayability);
+* ``least-loaded`` — live backlog (queue depth + active windows), the
+  classic join-the-shortest-queue heuristic;
+* ``criterion`` — a cheapest-fit / earliest-fit *estimate* per shard
+  under the service's optimisation criterion, the mediator-style routing
+  of Oliveira & Barbosa: shards whose estimate says the job cannot fit
+  at all are still offered last rather than skipped, because estimates
+  are bounds, not verdicts.
+
+Every policy returns a total order over the live shards so the intake
+tier can fall through to the next shard on rejection, and ties break on
+shard id — orderings must be deterministic for trace replay.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.core.criteria import Criterion
+from repro.model.errors import ConfigurationError
+from repro.model.job import Job, ResourceRequest
+from repro.model.slot import TIME_EPSILON
+from repro.model.slotpool import SlotPool
+from repro.service.admission import cheapest_feasible_cost
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.federation.sharding import Shard
+
+
+def stable_hash(job_id: str) -> int:
+    """A process-stable non-negative hash of a job id.
+
+    CRC-32 rather than ``hash()``: Python salts string hashing per
+    process, which would make shard placement — and therefore every
+    downstream trace — unreproducible across runs.
+    """
+    return zlib.crc32(job_id.encode("utf-8"))
+
+
+def earliest_fit_estimate(
+    request: ResourceRequest, pool: SlotPool
+) -> Optional[float]:
+    """Lower bound on the start time of any window for ``request``.
+
+    Per matching node with at least one slot long enough for the task,
+    take the earliest such slot's start; the ``n``-th smallest of those
+    is the earliest instant ``n`` distinct nodes *could* all be free.
+    ``None`` when fewer than ``n`` usable nodes exist.  Mirrors
+    :func:`~repro.service.admission.cheapest_feasible_cost`, which is
+    the analogous bound on the cost axis.
+    """
+    earliest_by_node: dict[int, float] = {}
+    for slot in pool:
+        node = slot.node
+        if not request.node_matches(node):
+            continue
+        if slot.length < request.task_runtime_on(node) - TIME_EPSILON:
+            continue
+        known = earliest_by_node.get(node.node_id)
+        if known is None or slot.start < known:
+            earliest_by_node[node.node_id] = slot.start
+    if len(earliest_by_node) < request.node_count:
+        return None
+    return sorted(earliest_by_node.values())[request.node_count - 1]
+
+
+class PlacementPolicy:
+    """Interface: order the live shards for one job, best first."""
+
+    name: str = "abstract"
+
+    def order(self, job: Job, shards: Sequence["Shard"]) -> list["Shard"]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+
+class HashPolicy(PlacementPolicy):
+    """Deterministic id-based placement with rotation fallback.
+
+    The primary shard is ``crc32(job_id) mod n`` over the live shards;
+    on rejection the next shards are tried in rotation, so the fallback
+    order is as deterministic as the primary choice.
+    """
+
+    name = "hash"
+
+    def order(self, job: Job, shards: Sequence["Shard"]) -> list["Shard"]:
+        if not shards:
+            return []
+        primary = stable_hash(job.job_id) % len(shards)
+        return [shards[(primary + step) % len(shards)] for step in range(len(shards))]
+
+
+class LeastLoadedPolicy(PlacementPolicy):
+    """Join the shortest backlog (queued + active), shard id tie-break."""
+
+    name = "least-loaded"
+
+    def order(self, job: Job, shards: Sequence["Shard"]) -> list["Shard"]:
+        return sorted(
+            shards,
+            key=lambda shard: (
+                shard.broker.queue_depth + shard.broker.active_count,
+                shard.shard_id,
+            ),
+        )
+
+
+class CriterionAwarePolicy(PlacementPolicy):
+    """Route by a per-shard fit estimate under the VO criterion.
+
+    Cost-like criteria rank shards by the cheapest-window lower bound;
+    time-like criteria by the earliest-fit bound.  Shards where the
+    estimate finds no fit at all come last (still tried — the bound can
+    be stale by one cycle), ordered by shard id.
+    """
+
+    name = "criterion"
+
+    _COST_LIKE = frozenset(
+        {Criterion.COST, Criterion.PROCESSOR_TIME, Criterion.ENERGY}
+    )
+
+    def __init__(self, criterion: Criterion):
+        self.criterion = criterion
+
+    def _estimate(self, job: Job, pool: SlotPool) -> Optional[float]:
+        if self.criterion in self._COST_LIKE:
+            return cheapest_feasible_cost(job.request, pool)
+        return earliest_fit_estimate(job.request, pool)
+
+    def order(self, job: Job, shards: Sequence["Shard"]) -> list["Shard"]:
+        scored: list[tuple[float, int, "Shard"]] = []
+        hopeless: list["Shard"] = []
+        for shard in shards:
+            estimate = self._estimate(job, shard.broker.pool)
+            if estimate is None:
+                hopeless.append(shard)
+            else:
+                scored.append((estimate, shard.shard_id, shard))
+        scored.sort(key=lambda item: (item[0], item[1]))
+        hopeless.sort(key=lambda shard: shard.shard_id)
+        return [shard for _, _, shard in scored] + hopeless
+
+
+def make_policy(name: str, criterion: Criterion) -> PlacementPolicy:
+    """Instantiate a policy by its configuration name."""
+    if name == "hash":
+        return HashPolicy()
+    if name == "least-loaded":
+        return LeastLoadedPolicy()
+    if name == "criterion":
+        return CriterionAwarePolicy(criterion)
+    raise ConfigurationError(f"unknown placement policy {name!r}")

@@ -1,0 +1,379 @@
+"""Conservation laws for merged federation traces.
+
+A federation trace interleaves two tiers: shard-broker events (tagged
+with a ``shard_id`` payload field by
+:class:`~repro.federation.sharding.ShardTagSink`) and the intake tier's
+own events (SUBMITTED/ROUTED/COALLOCATED/REJECTED/DROPPED/RETIRED/
+REVOKED/SHARD_LOST, no ``shard_id``).  Feeding that merged stream to a
+plain :class:`~repro.service.tracing.TraceValidator` would trip every
+single-broker invariant — interleaved cycles, per-shard sequence
+restarts, federation-only event types — so this validator *demultiplexes*
+first: each shard's sub-stream replays through its own single-broker
+validator (every per-shard law still holds shard-locally), while the
+federation events drive an intake-level state machine and ledger.
+
+Federation-level laws (:meth:`FederationTraceValidator.check`):
+
+* every per-shard sub-trace passes the single-broker validator (dead
+  shards are exempt from the drained checks);
+* ``ROUTED`` events == the sum of shard-level admissions — the
+  "admitted = sum of shard outcomes" law: every routing landed exactly
+  one shard admission and vice versa;
+* every submission reached a verdict (no job stuck in ``submitted``)
+  and every shard-loss displacement resolved (none stuck ``displaced``);
+* co-allocation ledger: released + forfeited node-seconds never exceed
+  committed, and with ``expect_drained`` they balance exactly — the
+  "rollback forfeits zero committed node-seconds" acceptance criterion.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Optional
+
+from repro.model.slot import TIME_EPSILON
+from repro.service.events import Event, EventSink, EventType, load_trace
+from repro.service.tracing import TraceInvariantError, TraceValidator
+
+
+class FedJobState(enum.Enum):
+    """Intake-tier view of a job's placement."""
+
+    SUBMITTED = "submitted"  #: offered to the federation, verdict pending
+    ROUTED = "routed"  #: owned by one shard broker (its machine takes over)
+    COALLOCATED = "coallocated"  #: holds a committed cross-shard window
+    DISPLACED = "displaced"  #: lost its co-allocation to a shard death
+    REJECTED = "rejected"  #: turned away at the federation door
+    DROPPED = "dropped"  #: displaced and not re-routable
+    RETIRED = "retired"  #: cross-shard window completed
+
+    @property
+    def terminal(self) -> bool:
+        return self in _TERMINAL
+
+
+_TERMINAL = frozenset(
+    {FedJobState.REJECTED, FedJobState.DROPPED, FedJobState.RETIRED}
+)
+
+#: Intake-tier transitions.  ROUTED -> ROUTED is a shard-loss re-route;
+#: ROUTED/DISPLACED -> COALLOCATED is the re-route falling back to the
+#: cross-shard path; COALLOCATED -> DISPLACED (via REVOKED) is a shard
+#: death tearing the window down.
+_FED_TRANSITIONS: dict[
+    EventType, tuple[tuple[Optional[FedJobState], FedJobState], ...]
+] = {
+    EventType.ROUTED: (
+        (FedJobState.SUBMITTED, FedJobState.ROUTED),
+        (FedJobState.ROUTED, FedJobState.ROUTED),
+        (FedJobState.DISPLACED, FedJobState.ROUTED),
+    ),
+    EventType.COALLOCATED: (
+        (FedJobState.SUBMITTED, FedJobState.COALLOCATED),
+        (FedJobState.ROUTED, FedJobState.COALLOCATED),
+        (FedJobState.DISPLACED, FedJobState.COALLOCATED),
+    ),
+    EventType.REJECTED: ((FedJobState.SUBMITTED, FedJobState.REJECTED),),
+    EventType.DROPPED: (
+        (FedJobState.ROUTED, FedJobState.DROPPED),
+        (FedJobState.DISPLACED, FedJobState.DROPPED),
+    ),
+    EventType.RETIRED: ((FedJobState.COALLOCATED, FedJobState.RETIRED),),
+    EventType.REVOKED: ((FedJobState.COALLOCATED, FedJobState.DISPLACED),),
+}
+
+
+class FederationTraceValidator(EventSink):
+    """Demultiplexes a merged trace and checks both tiers' laws."""
+
+    def __init__(self) -> None:
+        self.violations: list[str] = []
+        self.shard_validators: dict[int, TraceValidator] = {}
+        self.dead_shards: set[int] = set()
+        self.counts: dict[EventType, int] = {t: 0 for t in EventType}
+        self._states: dict[str, FedJobState] = {}
+        #: Prior state stashed when an in-flight id is resubmitted; the
+        #: only legal follow-up is an immediate duplicate REJECTED, which
+        #: restores it.
+        self._dup_pending: dict[str, FedJobState] = {}
+        self._coalloc_committed = 0.0
+        self._coalloc_released = 0.0
+        self._coalloc_forfeited = 0.0
+        self.events_seen = 0
+
+    # ------------------------------------------------------------------
+    # Streaming interface
+    # ------------------------------------------------------------------
+    def emit(self, event: Event) -> None:
+        """EventSink interface: validate as the federation runs."""
+        self.observe(event)
+
+    def observe(self, event: Event) -> None:
+        """Demultiplex one event to its shard machine or the fed machine."""
+        self.events_seen += 1
+        shard_id = event.fields.get("shard_id")
+        if shard_id is not None:
+            validator = self.shard_validators.get(shard_id)
+            if validator is None:
+                validator = self.shard_validators[shard_id] = TraceValidator()
+            validator.observe(event)
+            return
+        self.counts[event.type] = self.counts.get(event.type, 0) + 1
+        self._observe_federation(event)
+
+    def observe_all(self, events: Iterable[Event]) -> "FederationTraceValidator":
+        """Feed a whole event sequence; returns ``self`` for chaining."""
+        for event in events:
+            self.observe(event)
+        return self
+
+    # ------------------------------------------------------------------
+    # The intake-tier machine
+    # ------------------------------------------------------------------
+    def _violate(self, event: Optional[Event], message: str) -> None:
+        prefix = f"event {event.seq} ({event.type.value}): " if event else ""
+        self.violations.append(prefix + message)
+
+    def _observe_federation(self, event: Event) -> None:
+        if event.type is EventType.SHARD_LOST:
+            shard = event.fields.get("shard")
+            if not isinstance(shard, int):
+                self._violate(event, "shard_lost carries no integer 'shard'")
+            elif shard in self.dead_shards:
+                self._violate(event, f"shard {shard} lost twice")
+            else:
+                self.dead_shards.add(shard)
+            return
+        job_id = event.job_id
+        if job_id is None:
+            self._violate(event, "federation event without a job id")
+            return
+        if event.type is EventType.SUBMITTED:
+            self._on_submitted(event, job_id)
+            return
+        pending = self._dup_pending.pop(job_id, None)
+        if pending is not None:
+            # A duplicate submission may only be REJECTED; the stashed
+            # in-flight state survives the episode untouched.
+            if event.type is EventType.REJECTED:
+                self._states[job_id] = pending
+                return
+            self._violate(
+                event,
+                f"job {job_id!r} resubmitted while in flight was not "
+                "immediately rejected",
+            )
+            self._states[job_id] = pending
+        state = self._states.get(job_id)
+        allowed = _FED_TRANSITIONS.get(event.type)
+        if allowed is None:
+            self._violate(
+                event,
+                f"event type {event.type.value!r} is not part of the "
+                "federation intake taxonomy",
+            )
+            return
+        for source, target in allowed:
+            if state is source:
+                self._states[job_id] = target
+                break
+        else:
+            have = "never seen" if state is None else state.value
+            self._violate(
+                event,
+                f"illegal federation transition for job {job_id!r}: "
+                f"{event.type.value} while {have}",
+            )
+            return
+        if event.type is EventType.COALLOCATED:
+            self._on_coallocated(event)
+        elif event.type is EventType.RETIRED:
+            self._add_ledger(event, "released_node_seconds", "released")
+        elif event.type is EventType.REVOKED:
+            self._add_ledger(event, "node_seconds", "forfeited")
+            self._add_ledger(event, "released_node_seconds", "released")
+
+    def _on_submitted(self, event: Event, job_id: str) -> None:
+        state = self._states.get(job_id)
+        if state is not None and not state.terminal:
+            self._dup_pending[job_id] = state
+        self._states[job_id] = FedJobState.SUBMITTED
+
+    def _on_coallocated(self, event: Event) -> None:
+        node_seconds = event.fields.get("node_seconds")
+        if not isinstance(node_seconds, (int, float)) or node_seconds < 0:
+            self._violate(
+                event, "coallocated event without valid 'node_seconds'"
+            )
+            return
+        self._coalloc_committed += float(node_seconds)
+        shards = event.fields.get("shards")
+        if isinstance(shards, (list, tuple)) and self.dead_shards.intersection(
+            shards
+        ):
+            self._violate(
+                event,
+                f"co-allocation uses dead shard(s) "
+                f"{sorted(self.dead_shards.intersection(shards))}",
+            )
+
+    def _add_ledger(self, event: Event, field: str, kind: str) -> None:
+        value = event.fields.get(field)
+        if not isinstance(value, (int, float)) or value < 0:
+            self._violate(event, f"{event.type.value} without valid {field!r}")
+            return
+        if kind == "released":
+            self._coalloc_released += float(value)
+        else:
+            self._coalloc_forfeited += float(value)
+        if (
+            self._coalloc_released + self._coalloc_forfeited
+            > self._coalloc_committed + TIME_EPSILON
+        ):
+            self._violate(
+                event,
+                f"co-allocation released ({self._coalloc_released}) + "
+                f"forfeited ({self._coalloc_forfeited}) node-seconds exceed "
+                f"committed ({self._coalloc_committed})",
+            )
+
+    # ------------------------------------------------------------------
+    # Terminal accounting
+    # ------------------------------------------------------------------
+    @property
+    def coalloc_committed_node_seconds(self) -> float:
+        return self._coalloc_committed
+
+    @property
+    def coalloc_released_node_seconds(self) -> float:
+        return self._coalloc_released
+
+    @property
+    def coalloc_forfeited_node_seconds(self) -> float:
+        return self._coalloc_forfeited
+
+    def job_states(self) -> dict[str, FedJobState]:
+        """Snapshot of the intake machine (for tests and tooling)."""
+        return dict(self._states)
+
+    def _tally(self) -> dict[FedJobState, int]:
+        tally = {state: 0 for state in FedJobState}
+        for state in self._states.values():
+            tally[state] += 1
+        return tally
+
+    def check(self, expect_drained: bool = False) -> "FederationTraceValidator":
+        """Run both tiers' end-of-trace laws; raises on any failure.
+
+        ``expect_drained`` requires every *live* shard's sub-trace to be
+        drained and the co-allocation ledger to balance exactly; dead
+        shards are checked without the drained laws (their abandoned
+        windows are accounted as forfeits, not leaks).
+        """
+        failures = list(self.violations)
+        shard_admitted = 0
+        for shard_id in sorted(self.shard_validators):
+            validator = self.shard_validators[shard_id]
+            shard_admitted += validator.counts[EventType.ADMITTED]
+            try:
+                validator.check(
+                    expect_drained=expect_drained
+                    and shard_id not in self.dead_shards
+                )
+            except TraceInvariantError as error:
+                failures.append(f"shard {shard_id}: {error}")
+        routed = self.counts[EventType.ROUTED]
+        if routed != shard_admitted:
+            failures.append(
+                f"routing events ({routed}) != shard admissions "
+                f"({shard_admitted}): a routing verdict and its shard "
+                "admission came apart"
+            )
+        tally = self._tally()
+        if tally[FedJobState.SUBMITTED]:
+            failures.append(
+                f"{tally[FedJobState.SUBMITTED]} submission(s) never reached "
+                "a routing verdict"
+            )
+        if tally[FedJobState.DISPLACED]:
+            failures.append(
+                f"{tally[FedJobState.DISPLACED]} displaced job(s) were "
+                "neither re-routed nor dropped"
+            )
+        if self._dup_pending:
+            failures.append(
+                f"{len(self._dup_pending)} duplicate submission(s) never "
+                "resolved"
+            )
+        if (
+            self._coalloc_released + self._coalloc_forfeited
+            > self._coalloc_committed + TIME_EPSILON
+        ):
+            failures.append(
+                f"co-allocation released ({self._coalloc_released}) + "
+                f"forfeited ({self._coalloc_forfeited}) node-seconds exceed "
+                f"committed ({self._coalloc_committed})"
+            )
+        if expect_drained:
+            if tally[FedJobState.COALLOCATED]:
+                failures.append(
+                    f"trace claims a drained federation but "
+                    f"{tally[FedJobState.COALLOCATED]} co-allocation(s) are "
+                    "still active"
+                )
+            balance = self._coalloc_committed - (
+                self._coalloc_released + self._coalloc_forfeited
+            )
+            if abs(balance) > TIME_EPSILON:
+                failures.append(
+                    f"drained federation leaks {balance} committed "
+                    "co-allocation node-seconds (released + forfeited != "
+                    "committed)"
+                )
+        if failures:
+            raise TraceInvariantError(
+                "federation trace violates invariants:\n  "
+                + "\n  ".join(failures)
+            )
+        return self
+
+    def summary(self) -> dict[str, object]:
+        """Counter view of the replay (CLI output and CI logs)."""
+        tally = self._tally()
+        return {
+            "events": self.events_seen,
+            "submitted": self.counts[EventType.SUBMITTED],
+            "routed": self.counts[EventType.ROUTED],
+            "coallocated": self.counts[EventType.COALLOCATED],
+            "rejected": self.counts[EventType.REJECTED],
+            "dropped": self.counts[EventType.DROPPED],
+            "retired": self.counts[EventType.RETIRED],
+            "shard_losses": self.counts[EventType.SHARD_LOST],
+            "shards": {
+                shard_id: validator.summary()
+                for shard_id, validator in sorted(
+                    self.shard_validators.items()
+                )
+            },
+            "dead_shards": sorted(self.dead_shards),
+            "coalloc_committed_node_seconds": round(
+                self._coalloc_committed, 6
+            ),
+            "coalloc_released_node_seconds": round(self._coalloc_released, 6),
+            "coalloc_forfeited_node_seconds": round(
+                self._coalloc_forfeited, 6
+            ),
+            "jobs_routed_live": tally[FedJobState.ROUTED],
+            "violations": len(self.violations),
+        }
+
+
+def validate_federation_trace_file(
+    path: str, expect_drained: bool = False
+) -> FederationTraceValidator:
+    """Load a merged JSONL trace and run the full two-tier validation."""
+    return (
+        FederationTraceValidator()
+        .observe_all(load_trace(path))
+        .check(expect_drained=expect_drained)
+    )

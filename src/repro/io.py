@@ -20,6 +20,7 @@ from repro.environment.generator import Environment, EnvironmentConfig
 from repro.environment.load import LoadModel
 from repro.environment.pricing import MarketPricing
 from repro.model.errors import ModelError
+from repro.model.job import Job, ResourceRequest
 from repro.model.resource import CpuNode, NodeSpec
 from repro.model.slot import Slot
 from repro.model.timeline import Timeline
@@ -125,6 +126,91 @@ def environment_from_dict(data: dict[str, Any]) -> Environment:
             timeline.add_busy(float(start), float(end))
         timelines[node.node_id] = timeline
     return Environment(config=config, nodes=nodes, timelines=timelines)
+
+
+# ----------------------------------------------------------------------
+# Jobs
+# ----------------------------------------------------------------------
+def job_to_dict(job: Job) -> dict[str, Any]:
+    """Plain-JSON form of a job (the federation wire format).
+
+    Optional request fields at their defaults are omitted, so the frames
+    the protocol ships stay small for typical jobs.
+    """
+    request = job.request
+    payload: dict[str, Any] = {
+        "job_id": job.job_id,
+        "request": {
+            "node_count": request.node_count,
+            "reservation_time": request.reservation_time,
+        },
+    }
+    fields = payload["request"]
+    if request.budget is not None:
+        fields["budget"] = request.budget
+    if request.max_price_per_unit is not None:
+        fields["max_price_per_unit"] = request.max_price_per_unit
+    if request.reference_performance != 1.0:
+        fields["reference_performance"] = request.reference_performance
+    if request.min_performance:
+        fields["min_performance"] = request.min_performance
+    if request.min_clock_speed:
+        fields["min_clock_speed"] = request.min_clock_speed
+    if request.min_ram:
+        fields["min_ram"] = request.min_ram
+    if request.min_disk:
+        fields["min_disk"] = request.min_disk
+    if request.required_os is not None:
+        fields["required_os"] = request.required_os
+    if request.deadline is not None:
+        fields["deadline"] = request.deadline
+    if job.priority:
+        payload["priority"] = job.priority
+    if job.owner != "anonymous":
+        payload["owner"] = job.owner
+    return payload
+
+
+def job_from_dict(data: dict[str, Any]) -> Job:
+    """Inverse of :func:`job_to_dict`.
+
+    Malformed payloads surface as :class:`ModelError` naming the missing
+    field, so the server can turn a bad frame into an error response
+    instead of a traceback.
+    """
+    try:
+        raw = data["request"]
+        request = ResourceRequest(
+            node_count=int(raw["node_count"]),
+            reservation_time=float(raw["reservation_time"]),
+            budget=None if raw.get("budget") is None else float(raw["budget"]),
+            max_price_per_unit=(
+                None
+                if raw.get("max_price_per_unit") is None
+                else float(raw["max_price_per_unit"])
+            ),
+            reference_performance=float(raw.get("reference_performance", 1.0)),
+            min_performance=float(raw.get("min_performance", 0.0)),
+            min_clock_speed=float(raw.get("min_clock_speed", 0.0)),
+            min_ram=int(raw.get("min_ram", 0)),
+            min_disk=int(raw.get("min_disk", 0)),
+            required_os=(
+                None
+                if raw.get("required_os") is None
+                else str(raw["required_os"])
+            ),
+            deadline=(
+                None if raw.get("deadline") is None else float(raw["deadline"])
+            ),
+        )
+        return Job(
+            job_id=str(data["job_id"]),
+            request=request,
+            priority=int(data.get("priority", 0)),
+            owner=str(data.get("owner", "anonymous")),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ModelError(f"malformed job payload: {error!r}") from None
 
 
 # ----------------------------------------------------------------------

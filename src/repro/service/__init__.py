@@ -53,6 +53,7 @@ from repro.service.resilience.policies import (
     ReplanPolicy,
     RevocationContext,
 )
+from repro.service.signals import graceful_interrupt
 from repro.service.stats import (
     LatencyTracker,
     ServiceStats,
@@ -82,6 +83,7 @@ __all__ = [
     "EventEmitter",
     "EventSink",
     "EventType",
+    "graceful_interrupt",
     "JobLifecycle",
     "JsonlSink",
     "LatencyTracker",

@@ -177,6 +177,59 @@ class BrokerService:
         """The resilience manager, or ``None`` when the layer is off."""
         return self._resilience
 
+    @property
+    def is_idle(self) -> bool:
+        """No queued jobs, no active windows, no pending retries."""
+        with self._lock:
+            pending = (
+                self._resilience.pending_retries
+                if self._resilience is not None
+                else 0
+            )
+            return (
+                self._queue.depth == 0
+                and self._lifecycle.active_count == 0
+                and pending == 0
+            )
+
+    def next_event_time(self) -> Optional[float]:
+        """Earliest virtual time at which this broker has work to do.
+
+        The minimum over the cycle trigger's next fire time, the next
+        job completion, and the next retry wake-up; ``None`` when idle.
+        A federation stepping several shard brokers on one shared clock
+        uses this to advance in lockstep without skipping any shard's
+        due cycle or retirement.
+        """
+        with self._lock:
+            candidates: list[float] = []
+            fire = self._trigger.next_fire_time(self._queue, self._now)
+            if fire is not None:
+                candidates.append(fire)
+            completion = self._lifecycle.next_completion()
+            if completion is not None:
+                candidates.append(completion)
+            if self._resilience is not None:
+                wake = self._resilience.next_wakeup()
+                if wake is not None:
+                    candidates.append(wake)
+            if not candidates:
+                return None
+            return max(self._now, min(candidates))
+
+    def in_flight_ids(self) -> set[str]:
+        """Ids of every job the broker currently owns in any form.
+
+        Queued, actively holding a window, or waiting out a replan
+        backoff — the set admission checks duplicates against, exposed
+        so a federation can run the same check across shards.
+        """
+        with self._lock:
+            known = self._queue.job_ids() | self._lifecycle.active_ids()
+            if self._resilience is not None:
+                known |= self._resilience.pending_ids()
+            return known
+
     # ------------------------------------------------------------------
     # Intake
     # ------------------------------------------------------------------
@@ -192,11 +245,10 @@ class BrokerService:
         with self._lock:
             self.stats.submitted += 1
             self.events.emit(EventType.SUBMITTED, job_id=job.job_id)
-            known = self._queue.job_ids() | self._lifecycle.active_ids()
-            if self._resilience is not None:
-                # A replanned job waiting out its backoff is still in
-                # flight: resubmitting its id would fork the job.
-                known |= self._resilience.pending_ids()
+            # A replanned job waiting out its backoff is still in flight:
+            # resubmitting its id would fork the job, so in_flight_ids
+            # includes the retry buffer.
+            known = self.in_flight_ids()
             decision = self._admission.evaluate(
                 job,
                 self.pool,
@@ -212,6 +264,96 @@ class BrokerService:
                 self.stats.record_rejection(decision.reason.value)
             self.stats.queue_depth = self._queue.depth
             return decision
+
+    def cancel(self, job_id: str) -> bool:
+        """Withdraw a *queued* job; returns whether anything was removed.
+
+        Only pending (queued, not yet scheduled) jobs can be cancelled —
+        a scheduled job's window is committed on the pool and runs to
+        retirement.  The cancelled job is traced as DROPPED with cause
+        ``cancelled`` so the conservation laws still see a terminal state.
+        """
+        with self._lock:
+            removed = self._queue.remove(job_id)
+            if removed is None:
+                return False
+            self.stats.dropped += 1
+            self.stats.queue_depth = self._queue.depth
+            self.events.emit(
+                EventType.DROPPED,
+                job_id=job_id,
+                cause="cancelled",
+                deferrals=removed.deferrals,
+            )
+            if self._resilience is not None:
+                self._resilience.forget(job_id)
+            return True
+
+    def evacuate(self, cause: str = "shard_lost") -> list[Job]:
+        """Empty the broker for teardown; returns every in-flight job.
+
+        The shard-death path of the federation: queued jobs and buffered
+        retries are DROPPED (cause ``cause``), and every active window is
+        REVOKED in full and then ABANDONED — its node-seconds are
+        forfeited, never released, because the pool underneath is gone.
+        The returned jobs (intake order: queued, retry-buffered, then
+        active by window start) are the candidates the caller may
+        re-route elsewhere.  The worker pool is closed; the broker stays
+        structurally usable but owns no work afterwards.
+        """
+        with self._lock:
+            evacuated: list[Job] = []
+            while self._queue.depth > 0:
+                for item in self._queue.pop_batch(self._queue.depth):
+                    self.stats.dropped += 1
+                    self.events.emit(
+                        EventType.DROPPED,
+                        job_id=item.job.job_id,
+                        cause=cause,
+                        deferrals=item.deferrals,
+                    )
+                    if self._resilience is not None:
+                        self._resilience.forget(item.job.job_id)
+                    evacuated.append(item.job)
+            if self._resilience is not None:
+                for job in self._resilience.drain_pending():
+                    self.stats.dropped += 1
+                    self.events.emit(
+                        EventType.DROPPED,
+                        job_id=job.job_id,
+                        cause=cause,
+                        deferrals=0,
+                    )
+                    evacuated.append(job)
+            for entry in self._lifecycle.entries():
+                window = entry.window
+                node_seconds = window.processor_time
+                self.events.emit(
+                    EventType.REVOKED,
+                    job_id=entry.job.job_id,
+                    cause=cause,
+                    nodes=window.nodes(),
+                    node_seconds=node_seconds,
+                )
+                self.events.emit(
+                    EventType.ABANDONED,
+                    job_id=entry.job.job_id,
+                    cause=cause,
+                    released_node_seconds=0.0,
+                )
+                self.stats.revocations += 1
+                self.stats.legs_revoked += len(window.slots)
+                self.stats.abandoned += 1
+                self.stats.forfeited_node_seconds += node_seconds
+                self._lifecycle.cancel(entry.job.job_id)
+                self.assignments.pop(entry.job.job_id, None)
+                if self._resilience is not None:
+                    self._resilience.forget(entry.job.job_id)
+                evacuated.append(entry.job)
+            self.stats.queue_depth = 0
+            self.stats.active_jobs = 0
+            self.close()
+            return evacuated
 
     # ------------------------------------------------------------------
     # Clock driving

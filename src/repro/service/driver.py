@@ -103,10 +103,10 @@ def run_service_trace(
     generator = JobGenerator(seed=config.seed)
     started = perf_counter()
     try:
-        service.process(generator.iter_arrivals(config.jobs, rate=config.rate))
+        with service:
+            service.process(generator.iter_arrivals(config.jobs, rate=config.rate))
         elapsed = perf_counter() - started
     finally:
-        service.close()
         service.events.close()
     if validator is not None:
         validator.check(expect_drained=True)

@@ -60,6 +60,12 @@ class EventType(enum.Enum):
     REPAIRED = "repaired"  #: revoked legs replaced at the same start time
     REPLANNED = "replanned"  #: window cancelled, job re-queued with backoff
     ABANDONED = "abandoned"  #: recovery gave up (budget/deadline/retries)
+    # --- federation-level events (intake tier, never emitted by a broker;
+    # shard-broker events in a federation trace instead carry a
+    # ``shard_id`` payload field) ---
+    ROUTED = "routed"  #: the intake tier placed a job on a shard (``shard``)
+    COALLOCATED = "coallocated"  #: a window was composed across shards
+    SHARD_LOST = "shard_lost"  #: a shard died; its in-flight jobs evacuated
 
 
 @dataclass(frozen=True)
@@ -298,6 +304,35 @@ class EventEmitter:
         for sink in self._sinks:
             sink.emit(event)
         return event
+
+    def ingest(self, event: Event, **extra: object) -> Optional[Event]:
+        """Re-stamp a foreign event onto this emitter's sequence.
+
+        The federation tier merges several shard brokers' streams into one
+        trace: each shard event keeps its own virtual ``time`` (the shard
+        clocks advance independently between synchronisation points) but is
+        re-sequenced through the shared counter, and ``extra`` payload
+        fields — typically ``shard_id`` — are merged in, so the combined
+        stream has unique, totally ordered sequence numbers.
+        """
+        if not self._sinks:
+            return None
+        bad = RESERVED_KEYS.intersection(extra)
+        if bad:
+            raise ValueError(f"event fields shadow the envelope: {sorted(bad)}")
+        fields = dict(event.fields)
+        fields.update(extra)
+        stamped = Event(
+            seq=self._seq,
+            type=event.type,
+            time=event.time,
+            job_id=event.job_id,
+            fields=fields,
+        )
+        self._seq += 1
+        for sink in self._sinks:
+            sink.emit(stamped)
+        return stamped
 
     def close(self) -> None:
         """Close every attached sink."""

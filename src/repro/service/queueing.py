@@ -96,6 +96,18 @@ class BoundedJobQueue:
         )
         return True
 
+    def remove(self, job_id: str) -> Optional[QueuedJob]:
+        """Remove one pending job by id; ``None`` when not queued.
+
+        O(n) scan — cancellation is rare next to the O(1) hot path, and
+        the FIFO ordering of everything else is preserved untouched.
+        """
+        for index, item in enumerate(self._items):
+            if item.job.job_id == job_id:
+                del self._items[index]
+                return item
+        return None
+
     def pop_batch(self, limit: int) -> list[QueuedJob]:
         """Remove and return up to ``limit`` jobs in FIFO order."""
         if limit < 1:

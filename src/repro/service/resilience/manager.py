@@ -129,6 +129,21 @@ class ResilienceManager:
                 self.forget(job.job_id)
         return released
 
+    def drain_pending(self) -> list[Job]:
+        """Empty the retry buffer without re-enqueueing (shard teardown).
+
+        Returns the waiting jobs in ready-time order and forgets their
+        recovery state — the caller (a federation evacuating a dead
+        shard) decides their fate and emits the events.
+        """
+        drained: list[Job] = []
+        while self._retry_heap:
+            _, _, job = heapq.heappop(self._retry_heap)
+            self._retry_ids.discard(job.job_id)
+            self.forget(job.job_id)
+            drained.append(job)
+        return drained
+
     def on_scheduled(self, job_id: str, now: float) -> None:
         """Note that a previously revoked job landed a new window."""
         revoked_at = self._revoked_at.pop(job_id, None)

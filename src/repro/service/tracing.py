@@ -194,7 +194,19 @@ class TraceValidator(EventSink):
             self._violate(event, "job event without a job id")
             return
         state = self._states.get(job_id)
-        allowed = _TRANSITIONS[event.type]
+        allowed = _TRANSITIONS.get(event.type)
+        if allowed is None:
+            # Federation-level event types (routed, coallocated, ...) are
+            # not part of the single-broker taxonomy; seeing one here means
+            # a federation trace was fed to the per-shard validator
+            # undemultiplexed (use FederationTraceValidator instead).
+            self._violate(
+                event,
+                f"event type {event.type.value!r} is not part of the "
+                "single-broker taxonomy (demultiplex federation traces "
+                "through FederationTraceValidator)",
+            )
+            return
         for source, target in allowed:
             if state is source:
                 self._states[job_id] = target
@@ -382,6 +394,14 @@ class TraceValidator(EventSink):
             for job_id, state in self._states.items()
             if state is JobState.PENDING
         }
+
+    def job_states(self) -> dict[str, JobState]:
+        """A snapshot of every observed job's reconstructed state.
+
+        The federation validator cross-checks its intake-level ledger
+        against the per-shard machines through this view.
+        """
+        return dict(self._states)
 
     @property
     def committed_node_seconds(self) -> float:

@@ -1,0 +1,147 @@
+"""Cross-shard co-allocation: two-phase commit, rollback, shard death.
+
+The headline law: a failed commit — or a shard death mid-flight — never
+leaks node-seconds.  Every committed leg is either released back to a
+live pool or explicitly accounted as forfeited.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.federation.coallocation import CoAllocator
+from repro.model import Job, ResourceRequest, SlotPool
+from repro.model.errors import AllocationError
+from repro.model.window import Window
+from repro.service.config import ServiceConfig
+from tests.conftest import make_slot
+
+
+def two_node_pool(first_id: int) -> SlotPool:
+    return SlotPool.from_slots(
+        [make_slot(first_id, 0.0, 100.0), make_slot(first_id + 1, 0.0, 100.0)]
+    )
+
+
+def wide_job(job_id="job-wide", node_count=3, budget=1000.0) -> Job:
+    return Job(
+        job_id=job_id,
+        request=ResourceRequest(
+            node_count=node_count, reservation_time=20.0, budget=budget
+        ),
+    )
+
+
+class FailingCommitPool(SlotPool):
+    """A pool whose commit always fails — forces the rollback path."""
+
+    def commit_window(self, window: Window, mode: str = "split") -> None:
+        raise AllocationError("injected commit failure")
+
+
+class TestTryPlace:
+    def test_spans_shards_when_no_single_shard_fits(self):
+        pools = {0: two_node_pool(0), 1: two_node_pool(2)}
+        before = {i: p.total_free_time() for i, p in pools.items()}
+        allocator = CoAllocator(ServiceConfig())
+        entry = allocator.try_place(wide_job(), pools, now=0.0)
+        assert entry is not None
+        assert len(entry.shard_ids) == 2
+        assert allocator.active_count == 1
+        # Every leg's node-seconds actually left its shard's pool.
+        for shard_id, window in entry.legs.items():
+            assert pools[shard_id].total_free_time() == pytest.approx(
+                before[shard_id] - window.processor_time
+            )
+        assert entry.committed_node_seconds == pytest.approx(
+            sum(w.processor_time for w in entry.legs.values())
+        )
+
+    def test_infeasible_job_places_nowhere(self):
+        pools = {0: two_node_pool(0), 1: two_node_pool(2)}
+        allocator = CoAllocator(ServiceConfig())
+        assert allocator.try_place(wide_job(node_count=9), pools, 0.0) is None
+        assert allocator.active_count == 0
+
+    def test_empty_pool_mapping(self):
+        allocator = CoAllocator(ServiceConfig())
+        assert allocator.try_place(wide_job(), {}, 0.0) is None
+
+
+class TestRollback:
+    def test_failed_commit_forfeits_zero_node_seconds(self):
+        healthy = two_node_pool(0)
+        poisoned = FailingCommitPool()
+        for slot in two_node_pool(2):
+            poisoned.add(slot, coalesce=False)
+        pools = {0: healthy, 1: poisoned}
+        before = healthy.total_free_time()
+        allocator = CoAllocator(ServiceConfig())
+
+        entry = allocator.try_place(wide_job(), pools, now=0.0)
+
+        # Shard 0 committed first (sorted order), shard 1's commit blew
+        # up — the rollback must have returned shard 0's legs in full.
+        assert entry is None
+        assert allocator.active_count == 0
+        assert healthy.total_free_time() == pytest.approx(before)
+        healthy.assert_disjoint_per_node()
+
+
+class TestLifecycle:
+    def test_release_due_returns_all_legs(self):
+        pools = {0: two_node_pool(0), 1: two_node_pool(2)}
+        before = {i: p.total_free_time() for i, p in pools.items()}
+        allocator = CoAllocator(ServiceConfig())
+        entry = allocator.try_place(wide_job(), pools, now=0.0)
+        assert entry is not None
+
+        assert allocator.release_due(pools, entry.completes_at - 1.0) == []
+        retired = allocator.release_due(pools, entry.completes_at)
+        assert [e.job.job_id for e in retired] == ["job-wide"]
+        assert allocator.active_count == 0
+        for shard_id, pool in pools.items():
+            assert pool.total_free_time() == pytest.approx(before[shard_id])
+            pool.assert_disjoint_per_node()
+
+    def test_next_completion_tracks_earliest(self):
+        pools = {0: two_node_pool(0), 1: two_node_pool(2)}
+        allocator = CoAllocator(ServiceConfig())
+        assert allocator.next_completion() is None
+        entry = allocator.try_place(wide_job(), pools, now=0.0)
+        assert allocator.next_completion() == pytest.approx(entry.completes_at)
+
+
+class TestFailShard:
+    def test_dead_legs_forfeited_survivors_released(self):
+        pools = {0: two_node_pool(0), 1: two_node_pool(2)}
+        before_live = pools[0].total_free_time()
+        allocator = CoAllocator(ServiceConfig())
+        entry = allocator.try_place(wide_job(), pools, now=0.0)
+        assert entry is not None
+        live_leg = entry.legs[0].processor_time
+        dead_leg = entry.legs[1].processor_time
+
+        results = allocator.fail_shard(1, live_pools={0: pools[0]})
+
+        assert len(results) == 1
+        victim, released, forfeited = results[0]
+        assert victim.job.job_id == "job-wide"
+        assert released == pytest.approx(live_leg)
+        assert forfeited == pytest.approx(dead_leg)
+        # The conservation split: released + forfeited == committed.
+        assert released + forfeited == pytest.approx(
+            entry.committed_node_seconds
+        )
+        assert pools[0].total_free_time() == pytest.approx(before_live)
+        assert allocator.active_count == 0
+
+    def test_unrelated_entries_survive(self):
+        pools = {0: two_node_pool(0), 1: two_node_pool(2), 2: two_node_pool(4)}
+        allocator = CoAllocator(ServiceConfig())
+        entry = allocator.try_place(wide_job(node_count=3), pools, now=0.0)
+        assert entry is not None
+        untouched = [i for i in (0, 1, 2) if i not in entry.legs]
+        if untouched:
+            assert allocator.fail_shard(untouched[0], pools) == []
+            assert allocator.active_count == 1

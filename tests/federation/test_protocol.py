@@ -1,0 +1,94 @@
+"""Frame protocol: roundtrips, bounds, and truncation behaviour."""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.federation.protocol import (
+    MAX_FRAME,
+    ProtocolError,
+    decode_payload,
+    encode_frame,
+    read_frame,
+)
+
+
+def read_from_bytes(data: bytes):
+    """Drive read_frame against an in-memory stream."""
+
+    async def _run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(_run())
+
+
+class TestEncode:
+    def test_roundtrip(self):
+        message = {"op": "submit", "job": {"job_id": "j1"}, "at": 1.5}
+        assert read_from_bytes(encode_frame(message)) == message
+
+    def test_frame_layout_is_length_prefixed(self):
+        frame = encode_frame({"op": "ping"})
+        (length,) = struct.unpack("!I", frame[:4])
+        assert length == len(frame) - 4
+        assert decode_payload(frame[4:]) == {"op": "ping"}
+
+    def test_canonical_json_is_deterministic(self):
+        a = encode_frame({"b": 1, "a": 2})
+        b = encode_frame({"a": 2, "b": 1})
+        assert a == b
+
+    def test_oversized_payload_refused(self):
+        with pytest.raises(ProtocolError, match="exceeds MAX_FRAME"):
+            encode_frame({"blob": "x" * MAX_FRAME})
+
+
+class TestRead:
+    def test_clean_eof_returns_none(self):
+        assert read_from_bytes(b"") is None
+
+    def test_partial_header_raises(self):
+        with pytest.raises(ProtocolError, match="mid-header"):
+            read_from_bytes(b"\x00\x00")
+
+    def test_truncated_payload_raises(self):
+        frame = encode_frame({"op": "ping"})
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            read_from_bytes(frame[:-3])
+
+    def test_oversized_declared_length_refused_before_allocation(self):
+        header = struct.pack("!I", MAX_FRAME + 1)
+        with pytest.raises(ProtocolError, match="declared frame length"):
+            read_from_bytes(header)
+
+    def test_non_object_payload_refused(self):
+        payload = b"[1, 2, 3]"
+        frame = struct.pack("!I", len(payload)) + payload
+        with pytest.raises(ProtocolError, match="JSON object"):
+            read_from_bytes(frame)
+
+    def test_undecodable_payload_refused(self):
+        payload = b"\xff\xfe{"
+        frame = struct.pack("!I", len(payload)) + payload
+        with pytest.raises(ProtocolError, match="undecodable"):
+            read_from_bytes(frame)
+
+    def test_back_to_back_frames(self):
+        async def _run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(
+                encode_frame({"n": 1}) + encode_frame({"n": 2})
+            )
+            reader.feed_eof()
+            first = await read_frame(reader)
+            second = await read_frame(reader)
+            third = await read_frame(reader)
+            return first, second, third
+
+        assert asyncio.run(_run()) == ({"n": 1}, {"n": 2}, None)

@@ -1,0 +1,147 @@
+"""Placement policies: deterministic, total, and estimate-driven."""
+
+from __future__ import annotations
+
+import zlib
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import Criterion
+from repro.federation.router import (
+    CriterionAwarePolicy,
+    HashPolicy,
+    LeastLoadedPolicy,
+    earliest_fit_estimate,
+    make_policy,
+    stable_hash,
+)
+from repro.model import Job, ResourceRequest, SlotPool
+from repro.model.errors import ConfigurationError
+from tests.conftest import make_slot
+
+
+def fake_shard(shard_id, pool=None, queue_depth=0, active_count=0):
+    """Shard stand-in: the policies only touch broker stats and pool."""
+    broker = SimpleNamespace(
+        queue_depth=queue_depth, active_count=active_count, pool=pool
+    )
+    return SimpleNamespace(shard_id=shard_id, broker=broker)
+
+
+def job(job_id="job-x", node_count=2, reservation=20.0, budget=1000.0):
+    return Job(
+        job_id=job_id,
+        request=ResourceRequest(
+            node_count=node_count,
+            reservation_time=reservation,
+            budget=budget,
+        ),
+    )
+
+
+class TestStableHash:
+    def test_matches_crc32(self):
+        assert stable_hash("job-1") == zlib.crc32(b"job-1")
+
+    def test_is_process_stable(self):
+        # The exact value is part of the replay contract.
+        assert stable_hash("job-1") == 1279408703
+
+
+class TestHashPolicy:
+    def test_rotation_covers_all_shards(self):
+        shards = [fake_shard(i) for i in range(5)]
+        order = HashPolicy().order(job("job-7"), shards)
+        assert sorted(s.shard_id for s in order) == [0, 1, 2, 3, 4]
+
+    def test_primary_is_crc_modulo(self):
+        shards = [fake_shard(i) for i in range(3)]
+        order = HashPolicy().order(job("job-7"), shards)
+        assert order[0].shard_id == stable_hash("job-7") % 3
+        # ... and the fallback is the rotation from there.
+        expected = [(order[0].shard_id + step) % 3 for step in range(3)]
+        assert [s.shard_id for s in order] == expected
+
+    def test_empty_shard_list(self):
+        assert HashPolicy().order(job(), []) == []
+
+
+class TestLeastLoadedPolicy:
+    def test_orders_by_backlog_then_id(self):
+        shards = [
+            fake_shard(0, queue_depth=3, active_count=1),
+            fake_shard(1, queue_depth=0, active_count=1),
+            fake_shard(2, queue_depth=1, active_count=0),
+        ]
+        order = LeastLoadedPolicy().order(job(), shards)
+        assert [s.shard_id for s in order] == [1, 2, 0]
+
+    def test_tie_breaks_on_shard_id(self):
+        shards = [fake_shard(2), fake_shard(0), fake_shard(1)]
+        order = LeastLoadedPolicy().order(job(), shards)
+        assert [s.shard_id for s in order] == [0, 1, 2]
+
+
+class TestEarliestFitEstimate:
+    def test_nth_earliest_node_start(self):
+        # perf 4 -> a 20-unit task runs 5 time units on either node.
+        pool = SlotPool.from_slots(
+            [make_slot(0, 0.0, 100.0), make_slot(1, 20.0, 100.0)]
+        )
+        estimate = earliest_fit_estimate(job(node_count=2).request, pool)
+        assert estimate == pytest.approx(20.0)
+
+    def test_too_few_nodes_is_none(self):
+        pool = SlotPool.from_slots([make_slot(0, 0.0, 100.0)])
+        assert earliest_fit_estimate(job(node_count=2).request, pool) is None
+
+    def test_short_slots_do_not_count(self):
+        # 1 time unit of free time cannot host a 5-unit task.
+        pool = SlotPool.from_slots(
+            [make_slot(0, 0.0, 100.0), make_slot(1, 0.0, 1.0)]
+        )
+        assert earliest_fit_estimate(job(node_count=2).request, pool) is None
+
+
+class TestCriterionAwarePolicy:
+    def test_time_criterion_prefers_earlier_fit(self):
+        early = SlotPool.from_slots(
+            [make_slot(0, 0.0, 100.0), make_slot(1, 0.0, 100.0)]
+        )
+        late = SlotPool.from_slots(
+            [make_slot(2, 50.0, 100.0), make_slot(3, 50.0, 100.0)]
+        )
+        shards = [fake_shard(0, pool=late), fake_shard(1, pool=early)]
+        order = CriterionAwarePolicy(Criterion.START_TIME).order(job(), shards)
+        assert [s.shard_id for s in order] == [1, 0]
+
+    def test_cost_criterion_prefers_cheaper_shard(self):
+        cheap = SlotPool.from_slots(
+            [make_slot(0, 0.0, 100.0, price=1.0), make_slot(1, 0.0, 100.0, price=1.0)]
+        )
+        dear = SlotPool.from_slots(
+            [make_slot(2, 0.0, 100.0, price=9.0), make_slot(3, 0.0, 100.0, price=9.0)]
+        )
+        shards = [fake_shard(0, pool=dear), fake_shard(1, pool=cheap)]
+        order = CriterionAwarePolicy(Criterion.COST).order(job(), shards)
+        assert [s.shard_id for s in order] == [1, 0]
+
+    def test_hopeless_shards_come_last_not_never(self):
+        fits = SlotPool.from_slots(
+            [make_slot(0, 0.0, 100.0), make_slot(1, 0.0, 100.0)]
+        )
+        hopeless = SlotPool.from_slots([make_slot(2, 0.0, 100.0)])
+        shards = [fake_shard(0, pool=hopeless), fake_shard(1, pool=fits)]
+        order = CriterionAwarePolicy(Criterion.START_TIME).order(job(), shards)
+        assert [s.shard_id for s in order] == [1, 0]
+
+
+class TestMakePolicy:
+    def test_all_names_resolve(self):
+        for name in ("hash", "least-loaded", "criterion"):
+            assert make_policy(name, Criterion.COST).name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("random", Criterion.COST)
