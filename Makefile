@@ -2,8 +2,9 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-full bench-core bench-experiments \
-	bench-resilience bench-federation figures report examples clean
+.PHONY: install test bench bench-full bench-all bench-core bench-service \
+	bench-experiments bench-resilience bench-federation figures report \
+	examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,6 +20,9 @@ bench:
 bench-core:
 	PYTHONPATH=src $(PY) -m repro.cli bench-core -o BENCH_core.json
 
+bench-service:
+	PYTHONPATH=src $(PY) -m repro.cli bench-service -o BENCH_service.json
+
 bench-experiments:
 	PYTHONPATH=src $(PY) -m repro.cli bench-experiments -o BENCH_experiments.json
 
@@ -27,6 +31,12 @@ bench-resilience:
 
 bench-federation:
 	PYTHONPATH=src $(PY) -m repro.cli bench-federation -o BENCH_federation.json
+
+# Regenerate every committed BENCH_*.json in one pass (one slow-ish
+# command per archive; each refuses to record numbers whose invariants
+# do not hold).
+bench-all: bench-core bench-service bench-experiments bench-resilience \
+	bench-federation
 
 # The paper-scale run (hours): 5000 cycles, 1000 reps, full grids.
 bench-full:

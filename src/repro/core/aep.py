@@ -24,6 +24,15 @@ implement ``extract_incremental`` consume the maintained orders directly
 instead of re-sorting the candidates at every step.  The pre-change
 kernel is preserved verbatim in :mod:`repro.core.reference`; property
 tests assert window-for-window identical selection.
+
+On top of that, :func:`aep_scan` first offers each scan to the columnar
+kernel in :mod:`repro.core.vectorized`: when the slots come from a
+:class:`~repro.model.SlotPool` (or an ordered slot list) and the
+extractor is one of the stock strategies, eligibility masks and window
+costs are evaluated on numpy arrays and the object loop is skipped
+entirely.  ``REPRO_SCAN_KERNEL=object`` disables the dispatch;
+``repro.core.vectorized.scan_counters`` records which kernel served
+each scan.
 """
 
 from __future__ import annotations
@@ -33,6 +42,7 @@ from typing import Iterable, Optional, Union
 
 from repro.core.candidates import IncrementalCandidateSet, LegFactory
 from repro.core.extractors import WindowExtractor
+from repro.core.vectorized import UNSUPPORTED, vectorized_scan
 from repro.model.job import Job, ResourceRequest
 from repro.model.slot import TIME_EPSILON, Slot
 from repro.model.window import Window
@@ -120,6 +130,23 @@ def aep_scan(
         extraction attempts; ``None`` when no feasible window exists.
     """
     request = request_of(job)
+    vector = vectorized_scan(request, slots, extractor, stop_at_first=stop_at_first)
+    if vector is not UNSUPPORTED:
+        # The vector kernel replayed this extractor's decisions on the
+        # columnar snapshot; its selection, value and counters are
+        # byte-identical to the object loop below (see the equivalence
+        # suite), so the object scan is skipped entirely.
+        if vector is None:
+            return None
+        return ScanResult(
+            window=vector.window,
+            value=vector.value,
+            steps=vector.steps,
+            slots_scanned=vector.slots_scanned,
+            candidate_peak=vector.candidate_peak,
+            candidate_inserts=vector.candidate_inserts,
+            candidate_expiries=vector.candidate_expiries,
+        )
     n = request.node_count
     deadline = request.deadline
     legs = leg_factory if leg_factory is not None else LegFactory(request)

@@ -16,7 +16,11 @@ from typing import Optional
 
 from repro.core.aep import aep_scan
 from repro.core.algorithms.base import JobLike, SlotSelectionAlgorithm
-from repro.core.extractors import ExactAdditiveExtractor, GreedyAdditiveExtractor
+from repro.core.extractors import (
+    ExactAdditiveExtractor,
+    GreedyAdditiveExtractor,
+    energy_key,
+)
 from repro.model.slotpool import SlotPool
 from repro.model.window import Window
 
@@ -34,8 +38,11 @@ class MinEnergy(SlotSelectionAlgorithm):
     def __init__(self, exact: bool = False) -> None:
         self.exact = exact
         self.name = "MinEnergy-exact" if exact else "MinEnergy"
-        key = lambda ws: ws.energy()  # noqa: E731 - tiny key function
-        self._extractor = ExactAdditiveExtractor(key) if exact else GreedyAdditiveExtractor(key)
+        self._extractor = (
+            ExactAdditiveExtractor(energy_key)
+            if exact
+            else GreedyAdditiveExtractor(energy_key)
+        )
 
     def select(self, job: JobLike, pool: SlotPool) -> Optional[Window]:
         """Best window for ``job`` by this algorithm's criterion (see base class)."""

@@ -21,6 +21,7 @@ from repro.core.extractors import (
     ExactAdditiveExtractor,
     GreedyAdditiveExtractor,
     RandomWindowExtractor,
+    runtime_key,
 )
 from repro.model.slotpool import SlotPool
 from repro.model.window import Window
@@ -57,10 +58,10 @@ class MinProcTime(SlotSelectionAlgorithm):
             self._extractor = RandomWindowExtractor(rng=rng)
         elif exact:
             self.name = "MinProcTime-exact"
-            self._extractor = ExactAdditiveExtractor(key=lambda ws: ws.required_time)
+            self._extractor = ExactAdditiveExtractor(key=runtime_key)
         else:
             self.name = "MinProcTime-opt"
-            self._extractor = GreedyAdditiveExtractor(key=lambda ws: ws.required_time)
+            self._extractor = GreedyAdditiveExtractor(key=runtime_key)
 
     def select(self, job: JobLike, pool: SlotPool) -> Optional[Window]:
         """Best window for ``job`` by this algorithm's criterion (see base class)."""

@@ -55,6 +55,31 @@ from repro.model.window import WindowSlot
 ORACLE_SLACK = 1e-6
 
 
+def _delete_keyed(
+    entries: list[tuple[float, float, int]], key: tuple[float, float, int]
+) -> int:
+    """Delete exactly ``key`` from a sorted key list, returning its index.
+
+    ``bisect_left`` alone may land on a *neighbouring* entry that merely
+    compares equal to ``key`` — IEEE semantics make distinct float keys
+    interchangeable under comparison (``-0.0 == 0.0``), so equal-comparing
+    ``(cost, time)`` pairs from different candidates can sit side by
+    side.  The serial (unique, final tuple component) identifies the one
+    entry that belongs to the expiring candidate; it is verified before
+    anything is deleted, and a miss raises instead of silently removing
+    another candidate's entry.
+    """
+    serial = key[2]
+    index = bisect_left(entries, key)
+    end = len(entries)
+    while index < end and entries[index][2] != serial:
+        index += 1
+    if index == end:
+        raise LookupError(f"candidate entry {key!r} missing from sorted list")
+    del entries[index]
+    return index
+
+
 class LegFactory:
     """Per-(node, request) cache of window-leg characteristics.
 
@@ -160,14 +185,13 @@ class IncrementalCandidateSet:
             _, serial = heappop(heap)
             leg = self._legs.pop(serial)
             key = (leg.cost, leg.required_time, serial)
-            index = bisect_left(self._by_cost, key)
-            del self._by_cost[index]
+            index = _delete_keyed(self._by_cost, key)
             if index < self._n:
                 self._cheap_sum -= leg.cost
                 if len(self._by_cost) >= self._n:
                     self._cheap_sum += self._by_cost[self._n - 1][0]
             time_key = (leg.required_time, leg.cost, serial)
-            del self._by_time[bisect_left(self._by_time, time_key)]
+            _delete_keyed(self._by_time, time_key)
             expired += 1
         if not self._by_cost:
             self._cheap_sum = 0.0  # hard reset: no drift survives emptiness

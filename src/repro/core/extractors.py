@@ -79,6 +79,21 @@ def _budget_of(request: ResourceRequest) -> float:
     return budget
 
 
+def runtime_key(ws: WindowSlot) -> float:
+    """The task duration of a leg — the default additive objective.
+
+    Module-level (rather than a per-instance lambda) so extractor
+    instances survive pickling into worker processes and the vectorized
+    kernel can recognize the objective by identity.
+    """
+    return ws.required_time
+
+
+def energy_key(ws: WindowSlot) -> float:
+    """The energy drawn by a leg (``node.power() * required_time``)."""
+    return ws.energy()
+
+
 def cheapest_subset(
     candidates: Sequence[WindowSlot], n: int, budget: float
 ) -> Optional[list[WindowSlot]]:
@@ -351,7 +366,7 @@ class RandomWindowExtractor:
     def __init__(
         self,
         rng: Optional[np.random.Generator] = None,
-        key: Callable[[WindowSlot], float] = lambda ws: ws.required_time,
+        key: Callable[[WindowSlot], float] = runtime_key,
         attempts: int = 1,
     ):
         self._rng = rng if rng is not None else np.random.default_rng()
@@ -398,13 +413,24 @@ class GreedyAdditiveExtractor:
     bottleneck objective to an additive one.
     """
 
+    #: Objective names the vectorized kernel knows how to precompute as a
+    #: numpy column; anything else forces the object-path fallback.
+    VECTOR_KEYS = ("required_time", "energy")
+
     def __init__(
         self,
-        key: Callable[[WindowSlot], float] = lambda ws: ws.required_time,
+        key: Callable[[WindowSlot], float] = runtime_key,
         max_rounds: int = 64,
+        key_name: Optional[str] = None,
     ):
         self._key = key
         self._max_rounds = max(1, max_rounds)
+        if key_name is None:
+            if key is runtime_key:
+                key_name = "required_time"
+            elif key is energy_key:
+                key_name = "energy"
+        self.key_name = key_name
 
     def extract(
         self,
@@ -491,7 +517,7 @@ class ExactAdditiveExtractor:
     costs (feasibility bound).
     """
 
-    def __init__(self, key: Callable[[WindowSlot], float] = lambda ws: ws.required_time):
+    def __init__(self, key: Callable[[WindowSlot], float] = runtime_key):
         self._key = key
 
     def extract(

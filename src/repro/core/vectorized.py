@@ -1,0 +1,1057 @@
+"""Vectorized AEP scan: numpy precomputation + a primitive event loop.
+
+The object kernel (:func:`repro.core.aep.aep_scan` over an
+:class:`~repro.core.candidates.IncrementalCandidateSet`) is already
+linear in the number of slots, but every one of its constant-factor
+steps — hardware matching, leg construction, ``fits_from``, expiry
+bookkeeping, per-step feasibility — touches Python objects.  This module
+removes the objects from the hot path while reproducing the object
+kernel's decisions *byte for byte*:
+
+1. **Columnar scan plan** (numpy, O(m), cached): per-request node
+   matching, task runtimes, leg costs, expiry times and insertability
+   are computed for the whole slot list with column arithmetic on a
+   :class:`~repro.model.slotarrays.SlotArrays` snapshot, then frozen
+   into primitive lists plus the total orders the per-step structures
+   consume (cost order ``(cost, required_time, arrival)``, time order
+   ``(required_time, cost, arrival)``).  The plan depends only on the
+   request's matching/runtime fields — not on budget or node count — and
+   is cached on the snapshot, so re-scanning an unchanged pool for the
+   same request (AMP re-runs inside CSA, repeated bench scans) pays only
+   the event loop.  Every float is produced by the same IEEE operation
+   the object path performs (elementwise ``/`` and ``*`` match scalar
+   ``/`` and ``*`` exactly; the one non-reproducible op,
+   ``performance ** 2`` inside ``CpuNode.power``, is precomputed per
+   node in Python).
+2. **Event loop** (pure-primitive Python): one pass over the matching
+   slots maintaining the alive-candidate count, an expiry pointer over
+   the pre-sorted expiry order (valid because the slot list is strictly
+   start-ordered — anything else falls back to the object kernel), and
+   small sorted-rank structures per criterion.
+3. **Skip bounds**: the runtime/finish/greedy criteria only run their
+   extraction walk at steps a provable lower bound says could still win.
+   The runtime criteria use a *budget-aware* certificate: a window
+   beating the incumbent must consist of candidates with runtime below
+   ``best − ε`` (a threshold that is constant between improvements), so
+   the loop maintains the n-cheapest-cost sum over exactly that set and
+   skips while it exceeds the budget.  Skipped steps provably cannot
+   improve the incumbent, so the scan's outcome is identical to
+   evaluating every step.
+4. **Materialization**: ``Slot``/``WindowSlot`` objects are built only
+   for the winning step, from the snapshot's slot list and the
+   precomputed runtime/cost floats.
+
+Dispatch (:func:`vectorized_scan`) accepts exactly the extractor types
+whose extraction it replays — unknown extractors, subclasses, random
+selection and non-sorted slot inputs return :data:`UNSUPPORTED` and the
+caller falls back to the object kernel.  Set
+``REPRO_SCAN_KERNEL=object`` to disable the vector path globally (the
+equivalence suite runs both ways in CI).
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import insort
+from dataclasses import dataclass
+from heapq import heapify, heappop, heappush, heapreplace
+from typing import Optional
+
+import numpy as np
+
+from repro.core.extractors import (
+    EarliestFinishExtractor,
+    EarliestStartExtractor,
+    GreedyAdditiveExtractor,
+    MinRuntimeExactExtractor,
+    MinRuntimeSubstitutionExtractor,
+    MinTotalCostExtractor,
+    _budget_of,
+)
+from repro.model.job import ResourceRequest
+from repro.model.slot import TIME_EPSILON
+from repro.model.slotarrays import SlotArrays
+from repro.model.slotpool import SlotPool
+from repro.model.window import Window, WindowSlot
+
+#: Must match :data:`repro.core.aep.VALUE_EPSILON` (asserted by tests);
+#: duplicated here because :mod:`repro.core.aep` imports this module.
+VALUE_EPSILON = 1e-12
+
+#: Relative slack applied to the skip bounds that compare float sums
+#: accumulated in a different order than the extraction accumulates
+#: them.  The orders differ by a few ulps at most; this margin is many
+#: orders of magnitude above that, and it always widens the "must
+#: evaluate" region, so a skipped step provably cannot beat the
+#: incumbent.
+_BOUND_SLACK = 1e-9
+
+#: Sentinel: the extractor/input combination is not vectorizable; the
+#: caller must run the object kernel.
+UNSUPPORTED = object()
+
+#: Environment switch: ``REPRO_SCAN_KERNEL=object`` forces the fallback.
+KERNEL_ENV = "REPRO_SCAN_KERNEL"
+
+#: Dispatch telemetry for tests and the CI smoke job: counts of scans
+#: served by the vector kernel vs. handed back to the object kernel.
+scan_counters = {"vectorized": 0, "fallback": 0}
+
+
+def kernel_enabled() -> bool:
+    """Whether the vector kernel participates in dispatch."""
+    return os.environ.get(KERNEL_ENV, "vector") != "object"
+
+
+@dataclass(frozen=True)
+class VectorScanResult:
+    """Field-compatible precursor of :class:`repro.core.aep.ScanResult`."""
+
+    window: Window
+    value: float
+    steps: int
+    slots_scanned: int
+    candidate_peak: int
+    candidate_inserts: int
+    candidate_expiries: int
+
+
+def _strategy_of(extractor) -> Optional[tuple]:
+    """The replay strategy for ``extractor``, or ``None`` if unknown.
+
+    Matches exact types only: a subclass may override ``extract`` (e.g.
+    the maximizing ``_LatestStartExtractor``), so anything derived falls
+    back to the object kernel.
+    """
+    kind = type(extractor)
+    if kind is EarliestStartExtractor:
+        return ("cheapest", True)
+    if kind is MinTotalCostExtractor:
+        return ("cheapest", False)
+    if kind is MinRuntimeSubstitutionExtractor:
+        return ("walk", "substitution", False)
+    if kind is MinRuntimeExactExtractor:
+        return ("walk", "exact", False)
+    if kind is EarliestFinishExtractor:
+        inner = type(extractor._runtime)
+        if inner is MinRuntimeSubstitutionExtractor:
+            return ("walk", "substitution", True)
+        if inner is MinRuntimeExactExtractor:
+            return ("walk", "exact", True)
+        return None
+    if kind is GreedyAdditiveExtractor:
+        if extractor.key_name in GreedyAdditiveExtractor.VECTOR_KEYS:
+            return ("greedy", extractor.key_name, extractor._max_rounds)
+        return None
+    return None
+
+
+def _resolve_arrays(slots):
+    """``(SlotArrays, slot object list)`` for the input, or ``None``."""
+    if isinstance(slots, SlotPool):
+        arrays = slots.as_arrays()
+        return arrays, arrays.slot_objects()
+    if isinstance(slots, (list, tuple)):
+        materialized = list(slots)
+        return SlotArrays.from_slots(materialized), materialized
+    return None
+
+
+class _ScanPlan:
+    """Request-derived scan columns, frozen into primitive containers.
+
+    Everything here depends only on the snapshot and the request's
+    matching/runtime fields — budget, node count and ``stop_at_first``
+    stay in the per-scan loop — so one plan serves every scan of the
+    same (pool snapshot, request shape) pair.  ``extras`` holds the
+    strategy-specific orders (time ranks, greedy objective ranks),
+    attached lazily the first time a strategy needs them.
+    """
+
+    __slots__ = (
+        "total",
+        "count",
+        "mpos",
+        "loop_start",
+        "loop_cand",
+        "expiry_times",
+        "expiry_cands",
+        "cand_crank",
+        "cand_by_crank",
+        "cost_by_crank",
+        "req_by_crank",
+        "cand_slot",
+        "req_list",
+        "cost_list",
+        "req_c",
+        "cost_c",
+        "cand_node_row",
+        "extras",
+    )
+
+
+def _plan_key(request: ResourceRequest) -> tuple:
+    return (
+        request.reservation_time,
+        request.reference_performance,
+        request.deadline,
+        request.min_performance,
+        request.min_clock_speed,
+        request.min_ram,
+        request.min_disk,
+        request.required_os,
+        request.max_price_per_unit,
+    )
+
+
+def _plan_for(arrays: SlotArrays, request: ResourceRequest) -> Optional[_ScanPlan]:
+    """The cached scan plan, or ``None`` when the slots are not sorted."""
+    key = _plan_key(request)
+    if getattr(arrays, "_plan_key", None) == key:
+        return arrays._plan
+    start_all = arrays.start
+    total = arrays.slot_count
+    if total > 1 and not bool((start_all[1:] >= start_all[:-1]).all()):
+        # Slot lists with (tolerated or raising) start-order wobble keep
+        # the object kernel's slot-by-slot order check; the expiry
+        # pointer below also relies on non-decreasing starts.
+        arrays._plan_key = key
+        arrays._plan = None
+        return None
+
+    row = arrays.node_row
+    match_node = arrays.match_mask(request)
+    factor = request.reservation_time * request.reference_performance
+    req_node = factor / arrays.performance
+    cost_node = arrays.price * req_node
+    deadline = request.deadline
+
+    mpos = np.flatnonzero(match_node[row])
+    mrow = row[mpos]
+    start_m = start_all[mpos]
+    req_m = req_node[mrow]
+    insertable = (arrays.end[mpos] - start_m) >= (req_m - TIME_EPSILON)
+    if deadline is not None:
+        insertable &= ~((start_m + req_m) > (deadline + TIME_EPSILON))
+
+    cpos = mpos[insertable]
+    crow = mrow[insertable]
+    req_c = req_m[insertable]
+    cost_c = cost_node[crow]
+    expire_c = arrays.end[cpos] - req_c
+    if deadline is not None:
+        deadline_expire = deadline - req_c
+        expire_c = np.where(deadline_expire < expire_c, deadline_expire, expire_c)
+
+    count = int(cpos.size)
+    cand_of = np.where(insertable, np.cumsum(insertable) - 1, -1)
+    # Total order matching the incremental kernel's cost list:
+    # (cost, required_time, arrival) — np.lexsort is stable, so arrival
+    # (the array index) is the implicit final key.
+    cost_order = np.lexsort((req_c, cost_c))
+    crank = np.empty(count, dtype=np.int64)
+    crank[cost_order] = np.arange(count)
+    # Starts are non-decreasing, so candidates expire in precomputed
+    # order and one pointer over this order replaces an expiry heap.
+    expiry_order = np.argsort(expire_c, kind="stable")
+
+    plan = _ScanPlan()
+    plan.total = total
+    plan.count = count
+    plan.mpos = mpos
+    plan.loop_start = start_m.tolist()
+    plan.loop_cand = cand_of.tolist()
+    plan.expiry_times = expire_c[expiry_order].tolist()
+    plan.expiry_cands = expiry_order.tolist()
+    plan.cand_crank = crank.tolist()
+    plan.cand_by_crank = cost_order.tolist()
+    plan.cost_by_crank = cost_c[cost_order].tolist()
+    plan.req_by_crank = req_c[cost_order].tolist()
+    plan.cand_slot = cpos.tolist()
+    plan.req_list = req_c.tolist()
+    plan.cost_list = cost_c.tolist()
+    plan.req_c = req_c
+    plan.cost_c = cost_c
+    plan.cand_node_row = crow
+    plan.extras = {}
+    arrays._plan_key = key
+    arrays._plan = plan
+    return plan
+
+
+def _time_extras(plan: _ScanPlan) -> dict:
+    """Time-order ranks: (required_time, cost, arrival), lazily cached."""
+    extras = plan.extras.get("time")
+    if extras is None:
+        time_order = np.lexsort((plan.cost_c, plan.req_c))
+        trank = np.empty(plan.count, dtype=np.int64)
+        trank[time_order] = np.arange(plan.count)
+        extras = {
+            "cand_trank": trank.tolist(),
+            "cand_by_trank": time_order.tolist(),
+            "req_by_trank": plan.req_c[time_order].tolist(),
+            "cost_by_trank": plan.cost_c[time_order].tolist(),
+        }
+        plan.extras["time"] = extras
+    return extras
+
+
+def _greedy_extras(plan: _ScanPlan, arrays: SlotArrays, key_name: str) -> dict:
+    """Objective-key ranks for the greedy criterion, lazily cached."""
+    cache_key = "greedy:" + key_name
+    extras = plan.extras.get(cache_key)
+    if extras is None:
+        if key_name == "energy":
+            key_c = arrays.power[plan.cand_node_row] * plan.req_c
+        else:
+            key_c = plan.req_c
+        key_order = np.argsort(key_c, kind="stable")
+        krank = np.empty(plan.count, dtype=np.int64)
+        krank[key_order] = np.arange(plan.count)
+        extras = {
+            "cand_krank": krank.tolist(),
+            "key_by_krank": key_c[key_order].tolist(),
+            "key_list": key_c.tolist(),
+        }
+        plan.extras[cache_key] = extras
+    return extras
+
+
+def vectorized_scan(
+    request: ResourceRequest,
+    slots,
+    extractor,
+    *,
+    stop_at_first: bool = False,
+):
+    """Run the vector kernel, or return :data:`UNSUPPORTED`.
+
+    Returns a :class:`VectorScanResult`, ``None`` (no feasible window) or
+    :data:`UNSUPPORTED` (caller must use the object kernel).
+    """
+    if not kernel_enabled():
+        scan_counters["fallback"] += 1
+        return UNSUPPORTED
+    strategy = _strategy_of(extractor)
+    if strategy is None:
+        scan_counters["fallback"] += 1
+        return UNSUPPORTED
+    resolved = _resolve_arrays(slots)
+    if resolved is None:
+        scan_counters["fallback"] += 1
+        return UNSUPPORTED
+    arrays, slot_list = resolved
+    plan = _plan_for(arrays, request)
+    if plan is None:
+        scan_counters["fallback"] += 1
+        return UNSUPPORTED
+    scan_counters["vectorized"] += 1
+
+    n = request.node_count
+    budget = _budget_of(request)
+    kind = strategy[0]
+    if kind == "cheapest":
+        outcome = _run_cheapest(plan, n, budget, stop_at_first, strategy[1])
+        best_cranks = outcome[1]
+        best_cands = (
+            None
+            if best_cranks is None
+            else [plan.cand_by_crank[r] for r in best_cranks]
+        )
+    elif kind == "walk":
+        exact = strategy[1] == "exact"
+        if strategy[2]:
+            outcome = _run_walk_finish(plan, n, budget, stop_at_first, exact)
+        else:
+            outcome = _run_walk_budget(plan, n, budget, stop_at_first, exact)
+        best_cands = outcome[1]
+    else:  # greedy
+        extras = _greedy_extras(plan, arrays, strategy[1])
+        outcome = _run_greedy(plan, extras, n, budget, strategy[2], stop_at_first)
+        best_cands = outcome[1]
+
+    best_value, _, best_start, steps, peak, inserted, expired, break_pos = outcome
+    if best_cands is None:
+        return None
+    scanned = int(plan.mpos[break_pos]) + 1 if break_pos >= 0 else plan.total
+    cand_slot = plan.cand_slot
+    req_list = plan.req_list
+    cost_list = plan.cost_list
+    legs = tuple(
+        WindowSlot(
+            slot=slot_list[cand_slot[c]],
+            required_time=req_list[c],
+            cost=cost_list[c],
+        )
+        for c in best_cands
+    )
+    return VectorScanResult(
+        window=Window(start=best_start, slots=legs),
+        value=best_value,
+        steps=steps,
+        slots_scanned=scanned,
+        candidate_peak=peak,
+        candidate_inserts=inserted,
+        candidate_expiries=expired,
+    )
+
+
+# ----------------------------------------------------------------------
+# Criterion loops.  All of them walk the matching slots once, expiring
+# candidates through the shared pointer discipline; they differ only in
+# the per-step extraction replay.  The top-n structures keep the n
+# smallest alive ranks in a sorted list, every other alive rank in a
+# lazy min-heap (entries of expired candidates are flagged and discarded
+# on pop), so membership changes are O(log) amortized.
+# ----------------------------------------------------------------------
+def _run_cheapest(plan, n, budget, stop_at_first, start_valued):
+    """Start-time / total-cost criteria: the n cheapest alive + exact sum.
+
+    ``cheap_sum`` is recomputed over the sorted member ranks on every
+    membership change — the same ascending-cost sequential summation
+    ``IncrementalCandidateSet.feasible_cheapest`` performs, so the
+    budget verdict and the MinTotalCost value are byte-identical.
+    """
+    loop_start = plan.loop_start
+    loop_cand = plan.loop_cand
+    expiry_times = plan.expiry_times
+    expiry_cands = plan.expiry_cands
+    cand_crank = plan.cand_crank
+    cost_by_crank = plan.cost_by_crank
+    total_c = plan.count
+    topn: list[int] = []
+    beyond: list[int] = []
+    member = set()
+    dead = bytearray(total_c)  # indexed by cost rank
+    cheap_sum = 0.0
+    pointer = 0
+    alive = inserted = expired = peak = steps = 0
+    best_value = float("inf")
+    best_start = 0.0
+    best_cranks = None
+    break_pos = -1
+    for pos, window_start in enumerate(loop_start):
+        threshold = window_start - TIME_EPSILON
+        while pointer < total_c and expiry_times[pointer] < threshold:
+            rank = cand_crank[expiry_cands[pointer]]
+            pointer += 1
+            expired += 1
+            alive -= 1
+            dead[rank] = 1
+            if rank in member:
+                member.discard(rank)
+                topn.remove(rank)
+                while beyond:
+                    refill = heappop(beyond)
+                    if not dead[refill]:
+                        insort(topn, refill)
+                        member.add(refill)
+                        break
+                cheap_sum = 0.0
+                for r in topn:
+                    cheap_sum += cost_by_crank[r]
+        cand = loop_cand[pos]
+        if cand < 0:
+            continue
+        rank = cand_crank[cand]
+        inserted += 1
+        alive += 1
+        if alive > peak:
+            peak = alive
+        if len(topn) < n:
+            insort(topn, rank)
+            member.add(rank)
+            cheap_sum = 0.0
+            for r in topn:
+                cheap_sum += cost_by_crank[r]
+        elif rank < topn[-1]:
+            evicted = topn.pop()
+            member.discard(evicted)
+            heappush(beyond, evicted)
+            insort(topn, rank)
+            member.add(rank)
+            cheap_sum = 0.0
+            for r in topn:
+                cheap_sum += cost_by_crank[r]
+        else:
+            heappush(beyond, rank)
+        if alive < n:
+            continue
+        steps += 1
+        if cheap_sum > budget:
+            continue
+        value = window_start if start_valued else cheap_sum
+        if value < best_value - VALUE_EPSILON:
+            best_value = value
+            best_start = window_start
+            best_cranks = tuple(topn)
+            if stop_at_first:
+                break_pos = pos
+                break
+    return (
+        best_value,
+        best_cranks,
+        best_start,
+        steps,
+        peak,
+        inserted,
+        expired,
+        break_pos,
+    )
+
+
+def _run_walk_budget(plan, n, budget, stop_at_first, exact):
+    """MinRuntime (substitution or exact): budget-aware skip certificate.
+
+    A window improving on ``best`` consists of n candidates whose
+    runtimes are all below ``T = best − ε`` and whose costs sum within
+    the budget, so the minimum such cost sum is the n cheapest among the
+    alive candidates with runtime < T.  ``T`` is constant between
+    improvements, which makes that sum maintainable with the standard
+    top-n discipline (rebuilt from the alive set on the rare
+    improvement); while it exceeds the slack-widened budget — or fewer
+    than n candidates qualify — the extraction provably cannot win and
+    the step is skipped.
+    """
+    loop_start = plan.loop_start
+    loop_cand = plan.loop_cand
+    expiry_times = plan.expiry_times
+    expiry_cands = plan.expiry_cands
+    cand_crank = plan.cand_crank
+    cost_by_crank = plan.cost_by_crank
+    req_by_crank = plan.req_by_crank
+    req_list = plan.req_list
+    if exact:
+        extras = _time_extras(plan)
+        cand_erank = extras["cand_trank"]
+        cand_by_erank = extras["cand_by_trank"]
+        req_by_erank = extras["req_by_trank"]
+        cost_by_erank = extras["cost_by_trank"]
+    else:
+        cand_erank = cand_crank
+        cand_by_erank = plan.cand_by_crank
+        req_by_erank = req_by_crank
+        cost_by_erank = cost_by_crank
+    total_c = plan.count
+    skip_budget = budget + _BOUND_SLACK * (1.0 + abs(budget))
+    alive_eval: list[int] = []  # alive candidates as eval-order ranks
+    qual_top: list[int] = []  # cost ranks: n cheapest with runtime < T
+    qual_beyond: list[int] = []
+    qual_member = set()
+    dead = bytearray(total_c)  # indexed by cost rank
+    qual_sum = 0.0
+    threshold_time = float("inf")  # T = best − ε, fixed between improvements
+    pointer = 0
+    alive = inserted = expired = peak = steps = 0
+    best_value = float("inf")
+    best_start = 0.0
+    best_cands = None
+    break_pos = -1
+    for pos, window_start in enumerate(loop_start):
+        threshold = window_start - TIME_EPSILON
+        while pointer < total_c and expiry_times[pointer] < threshold:
+            cand = expiry_cands[pointer]
+            pointer += 1
+            expired += 1
+            alive -= 1
+            alive_eval.remove(cand_erank[cand])
+            rank = cand_crank[cand]
+            dead[rank] = 1
+            if rank in qual_member:
+                qual_member.discard(rank)
+                qual_top.remove(rank)
+                while qual_beyond:
+                    refill = heappop(qual_beyond)
+                    if not dead[refill]:
+                        insort(qual_top, refill)
+                        qual_member.add(refill)
+                        break
+                qual_sum = 0.0
+                for r in qual_top:
+                    qual_sum += cost_by_crank[r]
+        cand = loop_cand[pos]
+        if cand < 0:
+            continue
+        insort(alive_eval, cand_erank[cand])
+        inserted += 1
+        alive += 1
+        if alive > peak:
+            peak = alive
+        if req_list[cand] < threshold_time:
+            rank = cand_crank[cand]
+            if len(qual_top) < n:
+                insort(qual_top, rank)
+                qual_member.add(rank)
+                qual_sum = 0.0
+                for r in qual_top:
+                    qual_sum += cost_by_crank[r]
+            elif rank < qual_top[-1]:
+                evicted = qual_top.pop()
+                qual_member.discard(evicted)
+                heappush(qual_beyond, evicted)
+                insort(qual_top, rank)
+                qual_member.add(rank)
+                qual_sum = 0.0
+                for r in qual_top:
+                    qual_sum += cost_by_crank[r]
+            else:
+                heappush(qual_beyond, rank)
+        if alive < n:
+            continue
+        steps += 1
+        if len(qual_top) < n or qual_sum > skip_budget:
+            continue  # no qualifying subset can beat the incumbent
+        times = [req_by_erank[r] for r in alive_eval]
+        costs = [cost_by_erank[r] for r in alive_eval]
+        if exact:
+            extraction = _exact_sweep(times, costs, n, budget)
+        else:
+            extraction = _substitution_walk(times, costs, n, budget)
+        if extraction is None:
+            continue
+        value, positions = extraction
+        if value < best_value - VALUE_EPSILON:
+            best_value = value
+            best_start = window_start
+            best_cands = [cand_by_erank[alive_eval[p]] for p in positions]
+            if stop_at_first:
+                break_pos = pos
+                break
+            # The threshold tightened: rebuild the qualifying top-n from
+            # the alive set (dead flags stay valid — candidates expire
+            # at most once, so a flagged rank can never be alive again).
+            threshold_time = best_value - VALUE_EPSILON
+            if exact:
+                alive_cranks = sorted(
+                    cand_crank[cand_by_erank[r]] for r in alive_eval
+                )
+            else:
+                alive_cranks = alive_eval
+            qualifying = [
+                r for r in alive_cranks if req_by_crank[r] < threshold_time
+            ]
+            qual_top = qualifying[:n]
+            qual_member = set(qual_top)
+            qual_beyond = qualifying[n:]
+            heapify(qual_beyond)
+            qual_sum = 0.0
+            for r in qual_top:
+                qual_sum += cost_by_crank[r]
+    return (
+        best_value,
+        best_cands,
+        best_start,
+        steps,
+        peak,
+        inserted,
+        expired,
+        break_pos,
+    )
+
+
+def _run_walk_finish(plan, n, budget, stop_at_first, exact):
+    """MinFinish (start + runtime): bound by the n-th shortest runtime.
+
+    The finish-time improvement threshold shifts with every window start,
+    so the fixed-threshold certificate of :func:`_run_walk_budget` does
+    not apply; instead each step is bounded by ``start + (n-th shortest
+    alive runtime)``, an exact lower bound on any extraction's finish
+    time (float ``+`` is monotone, so no slack is needed).
+    """
+    loop_start = plan.loop_start
+    loop_cand = plan.loop_cand
+    expiry_times = plan.expiry_times
+    expiry_cands = plan.expiry_cands
+    extras = _time_extras(plan)
+    cand_trank = extras["cand_trank"]
+    req_by_trank = extras["req_by_trank"]
+    if exact:
+        cand_erank = cand_trank
+        cand_by_erank = extras["cand_by_trank"]
+        req_by_erank = req_by_trank
+        cost_by_erank = extras["cost_by_trank"]
+    else:
+        cand_erank = plan.cand_crank
+        cand_by_erank = plan.cand_by_crank
+        req_by_erank = plan.req_by_crank
+        cost_by_erank = plan.cost_by_crank
+    total_c = plan.count
+    alive_eval: list[int] = []
+    topn: list[int] = []  # time ranks: the n shortest alive runtimes
+    beyond: list[int] = []
+    member = set()
+    dead = bytearray(total_c)  # indexed by time rank
+    pointer = 0
+    alive = inserted = expired = peak = steps = 0
+    best_value = float("inf")
+    best_start = 0.0
+    best_cands = None
+    break_pos = -1
+    for pos, window_start in enumerate(loop_start):
+        threshold = window_start - TIME_EPSILON
+        while pointer < total_c and expiry_times[pointer] < threshold:
+            cand = expiry_cands[pointer]
+            pointer += 1
+            expired += 1
+            alive -= 1
+            alive_eval.remove(cand_erank[cand])
+            rank = cand_trank[cand]
+            dead[rank] = 1
+            if rank in member:
+                member.discard(rank)
+                topn.remove(rank)
+                while beyond:
+                    refill = heappop(beyond)
+                    if not dead[refill]:
+                        insort(topn, refill)
+                        member.add(refill)
+                        break
+        cand = loop_cand[pos]
+        if cand < 0:
+            continue
+        insort(alive_eval, cand_erank[cand])
+        rank = cand_trank[cand]
+        inserted += 1
+        alive += 1
+        if alive > peak:
+            peak = alive
+        if len(topn) < n:
+            insort(topn, rank)
+            member.add(rank)
+        elif rank < topn[-1]:
+            evicted = topn.pop()
+            member.discard(evicted)
+            heappush(beyond, evicted)
+            insort(topn, rank)
+            member.add(rank)
+        else:
+            heappush(beyond, rank)
+        if alive < n:
+            continue
+        steps += 1
+        bound = window_start + req_by_trank[topn[-1]]
+        if not (bound < best_value - VALUE_EPSILON):
+            continue
+        times = [req_by_erank[r] for r in alive_eval]
+        costs = [cost_by_erank[r] for r in alive_eval]
+        if exact:
+            extraction = _exact_sweep(times, costs, n, budget)
+        else:
+            extraction = _substitution_walk(times, costs, n, budget)
+        if extraction is None:
+            continue
+        value, positions = extraction
+        value = window_start + value
+        if value < best_value - VALUE_EPSILON:
+            best_value = value
+            best_start = window_start
+            best_cands = [cand_by_erank[alive_eval[p]] for p in positions]
+            if stop_at_first:
+                break_pos = pos
+                break
+    return (
+        best_value,
+        best_cands,
+        best_start,
+        steps,
+        peak,
+        inserted,
+        expired,
+        break_pos,
+    )
+
+
+def _run_greedy(plan, extras, n, budget, max_rounds, stop_at_first):
+    """Additive-objective criterion: cheapest-n feasibility + swap search.
+
+    Bounded by the sum of the n smallest alive objective keys (minus
+    :data:`_BOUND_SLACK`, covering summation-order drift); the swap
+    search replays the object extractor's in-place exchanges exactly.
+    """
+    loop_start = plan.loop_start
+    loop_cand = plan.loop_cand
+    expiry_times = plan.expiry_times
+    expiry_cands = plan.expiry_cands
+    cand_crank = plan.cand_crank
+    cost_by_crank = plan.cost_by_crank
+    cand_by_crank = plan.cand_by_crank
+    cand_krank = extras["cand_krank"]
+    key_by_krank = extras["key_by_krank"]
+    key_list = extras["key_list"]
+    cost_list = plan.cost_list
+    total_c = plan.count
+    alive_cands: list[int] = []  # alive candidate indices (arrival order)
+    cost_top: list[int] = []
+    cost_beyond: list[int] = []
+    cost_member = set()
+    cost_dead = bytearray(total_c)
+    key_top: list[int] = []
+    key_beyond: list[int] = []
+    key_member = set()
+    key_dead = bytearray(total_c)
+    cheap_sum = 0.0
+    key_sum = 0.0
+    pointer = 0
+    alive = inserted = expired = peak = steps = 0
+    best_value = float("inf")
+    best_start = 0.0
+    best_cands = None
+    break_pos = -1
+    for pos, window_start in enumerate(loop_start):
+        threshold = window_start - TIME_EPSILON
+        while pointer < total_c and expiry_times[pointer] < threshold:
+            cand = expiry_cands[pointer]
+            pointer += 1
+            expired += 1
+            alive -= 1
+            alive_cands.remove(cand)
+            rank = cand_crank[cand]
+            cost_dead[rank] = 1
+            if rank in cost_member:
+                cost_member.discard(rank)
+                cost_top.remove(rank)
+                while cost_beyond:
+                    refill = heappop(cost_beyond)
+                    if not cost_dead[refill]:
+                        insort(cost_top, refill)
+                        cost_member.add(refill)
+                        break
+                cheap_sum = 0.0
+                for r in cost_top:
+                    cheap_sum += cost_by_crank[r]
+            rank = cand_krank[cand]
+            key_dead[rank] = 1
+            if rank in key_member:
+                key_member.discard(rank)
+                key_top.remove(rank)
+                while key_beyond:
+                    refill = heappop(key_beyond)
+                    if not key_dead[refill]:
+                        insort(key_top, refill)
+                        key_member.add(refill)
+                        break
+                key_sum = 0.0
+                for r in key_top:
+                    key_sum += key_by_krank[r]
+        cand = loop_cand[pos]
+        if cand < 0:
+            continue
+        alive_cands.append(cand)  # candidate indices arrive in order
+        inserted += 1
+        alive += 1
+        if alive > peak:
+            peak = alive
+        rank = cand_crank[cand]
+        if len(cost_top) < n:
+            insort(cost_top, rank)
+            cost_member.add(rank)
+            cheap_sum = 0.0
+            for r in cost_top:
+                cheap_sum += cost_by_crank[r]
+        elif rank < cost_top[-1]:
+            evicted = cost_top.pop()
+            cost_member.discard(evicted)
+            heappush(cost_beyond, evicted)
+            insort(cost_top, rank)
+            cost_member.add(rank)
+            cheap_sum = 0.0
+            for r in cost_top:
+                cheap_sum += cost_by_crank[r]
+        else:
+            heappush(cost_beyond, rank)
+        rank = cand_krank[cand]
+        if len(key_top) < n:
+            insort(key_top, rank)
+            key_member.add(rank)
+            key_sum = 0.0
+            for r in key_top:
+                key_sum += key_by_krank[r]
+        elif rank < key_top[-1]:
+            evicted = key_top.pop()
+            key_member.discard(evicted)
+            heappush(key_beyond, evicted)
+            insort(key_top, rank)
+            key_member.add(rank)
+            key_sum = 0.0
+            for r in key_top:
+                key_sum += key_by_krank[r]
+        else:
+            heappush(key_beyond, rank)
+        if alive < n:
+            continue
+        steps += 1
+        if cheap_sum > budget:
+            continue  # feasible_cheapest would return None
+        bound = key_sum - _BOUND_SLACK * (1.0 + abs(key_sum))
+        if not (bound < best_value - VALUE_EPSILON):
+            continue
+        current = [cand_by_crank[r] for r in cost_top]
+        in_window = set(current)
+        outside = [c for c in alive_cands if c not in in_window]
+        value, final = _swap_search(
+            current,
+            [key_list[c] for c in current],
+            [cost_list[c] for c in current],
+            outside,
+            [key_list[c] for c in outside],
+            [cost_list[c] for c in outside],
+            budget,
+            max_rounds,
+        )
+        if value < best_value - VALUE_EPSILON:
+            best_value = value
+            best_start = window_start
+            best_cands = final
+            if stop_at_first:
+                break_pos = pos
+                break
+    return (
+        best_value,
+        best_cands,
+        best_start,
+        steps,
+        peak,
+        inserted,
+        expired,
+        break_pos,
+    )
+
+
+# ----------------------------------------------------------------------
+# Extraction replays (primitive twins of the object extractors).
+# ----------------------------------------------------------------------
+def _substitution_walk(times, costs, n, budget):
+    """Primitive twin of ``extractors._substitute_runtime``.
+
+    ``times``/``costs`` are the alive candidates in the exact
+    ``(cost, required_time, arrival)`` order; returns ``(value,
+    positions)`` with positions in the walk's final (swap) order.  The
+    first-longest index is maintained across non-swapping iterations —
+    it only changes when a swap replaces it, where the object twin
+    recomputes the same argmax the next iteration would.
+    """
+    total = len(times)
+    if total < n:
+        return None
+    cost = 0.0
+    for index in range(n):
+        cost += costs[index]
+    if cost > budget:
+        return None
+    chosen = list(range(n))
+    chosen_times = times[:n]
+    chosen_costs = costs[:n]
+    longest_index = 0
+    longest_time = chosen_times[0]
+    for inner in range(1, n):
+        if chosen_times[inner] > longest_time:
+            longest_time = chosen_times[inner]
+            longest_index = inner
+    for index in range(n, total):
+        short_time = times[index]
+        if (
+            short_time < longest_time
+            and cost - chosen_costs[longest_index] + costs[index] <= budget
+        ):
+            cost += costs[index] - chosen_costs[longest_index]
+            chosen[longest_index] = index
+            chosen_times[longest_index] = short_time
+            chosen_costs[longest_index] = costs[index]
+            longest_index = 0
+            longest_time = chosen_times[0]
+            for inner in range(1, n):
+                if chosen_times[inner] > longest_time:
+                    longest_time = chosen_times[inner]
+                    longest_index = inner
+    return max(chosen_times), chosen
+
+
+def _exact_sweep(times, costs, n, budget):
+    """Primitive twin of ``extractors._exact_runtime_sweep``.
+
+    ``times``/``costs`` in ``(required_time, cost, arrival)`` order;
+    returns ``(value, positions)`` with positions in the kept-dict
+    insertion order the object extractor produces.
+    """
+    total = len(times)
+    if total < n:
+        return None
+    heap: list[tuple[float, int]] = []
+    kept: dict[int, int] = {}
+    cost_sum = 0.0
+    for index in range(total):
+        cost = costs[index]
+        if len(heap) < n:
+            heappush(heap, (-cost, index))
+            kept[index] = index
+            cost_sum += cost
+        elif cost < -heap[0][0]:
+            _, evicted = heapreplace(heap, (-cost, index))
+            cost_sum += cost - costs[evicted]
+            kept.pop(evicted)
+            kept[index] = index
+        if len(heap) == n and cost_sum <= budget:
+            chosen = list(kept.values())
+            value = times[chosen[0]]
+            for position in chosen[1:]:
+                if times[position] > value:
+                    value = times[position]
+            return value, chosen
+    return None
+
+
+def _swap_search(
+    current,
+    current_keys,
+    current_costs,
+    outside,
+    outside_keys,
+    outside_costs,
+    budget,
+    max_rounds,
+):
+    """Primitive twin of ``GreedyAdditiveExtractor._swap_search``.
+
+    Mutates and returns ``current`` (candidate indices) in the final
+    in-place swap positions; the float updates replicate the object
+    implementation operation for operation.
+    """
+    cost = 0.0
+    for value in current_costs:
+        cost += value
+    out_range = range(len(outside))
+    size = len(current)
+    for _ in range(max_rounds):
+        best_gain = 0.0
+        best_swap = None
+        for out_index in range(size):
+            out_cost = current_costs[out_index]
+            out_key = current_keys[out_index]
+            headroom = cost - out_cost
+            for in_index in out_range:
+                if headroom + outside_costs[in_index] > budget:
+                    continue
+                gain = out_key - outside_keys[in_index]
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best_swap = (out_index, in_index)
+        if best_swap is None:
+            break
+        out_index, in_index = best_swap
+        cost += outside_costs[in_index] - current_costs[out_index]
+        current[out_index], outside[in_index] = (
+            outside[in_index],
+            current[out_index],
+        )
+        current_keys[out_index], outside_keys[in_index] = (
+            outside_keys[in_index],
+            current_keys[out_index],
+        )
+        current_costs[out_index], outside_costs[in_index] = (
+            outside_costs[in_index],
+            current_costs[out_index],
+        )
+    value = 0.0
+    for key in current_keys:
+        value += key
+    return value, current

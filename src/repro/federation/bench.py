@@ -41,7 +41,8 @@ from repro.service.broker import BrokerService
 from repro.service.config import ServiceConfig
 from repro.service.events import Event, EventSink, EventType
 from repro.service.stats import percentile
-from repro.simulation.bench import InvarianceError, _usable_cpus
+from repro.hostinfo import usable_cpu_count
+from repro.simulation.bench import InvarianceError
 from repro.simulation.jobgen import JobGenerator
 
 
@@ -193,7 +194,7 @@ def bench_federation(
                 "federation": observed,
             }
         rows.append(row)
-    cpus = _usable_cpus()
+    cpus = usable_cpu_count()
     return {
         "bench": "federation",
         "config": {

@@ -1,0 +1,332 @@
+"""Columnar (structure-of-arrays) snapshots of a slot pool.
+
+The vectorized AEP kernel (:mod:`repro.core.vectorized`) does not walk
+``Slot`` objects — it precomputes eligibility, task runtime, cost and
+expiry for a whole scan with numpy column arithmetic and only
+materializes objects for the winning window.  This module owns that
+column layout:
+
+* :class:`SlotArrays` — per-slot columns (``start``, ``end``,
+  ``node_row``) plus a *node table* of the distinct nodes behind the
+  slots (performance, price, hardware spec, precomputed power draw).
+  Per-request quantities are per-*node*, so the table keeps the derived
+  columns O(nodes) and a single ``take`` broadcasts them per slot.
+* :data:`STRUCTURED_DTYPE` / :meth:`SlotArrays.structured` — the
+  flattened one-record-per-slot view (``node_id``, ``start``, ``end``,
+  ``cost`` — the node's price per unit time — and ``performance``),
+  used as the interchange format of shared-memory snapshots and by
+  tests that cross-check columns against the object pool.
+* :meth:`SlotArrays.to_shared` / :meth:`SlotArrays.from_shared` — one
+  writer publishes a snapshot into a ``multiprocessing.shared_memory``
+  block; N readers attach zero-copy.  Object state that numpy cannot
+  carry (OS names) travels in a small pickled header inside the same
+  block.
+
+The arrays are a *snapshot*: building one from a :class:`SlotPool`
+captures the pool at that instant and the pool invalidates its cached
+snapshot on every mutation (see :meth:`repro.model.SlotPool.as_arrays`).
+Readers that need objects back — e.g. worker processes returning
+:class:`~repro.model.Window` results — rebuild value-equal ``Slot`` /
+``CpuNode`` instances from the columns via :meth:`slot_objects`.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.model.job import ResourceRequest
+from repro.model.resource import CpuNode, NodeSpec
+from repro.model.slot import Slot
+
+#: The flat per-slot record layout named in the array API.  ``cost`` is
+#: the node's price per occupied time unit (the request-independent cost
+#: rate); per-request leg costs are ``cost * task_runtime`` and are
+#: derived per scan, never stored.
+STRUCTURED_DTYPE = np.dtype(
+    [
+        ("node_id", np.int64),
+        ("start", np.float64),
+        ("end", np.float64),
+        ("cost", np.float64),
+        ("performance", np.float64),
+    ]
+)
+
+#: Numeric node-table columns shipped through shared memory, in order.
+_NODE_COLUMNS = ("node_id", "performance", "price", "clock", "ram", "disk", "power")
+
+
+@dataclass
+class SlotArrays:
+    """Immutable columnar snapshot of an ordered slot list.
+
+    Per-slot columns are parallel to the start-ordered slot list; the
+    node table is ordered by first appearance in that list, and
+    ``node_row[i]`` indexes slot ``i``'s node within it.
+    """
+
+    # Per-slot columns (length = slot count).
+    start: np.ndarray
+    end: np.ndarray
+    node_row: np.ndarray
+    # Node-table columns (length = distinct node count).
+    node_id: np.ndarray
+    performance: np.ndarray
+    price: np.ndarray
+    clock: np.ndarray
+    ram: np.ndarray
+    disk: np.ndarray
+    power: np.ndarray
+    os_names: list[str]
+    #: Original ``Slot`` objects when built locally; rebuilt lazily from
+    #: the columns after a shared-memory attach.
+    _slots: Optional[list[Slot]] = None
+    _nodes: Optional[list[CpuNode]] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_slots(cls, slots: Sequence[Slot]) -> "SlotArrays":
+        """Snapshot a start-ordered slot sequence into columns."""
+        slots = list(slots)
+        count = len(slots)
+        start = np.empty(count, dtype=np.float64)
+        end = np.empty(count, dtype=np.float64)
+        node_row = np.empty(count, dtype=np.int64)
+        rows: dict[int, int] = {}
+        nodes: list[CpuNode] = []
+        for index, slot in enumerate(slots):
+            start[index] = slot.start
+            end[index] = slot.end
+            node = slot.node
+            row = rows.get(node.node_id)
+            if row is None:
+                row = len(nodes)
+                rows[node.node_id] = row
+                nodes.append(node)
+            node_row[index] = row
+        return cls(
+            start=start,
+            end=end,
+            node_row=node_row,
+            node_id=np.array([n.node_id for n in nodes], dtype=np.int64),
+            performance=np.array([n.performance for n in nodes], dtype=np.float64),
+            price=np.array([n.price_per_unit for n in nodes], dtype=np.float64),
+            clock=np.array([n.spec.clock_speed for n in nodes], dtype=np.float64),
+            ram=np.array([n.spec.ram for n in nodes], dtype=np.int64),
+            disk=np.array([n.spec.disk for n in nodes], dtype=np.int64),
+            # power() squares the performance in Python; precomputing it
+            # per node keeps the energy column byte-identical to the
+            # object path (numpy's ``**`` lowers to a different libm call).
+            power=np.array([n.power() for n in nodes], dtype=np.float64),
+            os_names=[n.spec.os for n in nodes],
+            _slots=slots,
+            _nodes=nodes,
+        )
+
+    # ------------------------------------------------------------------
+    # Shape and views
+    # ------------------------------------------------------------------
+    @property
+    def slot_count(self) -> int:
+        return int(self.start.shape[0])
+
+    @property
+    def node_count(self) -> int:
+        return int(self.node_id.shape[0])
+
+    def structured(self) -> np.ndarray:
+        """The flat :data:`STRUCTURED_DTYPE` record array (one per slot)."""
+        records = np.empty(self.slot_count, dtype=STRUCTURED_DTYPE)
+        records["node_id"] = self.node_id[self.node_row]
+        records["start"] = self.start
+        records["end"] = self.end
+        records["cost"] = self.price[self.node_row]
+        records["performance"] = self.performance[self.node_row]
+        return records
+
+    def nodes(self) -> list[CpuNode]:
+        """The distinct nodes, rebuilt from the table when attached remotely."""
+        if self._nodes is None:
+            self._nodes = [
+                CpuNode(
+                    node_id=int(self.node_id[row]),
+                    performance=float(self.performance[row]),
+                    price_per_unit=float(self.price[row]),
+                    spec=NodeSpec(
+                        clock_speed=float(self.clock[row]),
+                        ram=int(self.ram[row]),
+                        disk=int(self.disk[row]),
+                        os=self.os_names[row],
+                    ),
+                )
+                for row in range(self.node_count)
+            ]
+        return self._nodes
+
+    def slot_objects(self) -> list[Slot]:
+        """The slots as objects (value-equal to the snapshot's source)."""
+        if self._slots is None:
+            nodes = self.nodes()
+            rows = self.node_row.tolist()
+            starts = self.start.tolist()
+            ends = self.end.tolist()
+            self._slots = [
+                Slot(nodes[rows[i]], starts[i], ends[i])
+                for i in range(self.slot_count)
+            ]
+        return self._slots
+
+    # ------------------------------------------------------------------
+    # Request-derived columns
+    # ------------------------------------------------------------------
+    def match_mask(self, request: ResourceRequest) -> np.ndarray:
+        """Per-node ``properHardwareAndSoftware`` verdicts (bool array).
+
+        Same comparisons as :func:`repro.model.resource.matches_spec`,
+        evaluated once per node instead of once per scanned slot.
+        """
+        mask = self.performance >= request.min_performance
+        mask &= self.clock >= request.min_clock_speed
+        mask &= self.ram >= request.min_ram
+        mask &= self.disk >= request.min_disk
+        if request.required_os is not None:
+            required = request.required_os
+            mask &= np.fromiter(
+                (name == required for name in self.os_names),
+                dtype=bool,
+                count=self.node_count,
+            )
+        if request.max_price_per_unit is not None:
+            mask &= self.price <= request.max_price_per_unit
+        return mask
+
+    # ------------------------------------------------------------------
+    # Shared-memory transport
+    # ------------------------------------------------------------------
+    def to_shared(self, shared_memory_cls=None) -> "SharedSlotArrays":
+        """Publish this snapshot into a new shared-memory block.
+
+        The caller owns the returned handle: ``close()`` detaches,
+        ``unlink()`` frees the block (writer-side, once all readers are
+        done with the cycle).
+        """
+        if shared_memory_cls is None:
+            from multiprocessing import shared_memory as _shm
+
+            shared_memory_cls = _shm.SharedMemory
+        header = pickle.dumps(
+            {
+                "slot_count": self.slot_count,
+                "node_count": self.node_count,
+                "os_names": self.os_names,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        slot_block = 3 * 8 * self.slot_count
+        node_block = len(_NODE_COLUMNS) * 8 * self.node_count
+        header_span = 8 + len(header)
+        padding = (-header_span) % 8
+        total = max(1, header_span + padding + slot_block + node_block)
+        memory = shared_memory_cls(create=True, size=total)
+        buffer = memory.buf
+        buffer[:8] = len(header).to_bytes(8, "little")
+        buffer[8 : 8 + len(header)] = header
+        offset = header_span + padding
+        for column in (self.start, self.end, self.node_row.astype(np.float64)):
+            view = np.ndarray(self.slot_count, dtype=np.float64, buffer=buffer, offset=offset)
+            view[:] = column
+            offset += 8 * self.slot_count
+        for name in _NODE_COLUMNS:
+            column = getattr(self, name).astype(np.float64)
+            view = np.ndarray(self.node_count, dtype=np.float64, buffer=buffer, offset=offset)
+            view[:] = column
+            offset += 8 * self.node_count
+        return SharedSlotArrays(memory=memory, owner=True)
+
+    @classmethod
+    def _from_buffer(cls, buffer) -> "SlotArrays":
+        """Rebuild a snapshot from a shared block's buffer (copying out)."""
+        header_length = int.from_bytes(bytes(buffer[:8]), "little")
+        header = pickle.loads(bytes(buffer[8 : 8 + header_length]))
+        slot_count = header["slot_count"]
+        node_count = header["node_count"]
+        offset = 8 + header_length
+        offset += (-offset) % 8
+
+        def take(count: int, dtype) -> np.ndarray:
+            nonlocal offset
+            view = np.ndarray(count, dtype=np.float64, buffer=buffer, offset=offset)
+            offset += 8 * count
+            # Copy out so the arrays outlive the mapping; readers that
+            # want true zero-copy use ``attach_view`` semantics via the
+            # snapshot handle instead.
+            return np.array(view, dtype=dtype)
+
+        start = take(slot_count, np.float64)
+        end = take(slot_count, np.float64)
+        node_row = take(slot_count, np.int64)
+        columns = {name: None for name in _NODE_COLUMNS}
+        for name in _NODE_COLUMNS:
+            dtype = np.int64 if name in ("node_id", "ram", "disk") else np.float64
+            columns[name] = take(node_count, dtype)
+        return cls(
+            start=start,
+            end=end,
+            node_row=node_row,
+            node_id=columns["node_id"],
+            performance=columns["performance"],
+            price=columns["price"],
+            clock=columns["clock"],
+            ram=columns["ram"],
+            disk=columns["disk"],
+            power=columns["power"],
+            os_names=header["os_names"],
+        )
+
+
+@dataclass
+class SharedSlotArrays:
+    """Handle on a shared-memory slot snapshot (writer or reader side)."""
+
+    memory: object
+    owner: bool = False
+
+    @property
+    def name(self) -> str:
+        """The OS-level block name readers attach with."""
+        return self.memory.name
+
+    @classmethod
+    def attach(cls, name: str, shared_memory_cls=None) -> "SharedSlotArrays":
+        """Open an existing snapshot block read-only (reader side)."""
+        if shared_memory_cls is None:
+            from multiprocessing import shared_memory as _shm
+
+            shared_memory_cls = _shm.SharedMemory
+        return cls(memory=shared_memory_cls(name=name), owner=False)
+
+    def arrays(self) -> SlotArrays:
+        """Decode the snapshot into :class:`SlotArrays`."""
+        return SlotArrays._from_buffer(self.memory.buf)
+
+    def close(self) -> None:
+        """Detach this process's mapping."""
+        self.memory.close()
+
+    def unlink(self) -> None:
+        """Free the block (writer side, after the cycle completes)."""
+        if self.owner:
+            self.memory.unlink()
+
+    def __enter__(self) -> "SharedSlotArrays":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+        self.unlink()

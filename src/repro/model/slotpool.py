@@ -17,7 +17,14 @@ from typing import Iterable, Iterator, Optional
 
 from repro.model.errors import AllocationError
 from repro.model.slot import TIME_EPSILON, Slot
+from repro.model.slotarrays import SlotArrays
 from repro.model.window import Window
+
+#: Tolerance for coalescing two same-node slots across a gap: spans whose
+#: endpoints are within one :data:`TIME_EPSILON` are considered touching.
+#: This is the *same* single-epsilon rule the usable-length admission
+#: check applies — one epsilon of slack on the time axis, never two.
+COALESCE_GAP = TIME_EPSILON
 
 
 def _find_entry(
@@ -61,6 +68,10 @@ class SlotPool:
     _by_node: dict[int, list[tuple[tuple[float, float, int], Slot]]] = field(
         default_factory=dict
     )
+    #: Cached columnar snapshot (:meth:`as_arrays`); dropped on mutation.
+    _arrays: Optional[SlotArrays] = field(
+        default=None, repr=False, compare=False
+    )
 
     @classmethod
     def from_slots(cls, slots: Iterable[Slot], min_usable_length: float = TIME_EPSILON) -> "SlotPool":
@@ -68,6 +79,26 @@ class SlotPool:
         pool = cls(min_usable_length=min_usable_length)
         for slot in slots:
             pool.add(slot)
+        return pool
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: SlotArrays, min_usable_length: float = TIME_EPSILON
+    ) -> "SlotPool":
+        """Rebuild a pool from a columnar snapshot (shared-memory readers).
+
+        Slots are inserted verbatim (no coalescing): the snapshot was
+        taken from a pool whose :meth:`add` already coalesced, so
+        re-coalescing could only merge spans the source kept apart.  The
+        snapshot itself is installed as the rebuilt pool's columnar
+        cache — its row order is exactly the pool's slot order — so the
+        vectorized scan path never re-columnarizes what the writer
+        already published.
+        """
+        pool = cls(min_usable_length=min_usable_length)
+        for slot in arrays.slot_objects():
+            pool.add(slot, coalesce=False)
+        pool._arrays = arrays
         return pool
 
     # ------------------------------------------------------------------
@@ -98,17 +129,24 @@ class SlotPool:
 
         By default the new slot is *coalesced* with touching slots of the
         same node already in the pool (identical node, hence identical
-        price and performance; gap within :data:`TIME_EPSILON`), so
+        price and performance; gap within :data:`COALESCE_GAP`), so
         repeated cut/release cycles do not fragment the pool into ever
         shorter spans.  Pass ``coalesce=False`` to insert verbatim.
+
+        Slots shorter than ``min_usable_length`` are dropped — the same
+        strict threshold :meth:`repro.model.Slot.split` applies to cut
+        remainders.  (An earlier revision subtracted a further
+        :data:`TIME_EPSILON` here, quietly admitting slots up to one
+        epsilon *shorter* than the configured cutting threshold.)
         """
-        if slot.length < self.min_usable_length - TIME_EPSILON:
+        if slot.length < self.min_usable_length:
             return
         if coalesce:
             slot = self._coalesce(slot)
         entry = (slot.sort_key(), slot)
         insort(self._slots, entry)
         insort(self._by_node.setdefault(slot.node.node_id, []), entry)
+        self._arrays = None
 
     def _coalesce(self, slot: Slot) -> Slot:
         """Absorb same-node neighbours touching ``slot`` and return the union.
@@ -124,9 +162,9 @@ class SlotPool:
         left: Optional[Slot] = None
         right: Optional[Slot] = None
         for _, other in bucket:
-            if abs(other.end - slot.start) <= TIME_EPSILON:
+            if abs(other.end - slot.start) <= COALESCE_GAP:
                 left = other
-            elif abs(slot.end - other.start) <= TIME_EPSILON:
+            elif abs(slot.end - other.start) <= COALESCE_GAP:
                 right = other
         if left is None and right is None:
             return slot
@@ -145,6 +183,7 @@ class SlotPool:
             raise AllocationError(f"slot not in pool: {slot!r}")
         del self._slots[index]
         self._bucket_discard(entry)
+        self._arrays = None
 
     def _bucket_discard(self, entry: tuple[tuple[float, float, int], Slot]) -> None:
         """Drop ``entry`` (known present) from its node's index bucket."""
@@ -284,7 +323,7 @@ class SlotPool:
                 changed += 1
                 self._bucket_discard(entry)
                 tail = slot.end - time
-                if tail > TIME_EPSILON and tail >= self.min_usable_length - TIME_EPSILON:
+                if tail > TIME_EPSILON and tail >= self.min_usable_length:
                     trimmed = Slot(slot.node, time, slot.end)
                     trimmed_entry = (trimmed.sort_key(), trimmed)
                     rebuilt.append(trimmed_entry)
@@ -294,6 +333,7 @@ class SlotPool:
         if changed:
             rebuilt.sort()
             self._slots[:cutoff] = rebuilt
+            self._arrays = None
         return changed
 
     def copy(self) -> "SlotPool":
@@ -303,11 +343,29 @@ class SlotPool:
         twin._by_node = {
             node_id: list(bucket) for node_id, bucket in self._by_node.items()
         }
+        # The columnar snapshot describes identical contents, so the twin
+        # shares it until either side mutates (each invalidates only its
+        # own reference — SlotArrays itself is never written in place).
+        twin._arrays = self._arrays
         return twin
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def as_arrays(self) -> SlotArrays:
+        """The pool as a columnar snapshot (cached until the next mutation).
+
+        Built lazily on first use; every mutation — :meth:`add`,
+        :meth:`remove`, :meth:`trim_before` and everything layered on them
+        — drops the cache, so the snapshot always reflects the current
+        contents.  Repeated scans of an unchanged pool (the broker's
+        phase-one fan-out, benchmark repeats) pay the columnarization
+        once.
+        """
+        if self._arrays is None:
+            self._arrays = SlotArrays.from_slots(self.ordered())
+        return self._arrays
+
     def total_free_time(self) -> float:
         """Sum of all slot lengths in the pool."""
         return sum(slot.length for slot in self)

@@ -23,7 +23,7 @@ the configuration — never on wall-clock or worker count.
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from time import perf_counter
 from typing import Iterable, Optional, Sequence
 
@@ -120,21 +120,32 @@ class BrokerService:
         #: Persistent phase-one executor, created on first parallel cycle
         #: and reused for the broker's lifetime (thread spawn per cycle
         #: was pure overhead); ``close()`` shuts it down.
-        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor: Optional[Executor] = None
         self.pool.trim_before(self._now)
 
     # ------------------------------------------------------------------
     # Resource management
     # ------------------------------------------------------------------
-    def _phase_one_executor(self) -> Optional[ThreadPoolExecutor]:
-        """The persistent worker pool (lazily created; None when inline)."""
+    def _phase_one_executor(self) -> Optional[Executor]:
+        """The persistent worker pool (lazily created; None when inline).
+
+        ``worker_mode`` picks the executor flavour; the process pool is
+        fed through per-cycle shared-memory snapshots (see
+        :mod:`repro.service.parallel`), so its tasks carry block names,
+        never pickled pools.
+        """
         if self.config.workers <= 1:
             return None
         if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=self.config.workers,
-                thread_name_prefix="repro-phase1",
-            )
+            if self.config.worker_mode == "process":
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.config.workers
+                )
+            else:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.config.workers,
+                    thread_name_prefix="repro-phase1",
+                )
         return self._executor
 
     def close(self) -> None:
@@ -541,6 +552,7 @@ class BrokerService:
             workers=self.config.workers,
             limit=self.config.alternatives_per_job,
             executor=self._phase_one_executor(),
+            mode=self.config.worker_mode,
         )
         search_seconds = perf_counter() - search_started
         self.stats.search_seconds += search_seconds

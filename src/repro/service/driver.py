@@ -16,6 +16,7 @@ from time import perf_counter
 from typing import Optional, Sequence
 
 from repro.environment.generator import EnvironmentConfig, EnvironmentGenerator
+from repro.hostinfo import host_payload
 from repro.model.errors import ConfigurationError
 from repro.service.broker import BrokerService
 from repro.service.config import ServiceConfig
@@ -191,5 +192,6 @@ def bench_service(
             "batch_size": ServiceConfig().batch_size,
             "max_wait": ServiceConfig().max_wait,
         },
+        "host": host_payload(parallel_target=max(workers, 2)),
         "results": results,
     }

@@ -4,25 +4,90 @@ Phase one is embarrassingly parallel — each job's alternative search
 reads the pool and writes nothing (``select`` never mutates, and CSA
 copies internally before cutting) — so the broker publishes **one**
 read-only snapshot of the pool per cycle and fans the searches out over
-it on a ``concurrent.futures`` thread pool.  Results are merged back in
-job order, so the output is *identical* for any worker count:
-parallelism changes wall-clock time, never assignments.
+it on a ``concurrent.futures`` pool.  Results are merged back in job
+order, so the output is *identical* for any worker count: parallelism
+changes wall-clock time, never assignments.
 
-The single shared snapshot replaces the per-job ``SlotPool.copy()`` the
-first service version took: with hundreds of jobs per cycle those copies
-dominated the cycle's allocation churn while providing no isolation the
-read-only discipline did not already guarantee.
+Two fan-out transports share that discipline:
+
+``"thread"``
+    Workers share the snapshot object directly.  The single shared
+    snapshot replaces the per-job ``SlotPool.copy()`` the first service
+    version took: with hundreds of jobs per cycle those copies dominated
+    the cycle's allocation churn while providing no isolation the
+    read-only discipline did not already guarantee.
+
+``"process"``
+    The cycle's snapshot is published once into a
+    ``multiprocessing.shared_memory`` block
+    (:meth:`~repro.model.slotarrays.SlotArrays.to_shared`) and workers
+    receive only its *name* — the pool is never pickled, neither per job
+    nor per cycle.  Each worker process attaches, decodes the columns
+    into a pool exactly once per block (cached by name, so a cycle's N
+    jobs in one worker pay one decode), and searches that rebuilt pool.
+    The rebuilt slots are value-equal to the writer's, which is all the
+    broker's span-containment commit requires.  The search object is
+    pickled per task, so process mode requires a stateless search (CSA
+    is); a search mutating itself across jobs would diverge from the
+    thread-mode result.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import Executor, ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Optional, Sequence
 
 from repro.core.algorithms.base import SlotSelectionAlgorithm
 from repro.model.job import Job
+from repro.model.slotarrays import SharedSlotArrays
 from repro.model.slotpool import SlotPool
 from repro.model.window import Window
+
+#: Worker-process cache of the last decoded snapshot: ``(block name,
+#: rebuilt pool)``.  One entry suffices — the broker publishes one block
+#: per cycle and unlinks it afterwards, so a stale entry is never
+#: revisited and the cache cannot grow.
+_attached_block: Optional[tuple[str, SlotPool]] = None
+
+
+def _pool_from_block(name: str, min_usable_length: float) -> SlotPool:
+    """The pool decoded from shared block ``name`` (cached per process)."""
+    global _attached_block
+    if _attached_block is None or _attached_block[0] != name:
+        handle = SharedSlotArrays.attach(name)
+        try:
+            arrays = handle.arrays()  # copies out of the mapping
+        finally:
+            handle.close()
+        _attached_block = (
+            name,
+            SlotPool.from_arrays(arrays, min_usable_length=min_usable_length),
+        )
+    return _attached_block[1]
+
+
+def _search_against_block(
+    name: str,
+    min_usable_length: float,
+    search: SlotSelectionAlgorithm,
+    job: Job,
+    limit: Optional[int],
+) -> list[Window]:
+    """One job's phase-one search inside a worker process.
+
+    Module-level so ``ProcessPoolExecutor`` can pickle it.
+    """
+    pool = _pool_from_block(name, min_usable_length)
+    return search.find_alternatives(job, pool, limit=limit)
+
+
+def _collect(
+    executor: Executor,
+    submit_one,
+    jobs: Sequence[Job],
+) -> dict[str, list[Window]]:
+    futures = [submit_one(executor, job) for job in jobs]
+    return {job.job_id: future.result() for job, future in zip(jobs, futures)}
 
 
 def parallel_find_alternatives(
@@ -32,35 +97,58 @@ def parallel_find_alternatives(
     workers: int = 1,
     limit: Optional[int] = None,
     executor: Optional[Executor] = None,
+    mode: str = "thread",
 ) -> dict[str, list[Window]]:
     """Phase-one alternatives per job, searched on a shared pool snapshot.
 
-    Every job is searched against the same frozen copy of ``pool`` as
+    Every job is searched against the same frozen view of ``pool`` as
     published at the start of the cycle (the non-consuming discipline of
     :class:`~repro.scheduling.BatchScheduler`), so job order carries no
     information and the searches are independent.  With ``workers <= 1``
-    the loop runs inline; either path returns the same mapping, keyed in
+    the loop runs inline; every path returns the same mapping, keyed in
     ``jobs`` order.
 
-    ``executor`` optionally supplies a persistent executor (the broker
-    keeps one for its lifetime); when omitted and ``workers > 1`` a
-    transient :class:`ThreadPoolExecutor` is created for the call.
+    ``mode`` selects the fan-out transport (see the module docstring):
+    ``"thread"`` shares the snapshot object, ``"process"`` publishes one
+    shared-memory block per call and fans out over processes.
+
+    ``executor`` optionally supplies a persistent executor matching the
+    mode (the broker keeps one for its lifetime); when omitted and
+    ``workers > 1`` a transient executor is created for the call.
     """
-    snapshot = pool.copy()
     if workers <= 1 or len(jobs) <= 1:
+        snapshot = pool.copy()
         return {
             job.job_id: search.find_alternatives(job, snapshot, limit=limit)
             for job in jobs
         }
+    if mode == "process":
+        shared = pool.as_arrays().to_shared()
+        try:
+
+            def submit_one(pool_executor: Executor, job: Job):
+                return pool_executor.submit(
+                    _search_against_block,
+                    shared.name,
+                    pool.min_usable_length,
+                    search,
+                    job,
+                    limit,
+                )
+
+            if executor is not None:
+                return _collect(executor, submit_one, jobs)
+            with ProcessPoolExecutor(max_workers=workers) as transient:
+                return _collect(transient, submit_one, jobs)
+        finally:
+            shared.close()
+            shared.unlink()
+    snapshot = pool.copy()
+
+    def submit_one(pool_executor: Executor, job: Job):
+        return pool_executor.submit(search.find_alternatives, job, snapshot, limit)
+
     if executor is not None:
-        futures = [
-            executor.submit(search.find_alternatives, job, snapshot, limit)
-            for job in jobs
-        ]
-        return {job.job_id: future.result() for job, future in zip(jobs, futures)}
+        return _collect(executor, submit_one, jobs)
     with ThreadPoolExecutor(max_workers=workers) as transient:
-        futures = [
-            transient.submit(search.find_alternatives, job, snapshot, limit)
-            for job in jobs
-        ]
-        return {job.job_id: future.result() for job, future in zip(jobs, futures)}
+        return _collect(transient, submit_one, jobs)

@@ -43,6 +43,7 @@ def bench_resilience(
     identical fault sequence and the goodput differences are pure policy
     effects.  Each run's trace is validated end to end.
     """
+    from repro.hostinfo import host_payload
     from repro.service.config import ServiceConfig
     from repro.service.driver import TraceConfig, run_service_trace
     from repro.service.resilience.config import ResilienceConfig
@@ -110,6 +111,7 @@ def bench_resilience(
             "arrival_rate": arrival_rate,
             "workers": workers,
         },
+        "host": host_payload(parallel_target=max(workers, 2)),
         "results": results,
     }
 

@@ -21,11 +21,10 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
-import platform
 from time import perf_counter
 from typing import Optional, Sequence
 
+from repro.hostinfo import host_payload, usable_cpu_count
 from repro.model.errors import ConfigurationError
 from repro.simulation.config import ExperimentConfig, paper_base_config
 from repro.simulation.metrics import RunningStat, WindowStats
@@ -82,11 +81,9 @@ def result_fingerprint(result: ComparisonResult) -> str:
     return digest
 
 
-def _usable_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # non-Linux
-        return os.cpu_count() or 1
+#: Affinity-aware CPU count; kept as a module alias because other bench
+#: modules import it from here.  See :mod:`repro.hostinfo`.
+_usable_cpus = usable_cpu_count
 
 
 def bench_experiments(
@@ -157,7 +154,6 @@ def bench_experiments(
             row["speedup_vs_1_worker"] = round(
                 float(single["seconds"]) / float(row["seconds"]), 2
             )
-    cpus = _usable_cpus()
     return {
         "benchmark": "experiments_engine",
         "config": {
@@ -168,11 +164,7 @@ def bench_experiments(
             "stream_mode": config.stream_mode,
             "include_csa": include_csa,
         },
-        "host": {
-            "usable_cpus": cpus,
-            "python": platform.python_version(),
-            "cpu_limited": cpus < max(worker_counts, default=1),
-        },
+        "host": host_payload(parallel_target=max(worker_counts, default=1)),
         "invariant": True,
         "aggregate_fingerprint": reference_digest,
         "results": rows,

@@ -115,17 +115,47 @@ def run_spawned_cycle(
 
 
 @dataclass
-class _ChunkTask:
-    """One worker task: a contiguous block of cycles of one study."""
+class _StudyContext:
+    """Static per-study state, shipped to each worker process **once**.
 
-    index: int
+    Everything a chunk needs that does not vary between chunks —
+    configuration, the algorithm suite, flags, the job override — goes
+    here and rides the ``ProcessPoolExecutor`` *initializer*, so it is
+    pickled once per worker instead of once per task.  Tasks themselves
+    shrink to ``(index, cycle_seeds)``.
+    """
+
     config: ExperimentConfig
-    cycle_seeds: list
     algorithms: Optional[list[SlotSelectionAlgorithm]]
     algorithm_names: list[str]
     include_csa: bool
     validate: bool
     job: Optional[Job]
+
+
+@dataclass
+class _ChunkTask:
+    """One worker task: a contiguous block of cycles of one study."""
+
+    index: int
+    cycle_seeds: list
+
+
+#: The study context installed in this worker process (by
+#: :func:`_install_study_context` via the executor initializer); the
+#: parent's in-process path never touches it.
+_study_context: Optional[_StudyContext] = None
+
+
+def _install_study_context(context: _StudyContext) -> None:
+    global _study_context
+    _study_context = context
+
+
+def _run_chunk_in_worker(task: _ChunkTask) -> "_ChunkResult":
+    """Worker-side entry: fold a chunk against the installed context."""
+    assert _study_context is not None, "executor initializer did not run"
+    return _run_chunk(task, _study_context)
 
 
 @dataclass
@@ -139,30 +169,30 @@ class _ChunkResult:
     cycles: int
 
 
-def _run_chunk(task: _ChunkTask) -> _ChunkResult:
+def _run_chunk(task: _ChunkTask, context: _StudyContext) -> _ChunkResult:
     """Fold one chunk's cycles into fresh partial accumulators.
 
-    Module-level so ``ProcessPoolExecutor`` can pickle it; also the exact
-    code path of the in-process mode, which is what keeps the two modes
-    bit-identical.
+    The exact code path of both the in-process mode and (through
+    :func:`_run_chunk_in_worker`) the subprocess mode, which is what
+    keeps the two modes bit-identical.
     """
     partial = _ChunkResult(
         index=task.index,
-        algorithms={name: WindowStats() for name in task.algorithm_names},
+        algorithms={name: WindowStats() for name in context.algorithm_names},
         csa=CsaStats(),
         slot_count=RunningStat(),
         cycles=0,
     )
     for cycle_seed in task.cycle_seeds:
         summary = run_spawned_cycle(
-            task.config,
+            context.config,
             cycle_seed,
-            task.algorithms,
-            include_csa=task.include_csa,
-            validate=task.validate,
-            job=task.job,
+            context.algorithms,
+            include_csa=context.include_csa,
+            validate=context.validate,
+            job=context.job,
         )
-        _observe_summary(partial, summary, task.include_csa)
+        _observe_summary(partial, summary, context.include_csa)
     return partial
 
 
@@ -179,31 +209,12 @@ def _observe_summary(
     partial.cycles += 1
 
 
-def _chunk_tasks(
-    config: ExperimentConfig,
-    algorithms: Optional[Sequence[SlotSelectionAlgorithm]],
-    algorithm_names: list[str],
-    include_csa: bool,
-    validate: bool,
-    job: Optional[Job],
-    chunk_size: int,
-) -> list[_ChunkTask]:
+def _chunk_tasks(config: ExperimentConfig, chunk_size: int) -> list[_ChunkTask]:
     cycle_seeds = config.spawn_cycle_seeds()
-    tasks = []
-    for index, begin in enumerate(range(0, config.cycles, chunk_size)):
-        tasks.append(
-            _ChunkTask(
-                index=index,
-                config=config,
-                cycle_seeds=cycle_seeds[begin : begin + chunk_size],
-                algorithms=list(algorithms) if algorithms is not None else None,
-                algorithm_names=algorithm_names,
-                include_csa=include_csa,
-                validate=validate,
-                job=job,
-            )
-        )
-    return tasks
+    return [
+        _ChunkTask(index=index, cycle_seeds=cycle_seeds[begin : begin + chunk_size])
+        for index, begin in enumerate(range(0, config.cycles, chunk_size))
+    ]
 
 
 def _merge_chunks(
@@ -317,16 +328,28 @@ def run_comparison(
         algorithm_names = [a.name for a in paper_algorithm_suite()]
     else:
         algorithm_names = [a.name for a in algorithms]
-    tasks = _chunk_tasks(
-        config, algorithms, algorithm_names, include_csa, validate, job, chunk_size
+    context = _StudyContext(
+        config=config,
+        algorithms=list(algorithms) if algorithms is not None else None,
+        algorithm_names=algorithm_names,
+        include_csa=include_csa,
+        validate=validate,
+        job=job,
     )
+    tasks = _chunk_tasks(config, chunk_size)
     result = ComparisonResult(config=config)
     for name in algorithm_names:
         result.algorithms[name] = WindowStats()
 
     if workers is None or workers == 0:
-        partials = [_run_chunk(task) for task in tasks]
+        partials = [_run_chunk(task, context) for task in tasks]
     else:
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            partials = list(executor.map(_run_chunk, tasks))
+        # The static context rides the initializer — pickled once per
+        # worker — so tasks on the wire are just (index, seeds).
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_install_study_context,
+            initargs=(context,),
+        ) as executor:
+            partials = list(executor.map(_run_chunk_in_worker, tasks))
     return _merge_chunks(result, partials, include_csa)

@@ -179,3 +179,79 @@ class TestComplexityCounters:
         )
         assert result.candidate_inserts == 0
         assert result.candidate_expiries == 0
+
+
+class TestPruneIdentity:
+    """Expiry must delete the expiring candidate's *own* sorted-list
+    entries, never an equal-comparing neighbour's.
+
+    Distinct candidates can carry byte-equal ``(cost, required_time)``
+    pairs (identical node types), and IEEE comparison even equates
+    distinct keys (``-0.0 == 0.0``); only the serial identifies the
+    entry.  ``_delete_keyed`` verifies it before deleting and raises on
+    a miss instead of silently removing another candidate.
+    """
+
+    def test_delete_keyed_skips_equal_comparing_neighbour(self):
+        from repro.core.candidates import _delete_keyed
+
+        entries = [(0.0, 5.0, 1), (-0.0, 5.0, 2)]  # keys compare equal
+        index = _delete_keyed(entries, (-0.0, 5.0, 2))
+        assert index == 1
+        assert entries == [(0.0, 5.0, 1)]
+
+    def test_delete_keyed_missing_serial_raises(self):
+        from repro.core.candidates import _delete_keyed
+
+        with pytest.raises(LookupError):
+            _delete_keyed([(1.0, 2.0, 1)], (1.0, 2.0, 9))
+
+    def test_duplicate_key_storm_expires_the_right_candidates(self):
+        """Hypothesis storm: many candidates sharing exact (time, cost)
+        keys but different expiries; pruning must keep exactly the legs
+        the brute-force model keeps — verified by object identity."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.model.slot import TIME_EPSILON, Slot
+        from repro.model.window import WindowSlot
+
+        spec = st.lists(
+            st.tuples(
+                st.sampled_from([1.0, 2.0]),       # cost: collisions guaranteed
+                st.sampled_from([3.0, 4.0]),       # required_time: ditto
+                st.sampled_from([8.0, 10.0, 12.0, 14.0]),  # slot end: expiry spread
+            ),
+            min_size=4,
+            max_size=20,
+        )
+
+        @settings(max_examples=60, deadline=None)
+        @given(spec=spec, cuts=st.lists(st.floats(0.0, 12.0), min_size=1, max_size=5))
+        def run(spec, cuts):
+            candidates = IncrementalCandidateSet(n=2)
+            model = []  # (serial, cost, time, expire, leg)
+            for serial, (cost, time, end) in enumerate(spec, start=1):
+                leg = WindowSlot(
+                    slot=Slot(make_node(serial), 0.0, end),
+                    required_time=time,
+                    cost=cost,
+                )
+                candidates.insert(leg)
+                model.append((serial, cost, time, end - time, leg))
+            for window_start in sorted(cuts):
+                expired = candidates.prune(window_start)
+                survivors = [
+                    entry
+                    for entry in model
+                    if entry[3] >= window_start - TIME_EPSILON
+                ]
+                assert expired == len(model) - len(survivors)
+                model = survivors
+                expected = sorted(model, key=lambda e: (e[1], e[2], e[0]))
+                actual = candidates.ordered()
+                assert len(actual) == len(expected)
+                for got, want in zip(actual, expected):
+                    assert got is want[4]  # identity, not mere equality
+
+        run()

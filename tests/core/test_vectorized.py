@@ -1,0 +1,131 @@
+"""Dispatch and equivalence tests of the vectorized scan kernel.
+
+The byte-level equivalence net against the frozen pre-change kernel
+lives in ``test_scan_equivalence.py`` (the vector path participates in
+it transparently through ``aep_scan``).  These tests cover what that
+suite cannot: the dispatch seams — counter telemetry, the environment
+kill-switch, the object-kernel fallback for unsupported shapes — and a
+direct vector-vs-object comparison that includes the structural
+counters the reference kernel does not track.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import aep as aep_module
+from repro.core import vectorized
+from repro.core.aep import aep_scan
+from repro.core.extractors import (
+    EarliestFinishExtractor,
+    EarliestStartExtractor,
+    MinRuntimeExactExtractor,
+    MinRuntimeSubstitutionExtractor,
+    MinTotalCostExtractor,
+)
+from repro.environment import EnvironmentConfig, EnvironmentGenerator
+from repro.model import ResourceRequest
+
+REQUEST = ResourceRequest(node_count=4, reservation_time=60.0, budget=900.0)
+
+EXTRACTORS = [
+    EarliestStartExtractor,
+    MinTotalCostExtractor,
+    MinRuntimeSubstitutionExtractor,
+    MinRuntimeExactExtractor,
+    EarliestFinishExtractor,
+]
+
+
+def make_pool(node_count: int = 40, seed: int = 17):
+    environment = EnvironmentGenerator(
+        EnvironmentConfig(node_count=node_count, seed=seed)
+    ).generate()
+    return environment.slot_pool()
+
+
+def counters():
+    return dict(vectorized.scan_counters)
+
+
+class TestDispatch:
+    def test_value_epsilon_agrees_with_object_kernel(self):
+        # The replay compares improvement margins against the object
+        # kernel's constant; a drift between the two would silently
+        # change which step wins ties.
+        assert vectorized.VALUE_EPSILON == aep_module.VALUE_EPSILON
+
+    def test_pool_scan_takes_vector_path(self):
+        pool = make_pool()
+        before = counters()
+        result = aep_scan(REQUEST, pool, MinTotalCostExtractor())
+        assert result is not None
+        assert vectorized.scan_counters["vectorized"] == before["vectorized"] + 1
+        assert vectorized.scan_counters["fallback"] == before["fallback"]
+
+    def test_env_switch_forces_object_kernel(self, monkeypatch):
+        monkeypatch.setenv(vectorized.KERNEL_ENV, "object")
+        assert not vectorized.kernel_enabled()
+        pool = make_pool()
+        before = counters()
+        result = aep_scan(REQUEST, pool, MinTotalCostExtractor())
+        assert result is not None
+        assert vectorized.scan_counters["vectorized"] == before["vectorized"]
+        assert vectorized.scan_counters["fallback"] == before["fallback"] + 1
+
+    def test_unsorted_input_still_raises_order_error(self):
+        # The vector kernel refuses unsorted snapshots; the object kernel
+        # must keep its contractual ValueError on out-of-order slots.
+        slots = make_pool().ordered()
+        slots[0], slots[-1] = slots[-1], slots[0]
+        with pytest.raises(ValueError):
+            aep_scan(REQUEST, slots, MinTotalCostExtractor())
+
+    def test_subclassed_extractor_falls_back(self):
+        class Derived(MinTotalCostExtractor):
+            pass
+
+        pool = make_pool()
+        before = counters()
+        result = aep_scan(REQUEST, pool, Derived())
+        assert result is not None
+        assert vectorized.scan_counters["fallback"] == before["fallback"] + 1
+
+
+class TestVectorObjectEquivalence:
+    """Full ``ScanResult`` equality — counters included — per extractor.
+
+    Stronger than the reference-kernel net: the frozen kernel reports
+    ``candidate_inserts``/``candidate_expiries`` as zero, so only the
+    object kernel can confirm the vector replay reproduces them.
+    """
+
+    @pytest.mark.parametrize("make_extractor", EXTRACTORS)
+    @pytest.mark.parametrize("stop_at_first", [False, True])
+    @pytest.mark.parametrize("seed", [3, 29])
+    def test_scanresult_identical(self, make_extractor, stop_at_first, seed, monkeypatch):
+        pool = make_pool(seed=seed)
+        vector = aep_scan(
+            REQUEST, pool, make_extractor(), stop_at_first=stop_at_first
+        )
+        monkeypatch.setenv(vectorized.KERNEL_ENV, "object")
+        obj = aep_scan(
+            REQUEST, pool.ordered(), make_extractor(), stop_at_first=stop_at_first
+        )
+        assert (vector is None) == (obj is None)
+        if vector is None:
+            return
+        assert vector.window.start == obj.window.start
+        assert [
+            (ws.slot.node.node_id, ws.slot.start, ws.slot.end, ws.required_time, ws.cost)
+            for ws in vector.window.slots
+        ] == [
+            (ws.slot.node.node_id, ws.slot.start, ws.slot.end, ws.required_time, ws.cost)
+            for ws in obj.window.slots
+        ]
+        assert vector.value == obj.value
+        assert vector.steps == obj.steps
+        assert vector.slots_scanned == obj.slots_scanned
+        assert vector.candidate_peak == obj.candidate_peak
+        assert vector.candidate_inserts == obj.candidate_inserts
+        assert vector.candidate_expiries == obj.candidate_expiries

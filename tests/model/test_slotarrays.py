@@ -1,0 +1,195 @@
+"""The columnar snapshot: roundtrips, cache discipline, mutation storms.
+
+The pool's numpy snapshot (:meth:`SlotPool.as_arrays`) is the substrate
+of both the vectorized scan kernel and the shared-memory fan-out, so two
+things must hold under arbitrary interleavings of every mutating
+operation: the columns always describe exactly the object state
+(``_slots`` and the per-node index), and a snapshot that crossed a
+shared-memory block decodes value-equal to its source.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MinCost
+from repro.core.aep import aep_scan
+from repro.core.extractors import MinTotalCostExtractor
+from repro.core.reference import reference_scan
+from repro.environment import EnvironmentConfig, EnvironmentGenerator
+from repro.model import ResourceRequest, Slot, SlotPool
+from repro.model.slotarrays import SharedSlotArrays, SlotArrays
+from tests.conftest import make_node, make_slot
+
+
+def generated_pool(node_count: int = 25, seed: int = 9) -> SlotPool:
+    environment = EnvironmentGenerator(
+        EnvironmentConfig(node_count=node_count, seed=seed)
+    ).generate()
+    return environment.slot_pool()
+
+
+def span_list(pool: SlotPool):
+    return [(s.node.node_id, s.start, s.end) for s in pool.ordered()]
+
+
+def assert_columns_match_objects(pool: SlotPool) -> None:
+    """The snapshot's columns are exactly the pool's object state."""
+    arrays = pool.as_arrays()
+    ordered = pool.ordered()
+    assert arrays.slot_count == len(ordered)
+    assert arrays.start.tolist() == [s.start for s in ordered]
+    assert arrays.end.tolist() == [s.end for s in ordered]
+    node_ids = arrays.node_id[arrays.node_row].tolist()
+    assert node_ids == [s.node.node_id for s in ordered]
+    rows = {int(arrays.node_id[i]): i for i in range(arrays.node_count)}
+    for slot in ordered:
+        row = rows[slot.node.node_id]
+        assert arrays.performance[row] == slot.node.performance
+        assert arrays.price[row] == slot.node.price_per_unit
+
+
+def assert_index_consistent(pool: SlotPool) -> None:
+    """``_by_node`` holds the same entries as ``_slots``, per node."""
+    flattened = sorted(
+        entry for bucket in pool._by_node.values() for entry in bucket
+    )
+    assert flattened == sorted(pool._slots)
+    for node_id, bucket in pool._by_node.items():
+        assert bucket  # empty buckets are deleted eagerly
+        assert bucket == sorted(bucket)
+        assert all(slot.node.node_id == node_id for _, slot in bucket)
+
+
+class TestSharedMemoryRoundtrip:
+    def test_decoded_columns_value_equal(self):
+        arrays = generated_pool().as_arrays()
+        with arrays.to_shared() as shared:
+            reader = SharedSlotArrays.attach(shared.name)
+            try:
+                decoded = reader.arrays()
+            finally:
+                reader.close()
+        for column in ("start", "end", "node_row", "node_id", "performance",
+                       "price", "clock", "ram", "disk", "power"):
+            left, right = getattr(arrays, column), getattr(decoded, column)
+            assert left.dtype == right.dtype
+            assert np.array_equal(left, right)
+        assert decoded.os_names == arrays.os_names
+
+    def test_decoded_arrays_outlive_the_block(self):
+        pool = generated_pool()
+        arrays = pool.as_arrays()
+        shared = arrays.to_shared()
+        reader = SharedSlotArrays.attach(shared.name)
+        decoded = reader.arrays()
+        reader.close()
+        shared.close()
+        shared.unlink()
+        # The block is gone; the copied-out columns must still be intact.
+        assert np.array_equal(decoded.start, arrays.start)
+        rebuilt = [
+            (s.node.node_id, s.start, s.end) for s in decoded.slot_objects()
+        ]
+        assert rebuilt == span_list(pool)
+
+    def test_from_arrays_rebuild_is_faithful(self):
+        pool = generated_pool()
+        arrays = pool.as_arrays()
+        with arrays.to_shared() as shared:
+            reader = SharedSlotArrays.attach(shared.name)
+            try:
+                decoded = reader.arrays()
+            finally:
+                reader.close()
+            rebuilt = SlotPool.from_arrays(
+                decoded, min_usable_length=pool.min_usable_length
+            )
+        assert span_list(rebuilt) == span_list(pool)
+        assert rebuilt.min_usable_length == pool.min_usable_length
+        # The decoded snapshot doubles as the rebuilt pool's columnar
+        # cache — no re-columnarization on the reader side.
+        assert rebuilt.as_arrays() is decoded
+        assert_index_consistent(rebuilt)
+        # A rebuilt pool searches identically to its source.
+        request = ResourceRequest(
+            node_count=3, reservation_time=40.0, budget=600.0
+        )
+        original = MinCost().select(request, pool)
+        mirrored = MinCost().select(request, rebuilt)
+        assert (original is None) == (mirrored is None)
+        if original is not None:
+            assert original.start == mirrored.start
+            assert sorted(original.nodes()) == sorted(mirrored.nodes())
+
+
+class TestMutationStorm:
+    """Interleaved add / commit_window / release / trim_before keep the
+    columnar snapshot, ``_slots`` and the per-node index in lockstep."""
+
+    REQUEST = ResourceRequest(node_count=2, reservation_time=30.0, budget=500.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_storm_preserves_agreement(self, seed):
+        rng = np.random.default_rng(seed)
+        pool = generated_pool(node_count=12, seed=int(rng.integers(1, 1000)))
+        committed = []
+        clock = 0.0
+        fresh_node = 10_000
+        search = MinCost()
+        for _ in range(30):
+            op = rng.integers(0, 4)
+            if op == 0:
+                # Add a slot on a brand-new node: never collides with a
+                # committed span, so later releases stay legal.
+                fresh_node += 1
+                start = float(rng.uniform(clock, clock + 200.0))
+                node = make_node(
+                    fresh_node,
+                    performance=float(rng.integers(1, 8)),
+                    price=float(rng.uniform(0.5, 5.0)),
+                )
+                pool.add(Slot(node, start, start + float(rng.uniform(5.0, 80.0))))
+            elif op == 1:
+                window = search.select(self.REQUEST, pool)
+                if window is not None:
+                    pool.commit_window(window)
+                    committed.append(window)
+            elif op == 2 and committed:
+                pool.release(committed.pop(int(rng.integers(len(committed)))))
+            else:
+                clock += float(rng.uniform(0.0, 15.0))
+                pool.trim_before(clock)
+                committed = [w for w in committed if w.start >= clock]
+            pool.assert_disjoint_per_node()
+            assert_index_consistent(pool)
+            assert_columns_match_objects(pool)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_storm_scan_equivalence(self, seed):
+        """After a storm, the vector scan over the mutated pool still
+        matches the frozen reference kernel over the same slots."""
+        rng = np.random.default_rng(seed)
+        pool = generated_pool(node_count=15, seed=int(rng.integers(1, 1000)))
+        search = MinCost()
+        for _ in range(6):
+            window = search.select(self.REQUEST, pool)
+            if window is None:
+                break
+            pool.commit_window(window)
+        pool.trim_before(float(rng.uniform(0.0, 30.0)))
+        incremental = aep_scan(self.REQUEST, pool, MinTotalCostExtractor())
+        reference = reference_scan(
+            self.REQUEST, pool.ordered(), MinTotalCostExtractor()
+        )
+        assert (incremental is None) == (reference is None)
+        if incremental is not None:
+            assert incremental.window.start == reference.window.start
+            assert incremental.value == reference.value
+            assert incremental.steps == reference.steps
+            assert incremental.slots_scanned == reference.slots_scanned

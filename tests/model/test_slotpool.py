@@ -171,3 +171,38 @@ class TestMinUsableLength:
         twin = pool.copy()
         twin.add(make_slot(0, 0.0, 3.0))
         assert len(twin) == 0
+
+
+class TestEpsilonRules:
+    """Single-epsilon discipline on the time axis.
+
+    An earlier revision admitted slots up to one ``TIME_EPSILON``
+    *shorter* than ``min_usable_length`` (the threshold had the epsilon
+    subtracted twice along the add path); these are the regression
+    guards for the strict rule.
+    """
+
+    def test_add_drops_slot_just_below_threshold(self):
+        from repro.model.slot import TIME_EPSILON
+
+        pool = SlotPool(min_usable_length=10.0)
+        # One tenth of an epsilon short: the lax pre-fix rule admitted
+        # this (it only required length >= threshold - TIME_EPSILON).
+        pool.add(make_slot(0, 0.0, 10.0 - TIME_EPSILON / 10.0))
+        assert len(pool) == 0
+
+    def test_add_admits_slot_at_exact_threshold(self):
+        pool = SlotPool(min_usable_length=10.0)
+        pool.add(make_slot(0, 0.0, 10.0))
+        assert len(pool) == 1
+
+    def test_coalesce_gap_is_single_epsilon(self):
+        from repro.model.slot import TIME_EPSILON
+
+        pool = SlotPool.from_slots([make_slot(0, 0.0, 10.0)])
+        pool.add(make_slot(0, 10.0 + TIME_EPSILON / 2.0, 20.0))
+        assert len(pool) == 1  # within one epsilon: merged
+
+        pool = SlotPool.from_slots([make_slot(0, 0.0, 10.0)])
+        pool.add(make_slot(0, 10.0 + 2.0 * TIME_EPSILON, 20.0))
+        assert len(pool) == 2  # beyond one epsilon: kept apart

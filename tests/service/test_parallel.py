@@ -7,6 +7,8 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 
+import pytest
+
 from repro.core.algorithms.csa import CSA
 from repro.environment import EnvironmentConfig, EnvironmentGenerator
 from repro.model import Job, ResourceRequest
@@ -134,3 +136,61 @@ class TestPersistentBrokerExecutor:
             }
 
         assert run(1) == run(4)
+
+
+class TestProcessFanOut:
+    """The shared-memory process transport must be invisible in the
+    results: identical alternatives, identical broker assignments."""
+
+    def test_process_mode_matches_inline(self):
+        pool = make_pool()
+        jobs = make_jobs(6)
+        search = CSA(max_alternatives=4)
+        inline = parallel_find_alternatives(search, jobs, pool, workers=1, limit=4)
+        process = parallel_find_alternatives(
+            search, jobs, pool, workers=2, limit=4, mode="process"
+        )
+        assert fingerprint(inline) == fingerprint(process)
+
+    def test_process_mode_leaves_pool_untouched(self):
+        pool = make_pool()
+        before = [(slot.node.node_id, slot.start, slot.end) for slot in pool]
+        parallel_find_alternatives(
+            CSA(max_alternatives=3),
+            make_jobs(4),
+            pool,
+            workers=2,
+            limit=3,
+            mode="process",
+        )
+        after = [(slot.node.node_id, slot.start, slot.end) for slot in pool]
+        assert before == after
+
+    def test_broker_process_mode_matches_thread_mode(self):
+        jobs = make_jobs(8)
+
+        def run(mode: str):
+            service = BrokerService(
+                make_pool(),
+                config=ServiceConfig(
+                    workers=2, worker_mode=mode, batch_size=3, max_wait=5.0
+                ),
+            )
+            for index, job in enumerate(jobs):
+                service.advance_to(float(index))
+                service.submit(job)
+                service.pump()
+            service.drain()
+            service.close()
+            return {
+                job_id: (window.start, tuple(sorted(window.nodes())))
+                for job_id, window in service.assignments.items()
+            }
+
+        assert run("thread") == run("process")
+
+    def test_unknown_worker_mode_rejected(self):
+        from repro.model.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(worker_mode="fiber")
