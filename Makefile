@@ -3,8 +3,8 @@
 PY ?= python
 
 .PHONY: install test bench bench-full bench-all bench-core bench-service \
-	bench-experiments bench-resilience bench-federation figures report \
-	examples clean
+	bench-experiments bench-resilience bench-federation bench-soak \
+	figures report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -32,11 +32,17 @@ bench-resilience:
 bench-federation:
 	PYTHONPATH=src $(PY) -m repro.cli bench-federation -o BENCH_federation.json
 
+# The 10^5-job rolling-horizon soak (~25 min on one CPU): refuses to
+# record unless memory is flat, p99 is stable, and the incremental
+# snapshot beats a per-cycle rebuild by the gated factor.
+bench-soak:
+	PYTHONPATH=src $(PY) -m repro.cli bench-soak -o BENCH_soak.json
+
 # Regenerate every committed BENCH_*.json in one pass (one slow-ish
 # command per archive; each refuses to record numbers whose invariants
 # do not hold).
 bench-all: bench-core bench-service bench-experiments bench-resilience \
-	bench-federation
+	bench-federation bench-soak
 
 # The paper-scale run (hours): 5000 cycles, 1000 reps, full grids.
 bench-full:

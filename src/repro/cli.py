@@ -40,6 +40,11 @@ Installed as the ``repro`` console script (also runnable as
     Drive the federation front door over real loopback sockets across
     shard counts and archive submit-to-schedule latency and throughput
     (``BENCH_federation.json``).
+``repro bench-soak``
+    Drive a 10^5-job Poisson stream through a rolling-horizon broker
+    across hundreds of horizon segments, gate on flat RSS / stable p99
+    cycle latency / incremental-snapshot speedup, and archive the JSON
+    baseline (``BENCH_soak.json``).
 """
 
 from __future__ import annotations
@@ -607,6 +612,64 @@ def cmd_bench_core(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_soak(args: argparse.Namespace) -> int:
+    """Handler of the ``repro bench-soak`` subcommand."""
+    from repro.io import save_json
+    from repro.service.soak import SoakGateError, bench_soak
+
+    print(
+        f"soaking the rolling-horizon broker: {args.jobs} jobs at rate "
+        f"{args.rate:g} on {args.nodes} nodes, horizon lead {args.lead:g} / "
+        f"stride {args.stride:g} ({args.amp_policy} scans) ..."
+    )
+    try:
+        payload = bench_soak(
+            jobs=args.jobs,
+            node_count=args.nodes,
+            rate=args.rate,
+            seed=args.seed,
+            lead=args.lead,
+            stride=args.stride,
+            batch_size=args.batch_size,
+            amp_policy=args.amp_policy,
+            sample_every=args.sample_every,
+            min_speedup=args.min_speedup,
+            max_p99_ratio=args.max_p99_ratio,
+            max_rss_ratio=args.max_rss_ratio,
+        )
+    except SoakGateError as error:
+        print(f"SOAK GATE FAILED\n{error}", file=sys.stderr)
+        return 1
+    latency = payload["cycle_latency_ms"]
+    rss = payload["rss_mb"]
+    snapshot = payload["snapshot"]
+    print(
+        f"  {payload['counts']['cycles']} cycles over "
+        f"{payload['virtual']['segments_published']} horizon segments "
+        f"in {payload['elapsed_s']:.1f}s wall "
+        f"({payload['jobs_per_s']:.1f} jobs/s)"
+    )
+    print(
+        f"  p99 cycle latency {latency['p99_first_decile']:.1f}ms -> "
+        f"{latency['p99_last_decile']:.1f}ms "
+        f"({latency['p99_ratio']:.2f}x); RSS {rss['first_decile']:.1f}MB -> "
+        f"{rss['last_decile']:.1f}MB ({rss['ratio']:.2f}x)"
+    )
+    print(
+        f"  incremental snapshot {snapshot['incremental_us_mean']:.1f}us vs "
+        f"rebuild {snapshot['rebuild_us_mean']:.1f}us = "
+        f"{snapshot['speedup']:.1f}x over {snapshot['samples']} samples; "
+        f"scan kernel {payload['scan_kernel']['vectorized']} vectorized / "
+        f"{payload['scan_kernel']['fallback']} fallback"
+    )
+    if payload["host"]["cpu_limited"]:
+        print("  note: single-CPU host — wall throughput is CPU-bound")
+    if args.output:
+        save_json(payload, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def cmd_bench_experiments(args: argparse.Namespace) -> int:
     """Handler of the ``repro bench-experiments`` subcommand."""
     from repro.io import save_json
@@ -1030,6 +1093,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON payload here (BENCH_experiments.json)",
     )
     bench_experiments.set_defaults(func=cmd_bench_experiments)
+
+    bench_soak = sub.add_parser(
+        "bench-soak",
+        help="rolling-horizon soak: flat-memory / stable-latency gates "
+             "over 10^5 jobs and hundreds of horizon segments",
+    )
+    bench_soak.add_argument("--jobs", type=int, default=100_000)
+    bench_soak.add_argument("--nodes", type=int, default=200)
+    bench_soak.add_argument("--rate", type=float, default=0.8,
+                            help="mean arrivals per virtual time unit")
+    bench_soak.add_argument("--seed", type=int, default=2013)
+    bench_soak.add_argument("--lead", type=float, default=600.0,
+                            help="rolling-horizon lead (time units ahead "
+                                 "of now the pool must cover)")
+    bench_soak.add_argument("--stride", type=float, default=600.0,
+                            help="horizon segment length")
+    bench_soak.add_argument("--batch-size", type=int, default=8)
+    bench_soak.add_argument(
+        "--amp-policy", default="cheapest", choices=("cheapest", "first"),
+        help="phase-one AMP policy: cheapest rides the vectorized scan "
+             "kernel, first is the paper-faithful object loop",
+    )
+    bench_soak.add_argument("--sample-every", type=int, default=64,
+                            help="cycles between RSS / snapshot-cost probes")
+    bench_soak.add_argument("--min-speedup", type=float, default=5.0,
+                            help="refuse-to-record gate: incremental "
+                                 "snapshot vs per-cycle rebuild")
+    bench_soak.add_argument("--max-p99-ratio", type=float, default=1.2,
+                            help="refuse-to-record gate: last-decile p99 "
+                                 "over first-decile p99 (post-warmup)")
+    bench_soak.add_argument("--max-rss-ratio", type=float, default=1.2,
+                            help="refuse-to-record gate: last-decile RSS "
+                                 "over first-decile RSS (post-warmup)")
+    bench_soak.add_argument("-o", "--output",
+                            help="write the JSON payload here "
+                                 "(BENCH_soak.json)")
+    bench_soak.set_defaults(func=cmd_bench_soak)
 
     presets = sub.add_parser("presets", help="list environment presets")
     presets.add_argument("--nodes", type=int, default=100)

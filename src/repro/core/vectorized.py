@@ -94,8 +94,22 @@ UNSUPPORTED = object()
 KERNEL_ENV = "REPRO_SCAN_KERNEL"
 
 #: Dispatch telemetry for tests and the CI smoke job: counts of scans
-#: served by the vector kernel vs. handed back to the object kernel.
-scan_counters = {"vectorized": 0, "fallback": 0}
+#: served by the vector kernel vs. handed back to the object kernel,
+#: and of scan plans computed vs. reused from a snapshot's cache (the
+#: reuse the rolling-horizon broker banks on between mutations).
+scan_counters = {
+    "vectorized": 0,
+    "fallback": 0,
+    "plans_built": 0,
+    "plans_reused": 0,
+}
+
+#: Per-snapshot plan cache bound.  A broker cycle scans one snapshot
+#: for every queued request shape, so the cache is a dict keyed by
+#: :func:`_plan_key` rather than a single slot (which thrashed across
+#: interleaved shapes); FIFO-evicted beyond this many entries to keep
+#: snapshot memory bounded over soak runs.
+PLAN_CACHE_LIMIT = 64
 
 
 def kernel_enabled() -> bool:
@@ -206,17 +220,26 @@ def _plan_key(request: ResourceRequest) -> tuple:
 
 def _plan_for(arrays: SlotArrays, request: ResourceRequest) -> Optional[_ScanPlan]:
     """The cached scan plan, or ``None`` when the slots are not sorted."""
+    cache = getattr(arrays, "_plan_cache", None)
+    if cache is None:
+        cache = {}
+        arrays._plan_cache = cache
     key = _plan_key(request)
-    if getattr(arrays, "_plan_key", None) == key:
-        return arrays._plan
+    plan = cache.get(key, UNSUPPORTED)
+    if plan is not UNSUPPORTED:
+        scan_counters["plans_reused"] += 1
+        return plan
     start_all = arrays.start
     total = arrays.slot_count
-    if total > 1 and not bool((start_all[1:] >= start_all[:-1]).all()):
+    if getattr(arrays, "_plan_unsorted", False) or (
+        total > 1 and not bool((start_all[1:] >= start_all[:-1]).all())
+    ):
         # Slot lists with (tolerated or raising) start-order wobble keep
         # the object kernel's slot-by-slot order check; the expiry
-        # pointer below also relies on non-decreasing starts.
-        arrays._plan_key = key
-        arrays._plan = None
+        # pointer below also relies on non-decreasing starts.  The
+        # verdict is request-independent, so it is flagged once per
+        # snapshot instead of per plan key.
+        arrays._plan_unsorted = True
         return None
 
     row = arrays.node_row
@@ -274,8 +297,10 @@ def _plan_for(arrays: SlotArrays, request: ResourceRequest) -> Optional[_ScanPla
     plan.cost_c = cost_c
     plan.cand_node_row = crow
     plan.extras = {}
-    arrays._plan_key = key
-    arrays._plan = plan
+    if len(cache) >= PLAN_CACHE_LIMIT:
+        cache.pop(next(iter(cache)))
+    cache[key] = plan
+    scan_counters["plans_built"] += 1
     return plan
 
 

@@ -14,6 +14,7 @@ from repro.environment.load import (
 )
 from repro.environment.presets import PRESETS, preset
 from repro.environment.pricing import MarketPricing
+from repro.environment.rolling import HorizonConfig, RollingHorizonSource
 
 __all__ = [
     "build_timeline",
@@ -21,6 +22,7 @@ __all__ = [
     "Environment",
     "EnvironmentConfig",
     "EnvironmentGenerator",
+    "HorizonConfig",
     "hypergeometric_fraction",
     "LoadModel",
     "MarketPricing",
@@ -28,5 +30,6 @@ __all__ = [
     "PRESETS",
     "partition_total",
     "positive_normal",
+    "RollingHorizonSource",
     "uniform_int",
 ]

@@ -40,7 +40,7 @@ from repro.federation.tracing import FederationTraceValidator
 from repro.service.broker import BrokerService
 from repro.service.config import ServiceConfig
 from repro.service.events import Event, EventSink, EventType
-from repro.service.stats import percentile
+from repro.service.stats import ReservoirSampler
 from repro.hostinfo import usable_cpu_count
 from repro.simulation.bench import InvarianceError
 from repro.simulation.jobgen import JobGenerator
@@ -53,11 +53,32 @@ class SubmitLatencyRecorder(EventSink):
     placement proof: the owning shard's ``SCHEDULED`` or the intake
     tier's ``COALLOCATED``.  Jobs that are rejected or dropped simply
     never resolve — latency is a property of placed work.
+
+    Resolved latencies land in a seeded :class:`ReservoirSampler`
+    rather than an unbounded list (an earlier revision grew one float
+    per placed job, a leak over soak-length runs); ``count`` and
+    ``peak`` stay exact while quantiles are estimated over the
+    fixed-capacity uniform sample.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, capacity: int = 4096) -> None:
         self._pending: dict[str, float] = {}
-        self.samples: list[float] = []
+        self._reservoir = ReservoirSampler(capacity=capacity)
+        self.peak = 0.0
+
+    @property
+    def samples(self) -> list[float]:
+        """The retained latency samples (at most ``capacity`` of them)."""
+        return list(self._reservoir._samples)
+
+    @property
+    def count(self) -> int:
+        """Exact number of resolved (placed) jobs."""
+        return self._reservoir.count
+
+    def quantiles(self, *qs: float) -> tuple[float, ...]:
+        """Estimated stream quantiles from the reservoir."""
+        return self._reservoir.quantiles(*qs)
 
     def emit(self, event: Event) -> None:
         if event.job_id is None:
@@ -70,7 +91,10 @@ class SubmitLatencyRecorder(EventSink):
         ):
             started = self._pending.pop(event.job_id, None)
             if started is not None:
-                self.samples.append(perf_counter() - started)
+                sample = perf_counter() - started
+                self._reservoir.add(sample)
+                if sample > self.peak:
+                    self.peak = sample
 
 
 def _make_pool(node_count: int, seed: int):
@@ -132,7 +156,7 @@ async def _run_one(
         await server.stop()
     # Refuse to record timings for a run whose trace breaks the laws.
     validator.check(expect_drained=True)
-    ordered = sorted(recorder.samples)
+    latency_p50, latency_p99 = recorder.quantiles(0.50, 0.99)
     return {
         "shards": shards,
         "policy": policy,
@@ -140,10 +164,10 @@ async def _run_one(
         "elapsed_s": round(elapsed, 6),
         "jobs_per_s": round(len(arrivals) / elapsed, 3) if elapsed else None,
         "submit_to_schedule_s": {
-            "samples": len(ordered),
-            "p50": round(percentile(ordered, 0.50), 6),
-            "p99": round(percentile(ordered, 0.99), 6),
-            "max": round(ordered[-1], 6) if ordered else 0.0,
+            "samples": recorder.count,
+            "p50": round(latency_p50, 6),
+            "p99": round(latency_p99, 6),
+            "max": round(recorder.peak, 6),
         },
         "frames": server.frames_served,
         "counts": {

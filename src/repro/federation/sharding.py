@@ -277,7 +277,15 @@ class ShardManager:
         return None
 
     def stats_snapshot(self) -> dict[str, object]:
-        """Intake counters plus per-shard stats and their aggregate."""
+        """Intake counters plus per-shard stats and their aggregate.
+
+        ``scan_kernel`` carries the vectorized kernel's dispatch
+        telemetry (process-wide — the shard brokers of one manager share
+        the dispatch table), so ``stats`` wire-op clients can assert the
+        hot path ran vectorized without shelling into the server.
+        """
+        from repro.core.vectorized import scan_counters
+
         aggregate = {
             "submitted": 0,
             "admitted": 0,
@@ -326,6 +334,7 @@ class ShardManager:
                 "dropped": self.stats.dropped,
                 "shard_losses": self.stats.shard_losses,
             },
+            "scan_kernel": dict(scan_counters),
             "shards": per_shard,
             "aggregate": aggregate,
         }

@@ -8,9 +8,17 @@ column layout:
 
 * :class:`SlotArrays` — per-slot columns (``start``, ``end``,
   ``node_row``) plus a *node table* of the distinct nodes behind the
-  slots (performance, price, hardware spec, precomputed power draw).
-  Per-request quantities are per-*node*, so the table keeps the derived
-  columns O(nodes) and a single ``take`` broadcasts them per slot.
+  slots (performance, price, hardware spec, precomputed power draw),
+  ordered by ascending ``node_id``.  Per-request quantities are
+  per-*node*, so the table keeps the derived columns O(nodes) and a
+  single ``take`` broadcasts them per slot.
+* :class:`SlotColumnStore` — the *incremental* maintenance engine
+  behind :meth:`repro.model.SlotPool.as_arrays`: mutations append or
+  tombstone storage rows in O(1), dead rows are compacted periodically,
+  and each snapshot is assembled from the live rows with numpy sorts
+  instead of a per-slot Python rebuild.  Snapshots are byte-equal to
+  :meth:`SlotArrays.from_slots` over the same slots (property-tested),
+  so the vectorized kernel cannot tell the difference.
 * :data:`STRUCTURED_DTYPE` / :meth:`SlotArrays.structured` — the
   flattened one-record-per-slot view (``node_id``, ``start``, ``end``,
   ``cost`` — the node's price per unit time — and ``performance``),
@@ -23,8 +31,10 @@ column layout:
   block.
 
 The arrays are a *snapshot*: building one from a :class:`SlotPool`
-captures the pool at that instant and the pool invalidates its cached
-snapshot on every mutation (see :meth:`repro.model.SlotPool.as_arrays`).
+captures the pool at that instant; the pool serves one snapshot object
+per mutation generation (see :meth:`repro.model.SlotPool.as_arrays`),
+assembling fresh generations from the incremental store rather than
+re-walking objects.
 Readers that need objects back — e.g. worker processes returning
 :class:`~repro.model.Window` results — rebuild value-equal ``Slot`` /
 ``CpuNode`` instances from the columns via :meth:`slot_objects`.
@@ -33,6 +43,7 @@ Readers that need objects back — e.g. worker processes returning
 from __future__ import annotations
 
 import pickle
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -65,8 +76,9 @@ class SlotArrays:
     """Immutable columnar snapshot of an ordered slot list.
 
     Per-slot columns are parallel to the start-ordered slot list; the
-    node table is ordered by first appearance in that list, and
-    ``node_row[i]`` indexes slot ``i``'s node within it.
+    node table is ordered by ascending ``node_id`` (a total order that
+    incremental maintenance can keep without inspecting the slot list),
+    and ``node_row[i]`` indexes slot ``i``'s node within it.
     """
 
     # Per-slot columns (length = slot count).
@@ -99,17 +111,26 @@ class SlotArrays:
         end = np.empty(count, dtype=np.float64)
         node_row = np.empty(count, dtype=np.int64)
         rows: dict[int, int] = {}
-        nodes: list[CpuNode] = []
+        seen: list[CpuNode] = []
         for index, slot in enumerate(slots):
             start[index] = slot.start
             end[index] = slot.end
             node = slot.node
             row = rows.get(node.node_id)
             if row is None:
-                row = len(nodes)
+                row = len(seen)
                 rows[node.node_id] = row
-                nodes.append(node)
+                seen.append(node)
             node_row[index] = row
+        # Table order is ascending node id — the one total order the
+        # incremental store (SlotColumnStore) can maintain under
+        # arbitrary node arrival/departure, so full rebuilds and
+        # delta-maintained snapshots agree byte for byte.
+        order = sorted(range(len(seen)), key=lambda r: seen[r].node_id)
+        nodes = [seen[r] for r in order]
+        remap = np.empty(len(seen), dtype=np.int64)
+        remap[np.array(order, dtype=np.int64)] = np.arange(len(seen), dtype=np.int64)
+        node_row = remap[node_row] if count else node_row
         return cls(
             start=start,
             end=end,
@@ -330,3 +351,292 @@ class SharedSlotArrays:
     def __exit__(self, *_exc) -> None:
         self.close()
         self.unlink()
+
+
+class SlotColumnStore:
+    """Incrementally maintained columnar state of a mutating slot pool.
+
+    The pool's old snapshot discipline rebuilt :class:`SlotArrays` from
+    scratch — a per-slot Python loop — after *any* mutation.  A
+    long-running broker mutates the pool every cycle (commits, releases,
+    trims, horizon extensions), so the rebuild made per-cycle snapshot
+    cost O(pool) in interpreted code regardless of how small the delta
+    was.  This store keeps the columns alive across mutations:
+
+    * ``add`` appends one storage row — O(1) amortized.
+    * ``discard`` tombstones the slot's row — O(1) (the row is found
+      through a sort-key lookup table, not a scan).
+    * dead rows are **compacted** away once they outnumber half the
+      storage (and at least ``compact_min``), so storage stays
+      proportional to the live pool — the flat-memory requirement of
+      soak serving.
+    * the start-time sort order is maintained *incrementally*: a
+      permutation array (``_order``) lists the live storage rows in
+      ``Slot.sort_key`` order, updated per mutation with one bisect on
+      a parallel key list and one ``memmove``-style shift.  ``snapshot``
+      is therefore sort-free — three fancy-index gathers plus one
+      ``searchsorted`` for the node rows.  The result is byte-equal to
+      ``SlotArrays.from_slots`` over the pool's ordered slots: equal
+      sort keys can only order value-identical rows differently, which
+      no column can observe.
+
+    The *node table* is maintained as a reference-counted registry in
+    ascending ``node_id`` order: a node enters when its first slot
+    arrives and leaves when its last slot is tombstoned, so fully
+    trimmed nodes never linger in snapshots.  ``generation`` increments
+    on every mutation; callers cache snapshots per generation.
+    """
+
+    __slots__ = (
+        "_start",
+        "_end",
+        "_nid",
+        "_alive",
+        "_size",
+        "_dead",
+        "_order",
+        "_keys",
+        "_lookup",
+        "_node_objs",
+        "_node_refs",
+        "_sorted_ids",
+        "_table",
+        "generation",
+        "compact_min",
+    )
+
+    #: Storage growth factor headroom for the append path.
+    _INITIAL_CAPACITY = 32
+
+    def __init__(self, compact_min: int = 64):
+        self._start = np.empty(self._INITIAL_CAPACITY, dtype=np.float64)
+        self._end = np.empty(self._INITIAL_CAPACITY, dtype=np.float64)
+        self._nid = np.empty(self._INITIAL_CAPACITY, dtype=np.int64)
+        self._alive = np.zeros(self._INITIAL_CAPACITY, dtype=bool)
+        self._size = 0
+        self._dead = 0
+        #: Live storage rows in ``Slot.sort_key`` order (the snapshot
+        #: permutation, maintained incrementally); ``_keys`` is the
+        #: parallel sorted list of sort keys used to bisect positions.
+        self._order = np.empty(self._INITIAL_CAPACITY, dtype=np.int64)
+        self._keys: list[tuple[float, float, int]] = []
+        #: sort_key -> storage rows holding that key (a list only to
+        #: tolerate value-identical duplicates; popping either is
+        #: correct because their column bytes are indistinguishable).
+        self._lookup: dict[tuple[float, float, int], list[int]] = {}
+        self._node_objs: dict[int, CpuNode] = {}
+        self._node_refs: dict[int, int] = {}
+        self._sorted_ids: list[int] = []
+        self._table: Optional[tuple] = None
+        self.generation = 0
+        self.compact_min = compact_min
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def live_count(self) -> int:
+        """Number of live (non-tombstoned) rows."""
+        return self._size - self._dead
+
+    @property
+    def dead_count(self) -> int:
+        """Number of tombstoned rows awaiting compaction."""
+        return self._dead
+
+    @property
+    def storage_rows(self) -> int:
+        """Rows currently occupied in storage (live + dead)."""
+        return self._size
+
+    @property
+    def node_count(self) -> int:
+        """Distinct nodes with at least one live slot."""
+        return len(self._sorted_ids)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def _ensure_capacity(self) -> None:
+        if self._size < self._start.shape[0]:
+            return
+        capacity = max(self._INITIAL_CAPACITY, 2 * self._start.shape[0])
+        for name in ("_start", "_end", "_nid", "_alive"):
+            old = getattr(self, name)
+            grown = np.zeros(capacity, dtype=old.dtype)
+            grown[: self._size] = old[: self._size]
+            setattr(self, name, grown)
+
+    def add(self, slot: Slot) -> None:
+        """Append one slot's storage row and splice it into the order.
+
+        The column append is O(1) amortized; keeping the permutation
+        sorted costs one bisect plus a contiguous shift (a single
+        ``memmove``, not a numpy sort) — microseconds at soak-scale
+        pools, repaid every snapshot.
+        """
+        self._ensure_capacity()
+        row = self._size
+        self._start[row] = slot.start
+        self._end[row] = slot.end
+        node = slot.node
+        self._nid[row] = node.node_id
+        self._alive[row] = True
+        self._size = row + 1
+        key = slot.sort_key()
+        live = len(self._keys)
+        if live >= self._order.shape[0]:
+            grown = np.empty(max(self._INITIAL_CAPACITY, 2 * live), dtype=np.int64)
+            grown[:live] = self._order[:live]
+            self._order = grown
+        position = bisect_right(self._keys, key)
+        self._keys.insert(position, key)
+        self._order[position + 1 : live + 1] = self._order[position:live]
+        self._order[position] = row
+        self._lookup.setdefault(key, []).append(row)
+        refs = self._node_refs.get(node.node_id)
+        if refs is None:
+            self._node_refs[node.node_id] = 1
+            self._node_objs[node.node_id] = node
+            insort(self._sorted_ids, node.node_id)
+            self._table = None
+        else:
+            self._node_refs[node.node_id] = refs + 1
+        self.generation += 1
+
+    def discard(self, slot: Slot) -> None:
+        """Tombstone one slot's row and splice it out of the order."""
+        key = slot.sort_key()
+        rows = self._lookup[key]
+        row = rows.pop()
+        if not rows:
+            del self._lookup[key]
+        # Equal keys sit contiguously in the permutation; scan the short
+        # duplicate run for the exact row the lookup table released.
+        position = bisect_left(self._keys, key)
+        while self._order[position] != row:  # pragma: no branch - present
+            position += 1
+        live = len(self._keys)
+        del self._keys[position]
+        self._order[position : live - 1] = self._order[position + 1 : live]
+        self._alive[row] = False
+        self._dead += 1
+        node_id = slot.node.node_id
+        refs = self._node_refs[node_id] - 1
+        if refs == 0:
+            # The node's last slot is gone: compact it out of the table
+            # immediately so node_count/snapshots track live nodes only.
+            del self._node_refs[node_id]
+            del self._node_objs[node_id]
+            self._sorted_ids.remove(node_id)
+            self._table = None
+        else:
+            self._node_refs[node_id] = refs
+        self.generation += 1
+        if self._dead >= self.compact_min and 2 * self._dead >= self._size:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop tombstoned rows, renumbering the lookup and order tables."""
+        if self._dead == 0:
+            return
+        live = np.flatnonzero(self._alive[: self._size])
+        count = int(live.size)
+        new_row = np.empty(self._size, dtype=np.int64)
+        new_row[live] = np.arange(count, dtype=np.int64)
+        self._start[:count] = self._start[: self._size][live]
+        self._end[:count] = self._end[: self._size][live]
+        self._nid[:count] = self._nid[: self._size][live]
+        self._alive[:count] = True
+        self._alive[count : self._size] = False
+        self._size = count
+        self._dead = 0
+        self._order[:count] = new_row[self._order[:count]]
+        renumber = new_row.tolist()
+        for rows in self._lookup.values():
+            rows[:] = [renumber[row] for row in rows]
+
+    # ------------------------------------------------------------------
+    # Snapshot assembly
+    # ------------------------------------------------------------------
+    def _table_arrays(self) -> tuple:
+        """The node-table columns (cached until node arrival/departure)."""
+        if self._table is None:
+            nodes = [self._node_objs[node_id] for node_id in self._sorted_ids]
+            self._table = (
+                np.array(self._sorted_ids, dtype=np.int64),
+                np.array([n.performance for n in nodes], dtype=np.float64),
+                np.array([n.price_per_unit for n in nodes], dtype=np.float64),
+                np.array([n.spec.clock_speed for n in nodes], dtype=np.float64),
+                np.array([n.spec.ram for n in nodes], dtype=np.int64),
+                np.array([n.spec.disk for n in nodes], dtype=np.int64),
+                np.array([n.power() for n in nodes], dtype=np.float64),
+                [n.spec.os for n in nodes],
+                nodes,
+            )
+        return self._table
+
+    def snapshot(self, ordered_slots: Optional[list[Slot]] = None) -> SlotArrays:
+        """Assemble the live rows into a fresh :class:`SlotArrays`.
+
+        ``ordered_slots`` optionally supplies the pool's object list so
+        the snapshot's ``slot_objects()`` returns the pool's own
+        instances (matching :meth:`SlotArrays.from_slots`); without it
+        objects are rebuilt lazily from the columns on first use.
+        """
+        # The permutation is maintained per mutation, so assembly is
+        # three gathers — no sort, no tombstone filtering (dead rows are
+        # simply absent from the order).
+        order = self._order[: len(self._keys)]
+        start = self._start[order]
+        end = self._end[order]
+        nid = self._nid[order]
+        (
+            node_id,
+            performance,
+            price,
+            clock,
+            ram,
+            disk,
+            power,
+            os_names,
+            nodes,
+        ) = self._table_arrays()
+        node_row = np.searchsorted(node_id, nid).astype(np.int64, copy=False)
+        return SlotArrays(
+            start=start,
+            end=end,
+            node_row=node_row,
+            node_id=node_id,
+            performance=performance,
+            price=price,
+            clock=clock,
+            ram=ram,
+            disk=disk,
+            power=power,
+            os_names=list(os_names),
+            _slots=ordered_slots,
+            _nodes=list(nodes),
+        )
+
+    def copy(self) -> "SlotColumnStore":
+        """An independent twin (numpy buffers and registries copied)."""
+        twin = SlotColumnStore.__new__(SlotColumnStore)
+        twin._start = self._start[: self._size].copy()
+        twin._end = self._end[: self._size].copy()
+        twin._nid = self._nid[: self._size].copy()
+        twin._alive = self._alive[: self._size].copy()
+        twin._size = self._size
+        twin._dead = self._dead
+        twin._order = self._order[: len(self._keys)].copy()
+        twin._keys = list(self._keys)
+        twin._lookup = {key: list(rows) for key, rows in self._lookup.items()}
+        twin._node_objs = dict(self._node_objs)
+        twin._node_refs = dict(self._node_refs)
+        twin._sorted_ids = list(self._sorted_ids)
+        # The table cache is immutable once built (rebuilt, never written
+        # in place), so the twin may share it.
+        twin._table = self._table
+        twin.generation = self.generation
+        twin.compact_min = self.compact_min
+        return twin

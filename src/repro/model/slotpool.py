@@ -17,7 +17,7 @@ from typing import Iterable, Iterator, Optional
 
 from repro.model.errors import AllocationError
 from repro.model.slot import TIME_EPSILON, Slot
-from repro.model.slotarrays import SlotArrays
+from repro.model.slotarrays import SlotArrays, SlotColumnStore
 from repro.model.window import Window
 
 #: Tolerance for coalescing two same-node slots across a gap: spans whose
@@ -68,10 +68,17 @@ class SlotPool:
     _by_node: dict[int, list[tuple[tuple[float, float, int], Slot]]] = field(
         default_factory=dict
     )
-    #: Cached columnar snapshot (:meth:`as_arrays`); dropped on mutation.
-    _arrays: Optional[SlotArrays] = field(
-        default=None, repr=False, compare=False
+    #: Incrementally maintained columnar state: every mutation appends
+    #: or tombstones storage rows in O(1) instead of invalidating a
+    #: cached snapshot, so :meth:`as_arrays` never pays a per-slot
+    #: Python rebuild (see :class:`~repro.model.slotarrays.SlotColumnStore`).
+    _store: SlotColumnStore = field(
+        default_factory=SlotColumnStore, repr=False, compare=False
     )
+    #: The snapshot served at ``_cache_generation`` (reused until the
+    #: next mutation, so unchanged pools keep their scan-plan caches).
+    _cache: Optional[SlotArrays] = field(default=None, repr=False, compare=False)
+    _cache_generation: int = field(default=-1, repr=False, compare=False)
 
     @classmethod
     def from_slots(cls, slots: Iterable[Slot], min_usable_length: float = TIME_EPSILON) -> "SlotPool":
@@ -98,7 +105,8 @@ class SlotPool:
         pool = cls(min_usable_length=min_usable_length)
         for slot in arrays.slot_objects():
             pool.add(slot, coalesce=False)
-        pool._arrays = arrays
+        pool._cache = arrays
+        pool._cache_generation = pool._store.generation
         return pool
 
     # ------------------------------------------------------------------
@@ -146,7 +154,7 @@ class SlotPool:
         entry = (slot.sort_key(), slot)
         insort(self._slots, entry)
         insort(self._by_node.setdefault(slot.node.node_id, []), entry)
-        self._arrays = None
+        self._store.add(slot)
 
     def _coalesce(self, slot: Slot) -> Slot:
         """Absorb same-node neighbours touching ``slot`` and return the union.
@@ -183,7 +191,7 @@ class SlotPool:
             raise AllocationError(f"slot not in pool: {slot!r}")
         del self._slots[index]
         self._bucket_discard(entry)
-        self._arrays = None
+        self._store.discard(slot)
 
     def _bucket_discard(self, entry: tuple[tuple[float, float, int], Slot]) -> None:
         """Drop ``entry`` (known present) from its node's index bucket."""
@@ -318,22 +326,24 @@ class SlotPool:
             if slot.end <= time + TIME_EPSILON:
                 changed += 1
                 self._bucket_discard(entry)
+                self._store.discard(slot)
                 continue
             if slot.start < time - TIME_EPSILON:
                 changed += 1
                 self._bucket_discard(entry)
+                self._store.discard(slot)
                 tail = slot.end - time
                 if tail > TIME_EPSILON and tail >= self.min_usable_length:
                     trimmed = Slot(slot.node, time, slot.end)
                     trimmed_entry = (trimmed.sort_key(), trimmed)
                     rebuilt.append(trimmed_entry)
                     insort(self._by_node.setdefault(trimmed.node.node_id, []), trimmed_entry)
+                    self._store.add(trimmed)
                 continue
             rebuilt.append(entry)
         if changed:
             rebuilt.sort()
             self._slots[:cutoff] = rebuilt
-            self._arrays = None
         return changed
 
     def copy(self) -> "SlotPool":
@@ -343,28 +353,42 @@ class SlotPool:
         twin._by_node = {
             node_id: list(bucket) for node_id, bucket in self._by_node.items()
         }
-        # The columnar snapshot describes identical contents, so the twin
-        # shares it until either side mutates (each invalidates only its
-        # own reference — SlotArrays itself is never written in place).
-        twin._arrays = self._arrays
+        twin._store = self._store.copy()
+        # The cached snapshot describes identical contents, so the twin
+        # shares it until either side mutates (snapshots are never
+        # written in place; each pool tracks its own generation).
+        twin._cache = self._cache
+        twin._cache_generation = self._cache_generation
         return twin
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def as_arrays(self) -> SlotArrays:
-        """The pool as a columnar snapshot (cached until the next mutation).
+    @property
+    def generation(self) -> int:
+        """Mutation counter: increments on every add/remove/trim.
 
-        Built lazily on first use; every mutation — :meth:`add`,
-        :meth:`remove`, :meth:`trim_before` and everything layered on them
-        — drops the cache, so the snapshot always reflects the current
-        contents.  Repeated scans of an unchanged pool (the broker's
-        phase-one fan-out, benchmark repeats) pay the columnarization
-        once.
+        Two reads with equal generations saw identical contents, so
+        callers key snapshot and scan-plan caches on it.
         """
-        if self._arrays is None:
-            self._arrays = SlotArrays.from_slots(self.ordered())
-        return self._arrays
+        return self._store.generation
+
+    def as_arrays(self) -> SlotArrays:
+        """The pool as a columnar snapshot (cached per generation).
+
+        Served from the incrementally maintained column store: the
+        *same* snapshot object is returned until the pool mutates — so
+        repeated scans of an unchanged pool (the broker's phase-one
+        fan-out, admission between cycles, benchmark repeats) reuse
+        both the columns and any scan plans cached on them — and a
+        mutated pool assembles a fresh snapshot by gathering the live
+        storage rows through the incrementally maintained sort
+        permutation, never a per-slot Python rebuild or a numpy sort.
+        """
+        if self._cache is None or self._cache_generation != self._store.generation:
+            self._cache = self._store.snapshot(self.ordered())
+            self._cache_generation = self._store.generation
+        return self._cache
 
     def total_free_time(self) -> float:
         """Sum of all slot lengths in the pool."""

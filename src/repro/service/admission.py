@@ -8,6 +8,24 @@ charge for the job's task — so it never rejects a schedulable job, and
 rejects with a precise reason everything structurally hopeless:
 duplicate ids, more nodes than the pool offers, budgets below the
 ``n`` cheapest usable nodes.
+
+The lower bound is evaluated on the pool's columnar snapshot
+(:meth:`~repro.model.SlotPool.as_arrays`) with numpy column arithmetic
+and memoized per (snapshot, request shape): a burst of submissions
+between cycles — when the pool's generation is unchanged — pays the
+per-node analysis once, not once per job.  The arithmetic performs the
+same IEEE operations as the per-slot object loop
+(:func:`cheapest_feasible_cost_reference`), so the verdicts are
+*identical*, not merely close (property-tested).
+
+:class:`AdmissionOutlook` adds the warm-start layer: exponentially
+decayed per-criterion fit-probability and queue-wait estimates from
+recent cycle outcomes.  With ``min_fit`` enabled, admission uses that
+outlook instead of a cold "the queue will sort it out" heuristic —
+jobs arriving while the broker demonstrably fails to place its batches
+are turned away at the door (``PREDICTED_MISS``) rather than deferred
+to death.  The gate defaults to off, keeping decision streams
+byte-identical to brokers without the layer.
 """
 
 from __future__ import annotations
@@ -16,11 +34,18 @@ import enum
 from dataclasses import dataclass
 from typing import AbstractSet, Optional
 
+import numpy as np
+
 from repro.model.job import Job, ResourceRequest
 from repro.model.slot import TIME_EPSILON
+from repro.model.slotarrays import SlotArrays
 from repro.model.slotpool import SlotPool
 from repro.model.window import COST_EPSILON
 from repro.service.events import EventEmitter, EventType
+
+#: Bound on the per-snapshot admission memo (distinct request shapes
+#: seen against one pool generation; FIFO-evicted beyond this).
+ADMISSION_CACHE_LIMIT = 64
 
 
 class RejectionReason(enum.Enum):
@@ -30,6 +55,7 @@ class RejectionReason(enum.Enum):
     DUPLICATE_ID = "duplicate_id"
     TOO_FEW_NODES = "too_few_nodes"
     BUDGET_INFEASIBLE = "budget_infeasible"
+    PREDICTED_MISS = "predicted_miss"
 
 
 @dataclass(frozen=True)
@@ -52,15 +78,15 @@ class AdmissionDecision:
         return cls(admitted=False, reason=reason, detail=detail)
 
 
-def cheapest_feasible_cost(request: ResourceRequest, pool: SlotPool) -> Optional[float]:
-    """Lower bound on the cost of any window for ``request`` over ``pool``.
+def cheapest_feasible_cost_reference(
+    request: ResourceRequest, pool: SlotPool
+) -> Optional[float]:
+    """Per-slot object-loop twin of :func:`cheapest_feasible_cost`.
 
-    For every node that matches the hardware/price filter and has at least
-    one slot long enough to host the task, the node's task cost is fixed
-    (``price · duration``); the cheapest possible window therefore costs
-    at least the sum over the ``n`` cheapest such nodes.  Returns ``None``
-    when fewer than ``n`` usable nodes exist (no window can ever form,
-    regardless of budget).
+    The pre-vectorization implementation, kept as the equivalence
+    baseline: the property suite asserts the columnar path returns the
+    *same* float (or the same ``None``) for arbitrary pools and request
+    shapes.
     """
     best_by_node: dict[int, float] = {}
     for slot in pool:
@@ -79,6 +105,166 @@ def cheapest_feasible_cost(request: ResourceRequest, pool: SlotPool) -> Optional
     return sum(sorted(best_by_node.values())[: request.node_count])
 
 
+def _admission_key(request: ResourceRequest) -> tuple:
+    """The request fields the usable-node cost analysis depends on.
+
+    Deliberately excludes ``node_count`` and budget: the memoized value
+    is the *sorted usable-node cost list*, from which any ``n``-cheapest
+    prefix sum is derived per call.
+    """
+    return (
+        request.reservation_time,
+        request.reference_performance,
+        request.min_performance,
+        request.min_clock_speed,
+        request.min_ram,
+        request.min_disk,
+        request.required_os,
+        request.max_price_per_unit,
+    )
+
+
+def _usable_node_costs(arrays: SlotArrays, request: ResourceRequest) -> list[float]:
+    """Sorted task costs of the nodes that could host one leg (memoized).
+
+    A node qualifies when it passes the hardware/price filter and owns
+    at least one slot long enough for its task duration.  Every float
+    is produced by the same IEEE operation as the object loop:
+    elementwise ``*``/``/``/``-`` match their scalar counterparts, and
+    the usability comparison is the exact complement of the loop's
+    ``slot.length < duration - TIME_EPSILON`` skip.
+    """
+    cache = getattr(arrays, "_admission_cache", None)
+    if cache is None:
+        cache = {}
+        arrays._admission_cache = cache
+    key = _admission_key(request)
+    costs = cache.get(key)
+    if costs is not None:
+        return costs
+    duration = (
+        request.reservation_time * request.reference_performance
+    ) / arrays.performance
+    lengths = arrays.end - arrays.start
+    usable = ~(lengths < (duration[arrays.node_row] - TIME_EPSILON))
+    hosts = np.zeros(arrays.node_count, dtype=bool)
+    hosts[arrays.node_row[usable]] = True
+    hosts &= arrays.match_mask(request)
+    costs_array = np.sort(arrays.price[hosts] * duration[hosts])
+    costs = [float(cost) for cost in costs_array]
+    if len(cache) >= ADMISSION_CACHE_LIMIT:
+        cache.pop(next(iter(cache)))
+    cache[key] = costs
+    return costs
+
+
+def cheapest_feasible_cost(request: ResourceRequest, pool: SlotPool) -> Optional[float]:
+    """Lower bound on the cost of any window for ``request`` over ``pool``.
+
+    For every node that matches the hardware/price filter and has at least
+    one slot long enough to host the task, the node's task cost is fixed
+    (``price · duration``); the cheapest possible window therefore costs
+    at least the sum over the ``n`` cheapest such nodes.  Returns ``None``
+    when fewer than ``n`` usable nodes exist (no window can ever form,
+    regardless of budget).
+
+    Served from the pool's columnar snapshot with a per-(generation,
+    request-shape) memo — the snapshot object is reused until the pool
+    mutates, so bursts of submissions between cycles amortize the
+    per-node analysis to one numpy pass.
+    """
+    costs = _usable_node_costs(pool.as_arrays(), request)
+    if len(costs) < request.node_count:
+        return None
+    # Ascending sequential sum — float-identical to the object loop's
+    # ``sum(sorted(...)[:n])`` (equal values commute bitwise).
+    total = 0.0
+    for cost in costs[: request.node_count]:
+        total += cost
+    return total
+
+
+class AdmissionOutlook:
+    """Exponentially decayed warm-start statistics from recent cycles.
+
+    The broker reports every cycle's outcome per criterion: how many
+    jobs the batch held, how many were placed, and how long the batch
+    had waited in the queue.  The outlook folds those into decayed
+    means — ``fit``, the probability a batched job gets a window, and
+    ``wait``, the queue latency a new arrival should expect — so the
+    admission controller can consult the broker's *demonstrated* recent
+    ability instead of a cold heuristic.  Decay ``d`` gives cycle ``k``
+    ago weight ``d^k`` (an exponential window: ~``1/(1-d)`` effective
+    cycles), so a backlogged phase fades within tens of cycles once
+    conditions recover.
+
+    Statistics are keyed per criterion: a process serving several
+    brokers with different phase-two policies (a federation) keeps
+    their evidence separate, since fit probability under ``MinCost``
+    says nothing about ``MinFinish``.
+    """
+
+    def __init__(self, decay: float = 0.85):
+        if not 0.0 < decay < 1.0:
+            raise ValueError(f"decay must be in (0, 1), got {decay}")
+        self.decay = decay
+        #: criterion key -> [decayed weight, decayed fit sum, decayed
+        #: wait sum, cycles observed]
+        self._by_criterion: dict[str, list[float]] = {}
+
+    def observe_cycle(
+        self, criterion: str, batched: int, scheduled: int, mean_wait: float
+    ) -> None:
+        """Fold one cycle's outcome into the decayed estimates.
+
+        Empty batches carry no placement evidence and are skipped — a
+        quiet broker keeps its last informed outlook rather than
+        decaying toward optimism.
+        """
+        if batched <= 0:
+            return
+        state = self._by_criterion.get(criterion)
+        if state is None:
+            state = [0.0, 0.0, 0.0, 0.0]
+            self._by_criterion[criterion] = state
+        fit = scheduled / batched
+        decay = self.decay
+        state[0] = state[0] * decay + 1.0
+        state[1] = state[1] * decay + fit
+        state[2] = state[2] * decay + mean_wait
+        state[3] += 1.0
+
+    def cycles_observed(self, criterion: str) -> int:
+        """Number of non-empty cycles folded in for ``criterion``."""
+        state = self._by_criterion.get(criterion)
+        return int(state[3]) if state is not None else 0
+
+    def fit_probability(self, criterion: str) -> Optional[float]:
+        """Decayed probability a batched job is placed; ``None`` if cold."""
+        state = self._by_criterion.get(criterion)
+        if state is None or state[0] <= 0.0:
+            return None
+        return state[1] / state[0]
+
+    def predicted_wait(self, criterion: str) -> Optional[float]:
+        """Decayed mean queue wait (virtual time); ``None`` if cold."""
+        state = self._by_criterion.get(criterion)
+        if state is None or state[0] <= 0.0:
+            return None
+        return state[2] / state[0]
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """JSON-friendly per-criterion view of the current estimates."""
+        view: dict[str, dict[str, float]] = {}
+        for criterion in self._by_criterion:
+            view[criterion] = {
+                "fit_probability": round(self.fit_probability(criterion) or 0.0, 6),
+                "predicted_wait": round(self.predicted_wait(criterion) or 0.0, 6),
+                "cycles_observed": self.cycles_observed(criterion),
+            }
+        return view
+
+
 class AdmissionController:
     """Validates submissions against the queue and the current pool.
 
@@ -92,13 +278,35 @@ class AdmissionController:
     emitter:
         Optional event emitter; every verdict is traced as ``ADMITTED``
         or ``REJECTED{reason}``.
+    outlook:
+        Optional :class:`AdmissionOutlook` consulted for warm-start
+        verdicts; requires ``criterion`` to select the evidence stream.
+    min_fit:
+        Predictive gate threshold: once the outlook has evidence
+        (``min_fit_cycles`` non-empty cycles), jobs are rejected with
+        ``PREDICTED_MISS`` while the decayed fit probability sits below
+        this value.  ``0.0`` (default) disables the gate entirely, so
+        decision streams stay byte-identical to pre-outlook brokers.
+    min_fit_cycles:
+        Evidence floor before the predictive gate may fire — a single
+        unlucky first cycle must not slam the door.
     """
 
     def __init__(
-        self, strict_budget: bool = True, emitter: Optional[EventEmitter] = None
+        self,
+        strict_budget: bool = True,
+        emitter: Optional[EventEmitter] = None,
+        outlook: Optional[AdmissionOutlook] = None,
+        criterion: str = "",
+        min_fit: float = 0.0,
+        min_fit_cycles: int = 3,
     ):
         self.strict_budget = strict_budget
         self._emitter = emitter if emitter is not None else EventEmitter()
+        self.outlook = outlook
+        self.criterion = criterion
+        self.min_fit = min_fit
+        self.min_fit_cycles = min_fit_cycles
 
     def evaluate(
         self,
@@ -154,4 +362,14 @@ class AdmissionController:
                 f"cheapest possible window costs {lower_bound:.1f}, "
                 f"budget is {budget:.1f}",
             )
+        if self.min_fit > 0.0 and self.outlook is not None:
+            if self.outlook.cycles_observed(self.criterion) >= self.min_fit_cycles:
+                fit = self.outlook.fit_probability(self.criterion)
+                if fit is not None and fit < self.min_fit:
+                    return AdmissionDecision.reject(
+                        RejectionReason.PREDICTED_MISS,
+                        f"recent cycles place {fit:.0%} of batched jobs "
+                        f"under {self.criterion or 'the current criterion'}; "
+                        f"gate requires {self.min_fit:.0%}",
+                    )
         return AdmissionDecision.accept()

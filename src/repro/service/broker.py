@@ -34,7 +34,11 @@ from repro.model.slot import TIME_EPSILON
 from repro.model.slotpool import SlotPool
 from repro.model.window import Window
 from repro.scheduling.metascheduler import BatchScheduler, CycleReport
-from repro.service.admission import AdmissionController, AdmissionDecision
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionOutlook,
+)
 from repro.service.config import ServiceConfig
 from repro.service.events import EventEmitter, EventSink, EventType
 from repro.service.lifecycle import ActiveJob, JobLifecycle
@@ -65,6 +69,14 @@ class BrokerService:
         totally order the trace.  Every emitted field is deterministic
         for a given job stream and configuration except ``wall_``-prefixed
         timing fields, preserving PR 1's worker-count invariance.
+    horizon_source:
+        Optional rolling-horizon slot supply
+        (:class:`~repro.environment.RollingHorizonSource`).  When set,
+        every retire-and-trim step also tops the pool up to ``now +
+        lead`` — trim garbage-collects the past while the source
+        publishes the future, so the pool stays inside a bounded window
+        over unbounded virtual time.  ``None`` (the default) keeps the
+        paper's fixed-interval behaviour.
     """
 
     def __init__(
@@ -74,6 +86,7 @@ class BrokerService:
         scheduler: Optional[BatchScheduler] = None,
         clock_start: float = 0.0,
         sinks: Sequence[EventSink] = (),
+        horizon_source=None,
     ):
         self.config = config if config is not None else ServiceConfig()
         self.pool = pool
@@ -90,7 +103,17 @@ class BrokerService:
         self.assignments: dict[str, Window] = {}
         self.last_report: Optional[CycleReport] = None
         self.events = EventEmitter(sinks, clock=lambda: self._now)
-        self._admission = AdmissionController(emitter=self.events)
+        #: Warm-start evidence: every cycle's batched/placed/wait outcome
+        #: is folded in; the admission controller consults it when the
+        #: ``outlook_min_fit`` gate is enabled (off by default).
+        self.outlook = AdmissionOutlook(decay=self.config.outlook_decay)
+        self._admission = AdmissionController(
+            emitter=self.events,
+            outlook=self.outlook,
+            criterion=self.config.criterion.value,
+            min_fit=self.config.outlook_min_fit,
+            min_fit_cycles=self.config.outlook_min_fit_cycles,
+        )
         self._queue = BoundedJobQueue(self.config.queue_capacity, emitter=self.events)
         self._trigger = CycleTrigger(self.config.batch_size, self.config.max_wait)
         self._lifecycle = JobLifecycle(emitter=self.events)
@@ -121,7 +144,10 @@ class BrokerService:
         #: and reused for the broker's lifetime (thread spawn per cycle
         #: was pure overhead); ``close()`` shuts it down.
         self._executor: Optional[Executor] = None
+        self._horizon = horizon_source
         self.pool.trim_before(self._now)
+        if self._horizon is not None:
+            self.stats.slots_published += self._horizon.ensure(self.pool, self._now)
 
     # ------------------------------------------------------------------
     # Resource management
@@ -499,7 +525,13 @@ class BrokerService:
     # The cycle
     # ------------------------------------------------------------------
     def _retire_and_trim(self) -> list[ActiveJob]:
-        """Retire finished jobs (releasing slots) and drop past free time."""
+        """Retire finished jobs (releasing slots) and drop past free time.
+
+        With a rolling-horizon source attached, this is also where the
+        future is published: after the past is trimmed, the pool is
+        topped up to ``now + lead``, so each step leaves the pool inside
+        the bounded window the source guarantees.
+        """
         retired = self._lifecycle.retire_due(self._now, self.pool)
         self.stats.retired += len(retired)
         for entry in retired:
@@ -509,6 +541,8 @@ class BrokerService:
             if self._resilience is not None:
                 self._resilience.forget(entry.job.job_id)
         self.pool.trim_before(self._now)
+        if self._horizon is not None:
+            self.stats.slots_published += self._horizon.ensure(self.pool, self._now)
         self.stats.active_jobs = self._lifecycle.active_count
         return retired
 
@@ -584,6 +618,18 @@ class BrokerService:
             if self._resilience is not None:
                 self._resilience.on_scheduled(job_id, self._now)
         self.stats.scheduled += len(report.scheduled)
+        if queued:
+            # Feed the warm-start outlook: this cycle's demonstrated fit
+            # ratio and the batch's mean queue wait (virtual time).
+            mean_wait = sum(
+                self._now - item.enqueued_at for item in queued
+            ) / len(queued)
+            self.outlook.observe_cycle(
+                self.config.criterion.value,
+                len(queued),
+                len(report.scheduled),
+                mean_wait,
+            )
 
         for job_id in report.unscheduled:
             item = by_id[job_id]

@@ -2,12 +2,15 @@
 
 One :class:`ServiceStats` block per broker instance, updated under the
 broker's lock, snapshotted for the CLI and the throughput benchmark.
-Latency percentiles come from a bounded sample window so an indefinitely
-running service keeps O(1) memory.
+Latency percentiles come from bounded samples so an indefinitely running
+service keeps O(1) memory: :class:`LatencyTracker` keeps a sliding
+window (recent behaviour), :class:`ReservoirSampler` a uniform sample of
+the *whole* stream (soak-run distributions) — both under a fixed cap.
 """
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional
@@ -83,6 +86,65 @@ class LatencyTracker:
         """Windowed 95th-percentile latency."""
         return self.quantile(0.95)
 
+    @property
+    def p99(self) -> float:
+        """Windowed 99th-percentile latency."""
+        return self.quantile(0.99)
+
+
+class ReservoirSampler:
+    """Fixed-capacity uniform sample of an unbounded observation stream.
+
+    Vitter's Algorithm R with a seeded PRNG: the first ``capacity``
+    observations fill the reservoir, after which observation ``i`` (1-
+    based) replaces a uniformly chosen resident with probability
+    ``capacity / i``.  Every prefix of the stream is therefore sampled
+    uniformly, so quantiles over the reservoir estimate quantiles over
+    the *whole* stream — the complement of :class:`LatencyTracker`'s
+    sliding window, which deliberately forgets everything old.  Soak
+    benchmarks use this for run-wide distributions under a fixed memory
+    cap; the seed makes replays reproducible.
+    """
+
+    def __init__(self, capacity: int = 4096, seed: int = 0):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._samples: list[float] = []
+        self._rng = random.Random(seed)
+        self.count = 0
+        self.total = 0.0
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def add(self, value: float) -> None:
+        """Record one observation (O(1), bounded memory)."""
+        self.count += 1
+        self.total += value
+        if len(self._samples) < self.capacity:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.capacity:
+                self._samples[slot] = value
+
+    @property
+    def mean(self) -> float:
+        """Exact mean over every observation ever recorded."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile of the full stream."""
+        return percentile(self._samples, q)
+
+    def quantiles(self, *qs: float) -> tuple[float, ...]:
+        """Several stream quantiles from one sort of the reservoir."""
+        ordered = sorted(self._samples)
+        return tuple(percentile_of_sorted(ordered, q) for q in qs)
+
 
 @dataclass
 class ServiceStats:
@@ -111,6 +173,8 @@ class ServiceStats:
     active_jobs: int = 0
     windows_found: int = 0
     search_seconds: float = 0.0
+    #: Slots appended by the rolling-horizon source (0 without one).
+    slots_published: int = 0
     cycle_latency: LatencyTracker = field(default_factory=LatencyTracker)
     # --- resilience layer (all zero unless fault injection is enabled) ---
     revocations: int = 0
@@ -143,8 +207,20 @@ class ServiceStats:
         diverge exactly when admission rejects or cycles drop jobs, so
         both are reported — quoting only the former inflates throughput
         under heavy rejection.
+
+        ``scan_kernel`` surfaces the vectorized kernel's dispatch
+        telemetry (:data:`repro.core.vectorized.scan_counters`) so soak
+        runs and federation clients can assert the hot path was actually
+        served by the vector kernel rather than a silent object-loop
+        fallback.  The counters are process-wide (one module-level
+        dispatch table), not per broker — brokers sharing a process
+        share them.
         """
-        latency_p50, latency_p95 = self.cycle_latency.quantiles(0.50, 0.95)
+        from repro.core.vectorized import scan_counters
+
+        latency_p50, latency_p95, latency_p99 = self.cycle_latency.quantiles(
+            0.50, 0.95, 0.99
+        )
         payload: dict[str, object] = {
             "submitted": self.submitted,
             "admitted": self.admitted,
@@ -159,10 +235,13 @@ class ServiceStats:
             "active_jobs": self.active_jobs,
             "windows_found": self.windows_found,
             "windows_per_second": round(self.windows_per_second, 1),
+            "slots_published": self.slots_published,
+            "scan_kernel": dict(scan_counters),
             "cycle_latency_ms": {
                 "mean": round(self.cycle_latency.mean * 1e3, 3),
                 "p50": round(latency_p50 * 1e3, 3),
                 "p95": round(latency_p95 * 1e3, 3),
+                "p99": round(latency_p99 * 1e3, 3),
             },
             "delivered_node_seconds": round(self.delivered_node_seconds, 6),
             "resilience": {

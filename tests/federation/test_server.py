@@ -88,6 +88,40 @@ class TestLifecycleOps:
         run(_run())
         validator.check(expect_drained=True)
 
+    def test_stats_carries_scan_kernel_telemetry(self):
+        """The ``stats`` wire op ships the scan kernel's dispatch
+        counters, so clients can see whether serving ran vectorized
+        without shelling into the server host."""
+
+        async def _run():
+            server = make_server()
+            await server.start()
+            try:
+                async with await FederationClient.connect(
+                    port=server.port
+                ) as client:
+                    before = (await client.stats())["scan_kernel"]
+                    assert set(before) >= {
+                        "vectorized",
+                        "fallback",
+                        "plans_built",
+                        "plans_reused",
+                    }
+                    for when, job in JobGenerator(seed=9).iter_arrivals(
+                        6, rate=2.0
+                    ):
+                        await client.submit(job, at=when)
+                    await client.drain()
+                    after = (await client.stats())["scan_kernel"]
+                    assert all(
+                        isinstance(value, int) and value >= before[key]
+                        for key, value in after.items()
+                    )
+            finally:
+                await server.stop()
+
+        run(_run())
+
     def test_kill_shard_over_the_wire(self):
         validator = FederationTraceValidator()
 

@@ -52,6 +52,22 @@ def assert_columns_match_objects(pool: SlotPool) -> None:
         assert arrays.price[row] == slot.node.price_per_unit
 
 
+#: Every column of a snapshot, in a fixed order for byte comparison.
+COLUMNS = ("start", "end", "node_row", "node_id", "performance", "price",
+           "clock", "ram", "disk", "power")
+
+
+def assert_bytes_equal_rebuild(pool: SlotPool) -> None:
+    """The delta-maintained snapshot is byte-equal to a cold rebuild."""
+    maintained = pool.as_arrays()
+    rebuilt = SlotArrays.from_slots(pool.ordered())
+    for column in COLUMNS:
+        left, right = getattr(maintained, column), getattr(rebuilt, column)
+        assert left.dtype == right.dtype, column
+        assert left.tobytes() == right.tobytes(), column
+    assert maintained.os_names == rebuilt.os_names
+
+
 def assert_index_consistent(pool: SlotPool) -> None:
     """``_by_node`` holds the same entries as ``_slots``, per node."""
     flattened = sorted(
@@ -168,6 +184,89 @@ class TestMutationStorm:
             pool.assert_disjoint_per_node()
             assert_index_consistent(pool)
             assert_columns_match_objects(pool)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_storm_delta_maintenance_byte_equal_to_rebuild(self, seed):
+        """The tentpole invariant: after every mutation — including
+        rolling-horizon extensions — the incrementally maintained
+        snapshot is *byte*-equal to a cold per-slot rebuild."""
+        from repro.environment.rolling import HorizonConfig, RollingHorizonSource
+
+        rng = np.random.default_rng(seed)
+        env_seed = int(rng.integers(1, 1000))
+        # The pool is fed exclusively by the rolling source, exactly as
+        # in soak serving (the source owns the node-id space).
+        pool = SlotPool()
+        source = RollingHorizonSource(
+            EnvironmentConfig(node_count=10, seed=env_seed),
+            HorizonConfig(lead=120.0, stride=60.0),
+        )
+        source.extend_to(pool, 600.0)
+        committed = []
+        clock = 0.0
+        horizon = 600.0
+        search = MinCost()
+        for _ in range(25):
+            op = rng.integers(0, 5)
+            if op == 0:
+                window = search.select(self.REQUEST, pool)
+                if window is not None:
+                    pool.commit_window(window)
+                    committed.append(window)
+            elif op == 1 and committed:
+                pool.release(committed.pop(int(rng.integers(len(committed)))))
+            elif op == 2:
+                clock += float(rng.uniform(0.0, 40.0))
+                pool.trim_before(clock)
+                committed = [w for w in committed if w.start >= clock]
+            else:
+                # The soak loop's step: publish future segments.
+                horizon += float(rng.uniform(0.0, 150.0))
+                source.extend_to(pool, horizon)
+            assert_bytes_equal_rebuild(pool)
+
+    def test_compaction_boundary_byte_equal(self):
+        """Crossing the tombstone-compaction threshold renumbers storage
+        rows; the maintained permutation must follow exactly."""
+        pool = SlotPool(min_usable_length=1e-9)
+        pool._store.compact_min = 8  # reach the boundary quickly
+        slots = [
+            Slot(make_node(i % 5), float(i), float(i) + 10.0) for i in range(40)
+        ]
+        for slot in slots:
+            pool.add(slot, coalesce=False)
+        # Tombstone more than half the storage, one discard at a time,
+        # checking equivalence on both sides of the compaction trigger.
+        for slot in slots[:30]:
+            pool.remove(slot)
+            assert_bytes_equal_rebuild(pool)
+        # And keep mutating after compaction.
+        for i in range(40, 55):
+            pool.add(Slot(make_node(i % 5), float(i), float(i) + 5.0),
+                     coalesce=False)
+            assert_bytes_equal_rebuild(pool)
+
+    def test_full_trim_compacts_node_table_and_bucket_index(self):
+        """A node whose slots are all trimmed must vanish from the
+        snapshot's node table and the per-node bucket index — a
+        long-running rolling-horizon pool would otherwise accumulate one
+        table row per node ever seen."""
+        short = make_node(1)
+        long = make_node(2)
+        pool = SlotPool.from_slots([Slot(short, 0.0, 50.0), Slot(long, 0.0, 500.0)])
+        assert pool.as_arrays().node_count == 2
+        pool.trim_before(100.0)
+        arrays = pool.as_arrays()
+        assert arrays.node_count == 1
+        assert arrays.node_id.tolist() == [2]
+        assert list(pool._by_node.keys()) == [2]
+        assert_bytes_equal_rebuild(pool)
+        # Re-adding the node later must reintroduce it cleanly.
+        pool.add(Slot(short, 200.0, 260.0))
+        arrays = pool.as_arrays()
+        assert arrays.node_id.tolist() == [1, 2]
+        assert_bytes_equal_rebuild(pool)
 
     @settings(max_examples=10, deadline=None)
     @given(seed=st.integers(min_value=0, max_value=2**31 - 1))

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.service import LatencyTracker, ServiceStats, percentile
+from repro.service.stats import ReservoirSampler
 
 
 class TestPercentile:
@@ -59,6 +60,52 @@ class TestLatencyTracker:
         assert p95 == tracker.p95
 
 
+class TestReservoirSampler:
+    def test_memory_is_bounded_and_quantiles_track_exact(self):
+        """10^5 observations through a 4096-slot reservoir: memory stays
+        capped while p50/p99 estimate the exact stream quantiles — the
+        regression guard for soak-length latency tracking."""
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        stream = rng.lognormal(mean=0.0, sigma=0.75, size=100_000)
+        sampler = ReservoirSampler(capacity=4096, seed=1)
+        for value in stream:
+            sampler.add(float(value))
+        assert len(sampler) == 4096  # hard cap, 10^5 observed
+        assert sampler.count == 100_000
+        exact_p50 = percentile(list(stream), 0.50)
+        exact_p99 = percentile(list(stream), 0.99)
+        est_p50, est_p99 = sampler.quantiles(0.50, 0.99)
+        assert abs(est_p50 - exact_p50) <= 0.05 * exact_p50
+        assert abs(est_p99 - exact_p99) <= 0.15 * exact_p99
+        # count/total stay exact regardless of sampling.
+        assert sampler.mean == pytest.approx(float(stream.mean()))
+
+    def test_fills_exactly_before_sampling(self):
+        sampler = ReservoirSampler(capacity=10, seed=0)
+        for value in range(10):
+            sampler.add(float(value))
+        assert sorted(sampler._samples) == [float(v) for v in range(10)]
+        assert sampler.quantile(0.0) == 0.0
+        assert sampler.quantile(1.0) == 9.0
+
+    def test_seeded_replay_is_reproducible(self):
+        first = ReservoirSampler(capacity=8, seed=3)
+        second = ReservoirSampler(capacity=8, seed=3)
+        for value in range(1000):
+            first.add(float(value))
+            second.add(float(value))
+        assert first._samples == second._samples
+
+    def test_empty_and_invalid(self):
+        sampler = ReservoirSampler(capacity=4)
+        assert sampler.mean == 0.0
+        assert sampler.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            ReservoirSampler(capacity=0)
+
+
 class TestServiceStats:
     def test_record_rejection_buckets_by_reason(self):
         stats = ServiceStats()
@@ -85,6 +132,20 @@ class TestServiceStats:
         # without a wall-clock, no throughput entry
         assert "jobs_per_second" not in stats.snapshot()
         assert "scheduled_per_second" not in stats.snapshot()
+
+    def test_snapshot_exposes_scan_kernel_telemetry(self):
+        """The scan kernel's dispatch counters ride along in every stats
+        snapshot, so services and soak runs can assert the vector path
+        actually served them."""
+        from repro.core.vectorized import scan_counters
+
+        payload = ServiceStats().snapshot()
+        assert payload["scan_kernel"] == dict(scan_counters)
+        assert set(payload["scan_kernel"]) >= {
+            "vectorized", "fallback", "plans_built", "plans_reused"
+        }
+        assert payload["slots_published"] == 0
+        assert "p99" in payload["cycle_latency_ms"]
 
     def test_snapshot_reports_useful_throughput(self):
         # jobs_per_second is offered load; scheduled_per_second is what
