@@ -2,9 +2,9 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-full bench-all bench-core bench-service \
-	bench-experiments bench-resilience bench-federation bench-soak \
-	figures report examples clean
+.PHONY: install test bench bench-full bench-all bench-core bench-batch \
+	bench-service bench-experiments bench-resilience bench-federation \
+	bench-soak figures report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,6 +19,9 @@ bench:
 # kernels, the experiment engine or the resilience layer, and diff.
 bench-core:
 	PYTHONPATH=src $(PY) -m repro.cli bench-core -o BENCH_core.json
+
+bench-batch:
+	PYTHONPATH=src $(PY) -m repro.cli bench-batch -o BENCH_batch.json
 
 bench-service:
 	PYTHONPATH=src $(PY) -m repro.cli bench-service -o BENCH_service.json
@@ -41,8 +44,8 @@ bench-soak:
 # Regenerate every committed BENCH_*.json in one pass (one slow-ish
 # command per archive; each refuses to record numbers whose invariants
 # do not hold).
-bench-all: bench-core bench-service bench-experiments bench-resilience \
-	bench-federation bench-soak
+bench-all: bench-core bench-batch bench-service bench-experiments \
+	bench-resilience bench-federation bench-soak
 
 # The paper-scale run (hours): 5000 cycles, 1000 reps, full grids.
 bench-full:

@@ -612,6 +612,38 @@ def cmd_bench_core(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_batch(args: argparse.Namespace) -> int:
+    """Handler of the ``repro bench-batch`` subcommand."""
+    from repro.core.bench import bench_batch
+    from repro.io import save_json
+
+    batch_sizes = [int(value) for value in args.batch_sizes.split(",")]
+    print(
+        f"benchmarking whole scheduling cycles at batch sizes {batch_sizes} "
+        f"on {args.nodes} nodes (best of {args.repeats}, seed {args.seed}) ..."
+    )
+    payload = bench_batch(
+        batch_sizes=batch_sizes,
+        node_count=args.nodes,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    for row in payload["results"]:
+        grouping = row["grouping"]
+        print(
+            f"  {row['search']:<8} batch {row['batch_size']:>4} "
+            f"({row['classes']} classes): per-job "
+            f"{row['per_job_jobs_per_second']:8.1f} jobs/s, grouped "
+            f"{row['grouped_jobs_per_second']:8.1f} jobs/s "
+            f"({row['speedup']:.2f}x); sweeps {grouping['batch_sweeps']}, "
+            f"shared {grouping['grouped_shared']}"
+        )
+    if args.output:
+        save_json(payload, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def cmd_bench_soak(args: argparse.Namespace) -> int:
     """Handler of the ``repro bench-soak`` subcommand."""
     from repro.io import save_json
@@ -1069,6 +1101,21 @@ def build_parser() -> argparse.ArgumentParser:
     bench_core.add_argument("-o", "--output",
                             help="write the JSON payload here (BENCH_core.json)")
     bench_core.set_defaults(func=cmd_bench_core)
+
+    bench_batch = sub.add_parser(
+        "bench-batch",
+        help="whole-cycle jobs/s, per-job vs request-class-grouped dispatch",
+    )
+    bench_batch.add_argument("--batch-sizes", default="16,64,256",
+                             help="comma-separated job-batch sizes")
+    bench_batch.add_argument("--nodes", type=int, default=200,
+                             help="pool size (nodes)")
+    bench_batch.add_argument("--repeats", type=int, default=3,
+                             help="timing repetitions per row (best-of)")
+    bench_batch.add_argument("--seed", type=int, default=2013)
+    bench_batch.add_argument("-o", "--output",
+                             help="write the JSON payload here (BENCH_batch.json)")
+    bench_batch.set_defaults(func=cmd_bench_batch)
 
     bench_experiments = sub.add_parser(
         "bench-experiments",

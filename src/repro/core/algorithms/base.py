@@ -25,6 +25,14 @@ class SlotSelectionAlgorithm(abc.ABC):
     #: Short name used in tables, figures and logs.
     name: str = "abstract"
 
+    #: Whether ``select``/``find_alternatives`` is a pure function of the
+    #: (request, pool) pair.  Stochastic algorithms (the randomized
+    #: MinProcTime) set this ``False``, which disables request-class
+    #: grouping in :meth:`find_alternatives_batch` — sharing one result
+    #: across equal requests would consume the random stream differently
+    #: than the sequential per-job loop does.
+    deterministic: bool = True
+
     @abc.abstractmethod
     def select(self, job: JobLike, pool: SlotPool) -> Optional[Window]:
         """The best window for ``job`` by this algorithm's criterion.
@@ -44,6 +52,67 @@ class SlotSelectionAlgorithm(abc.ABC):
         if window is None:
             return []
         return [window]
+
+    def _batch_scan_spec(self):
+        """``(extractor, stop_at_first)`` when ``select`` is a plain AEP scan.
+
+        Algorithms whose ``select`` is exactly ``aep_scan(job, pool,
+        extractor, stop_at_first=...)`` return the pair here, routing
+        :meth:`find_alternatives_batch` through the batched kernel
+        (:func:`repro.core.batchscan.batch_aep_scan`) — one scan per
+        request class, shared sweeps for budget-only-varying classes.
+        ``None`` (the default) keeps the generic per-class dispatch.
+        """
+        return None
+
+    def find_alternatives_batch(
+        self,
+        jobs: list[JobLike],
+        pool: SlotPool,
+        limit: Optional[int] = None,
+    ) -> list[list[Window]]:
+        """Alternatives for a whole cycle batch, one search per request class.
+
+        Jobs whose requests compare equal receive one
+        :meth:`find_alternatives` run and share its windows (each job
+        gets its own shallow list copy; the Window objects are shared).
+        Sharing is decision-safe downstream because a window conflicts
+        with itself, so phase 2 can never assign a shared window twice.
+        The result is element-for-element identical to calling
+        :meth:`find_alternatives` per job — grouping only removes
+        redundant recomputation, never changes a decision.
+        """
+        job_list = list(jobs)
+        if not job_list:
+            return []
+        if not self.deterministic:
+            # Per-job dispatch preserves the random stream consumption.
+            return [self.find_alternatives(job, pool, limit) for job in job_list]
+        spec = self._batch_scan_spec()
+        if spec is not None:
+            from repro.core.batchscan import batch_aep_scan
+
+            extractor, stop_at_first = spec
+            results = batch_aep_scan(
+                job_list, pool, extractor, stop_at_first=stop_at_first
+            )
+            return [[] if res is None else [res.window] for res in results]
+        from repro.core.aep import request_of
+        from repro.core.vectorized import scan_counters
+
+        groups: dict[ResourceRequest, list[int]] = {}
+        for index, job in enumerate(job_list):
+            groups.setdefault(request_of(job), []).append(index)
+        scan_counters["grouped_jobs"] += len(job_list)
+        scan_counters["grouped_classes"] += len(groups)
+        scan_counters["grouped_shared"] += len(job_list) - len(groups)
+        out: list[list[Window]] = [[] for _ in job_list]
+        for members in groups.values():
+            windows = self.find_alternatives(job_list[members[0]], pool, limit)
+            out[members[0]] = windows
+            for index in members[1:]:
+                out[index] = list(windows)
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"

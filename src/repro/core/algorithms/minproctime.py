@@ -56,6 +56,10 @@ class MinProcTime(SlotSelectionAlgorithm):
         if simplified:
             self.name = "MinProcTime"
             self._extractor = RandomWindowExtractor(rng=rng)
+            # The randomized extractor consumes a shared random stream:
+            # grouping equal requests would draw fewer times than the
+            # sequential per-job loop, changing later selections.
+            self.deterministic = False
         elif exact:
             self.name = "MinProcTime-exact"
             self._extractor = ExactAdditiveExtractor(key=runtime_key)
@@ -67,3 +71,10 @@ class MinProcTime(SlotSelectionAlgorithm):
         """Best window for ``job`` by this algorithm's criterion (see base class)."""
         result = aep_scan(job, pool, self._extractor)
         return result.window if result is not None else None
+
+    def _batch_scan_spec(self):
+        """Optimizing variants are plain AEP scans; the randomized one
+        is excluded by ``deterministic = False`` before this is consulted."""
+        if self.simplified:
+            return None
+        return (self._extractor, False)

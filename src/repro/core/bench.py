@@ -1,4 +1,4 @@
-"""``repro bench-core``: scan-kernel throughput, current vs reference.
+"""``repro bench-core`` / ``repro bench-batch``: kernel and cycle throughput.
 
 Times the AEP window search on the paper's base job (``n = 5``,
 ``t = 150``, ``S = 1500``) over freshly generated environments of
@@ -16,6 +16,16 @@ is noisy on shared CI hardware.
 
 Both kernels are asserted to select the identical window before any
 timing is believed; a disagreement raises instead of producing numbers.
+
+:func:`bench_batch` (``repro bench-batch``) measures one level up: the
+*whole scheduling cycle* — phase-one alternative search for a job batch
+followed by phase-two greedy combination — dispatched per job versus
+through the cycle-level request-class grouping
+(:meth:`~repro.core.algorithms.base.SlotSelectionAlgorithm.find_alternatives_batch`).
+The batch mixes duplicate requests with budget-only-varying classes, the
+traffic shape the grouping targets.  Both dispatches must produce the
+byte-identical phase-two decision (same assignments, window spans,
+totals) before timings are recorded.
 """
 
 from __future__ import annotations
@@ -166,6 +176,8 @@ def bench_core(
                     }
                 )
             results.append(row)
+    from repro.core.vectorized import scan_counters
+
     return {
         "benchmark": "core_scan",
         "kernel": "vectorized",
@@ -179,5 +191,183 @@ def bench_core(
             },
         },
         "host": host_payload(),
+        "scan_kernel": dict(scan_counters),
+        "results": results,
+    }
+
+
+# ---------------------------------------------------------------------------
+# bench-batch: whole-cycle throughput, per-job vs class-grouped dispatch
+# ---------------------------------------------------------------------------
+
+#: The batch palette: eight request classes over four plan shapes, each
+#: shape at two budgets.  Duplicates of one class exercise result
+#: sharing; budget-only pairs within a shape exercise the multi-budget
+#: shared sweep of :func:`repro.core.batchscan.batch_aep_scan`.
+_PALETTE_SHAPES: tuple[tuple[int, float], ...] = (
+    (5, 150.0),
+    (3, 100.0),
+    (8, 150.0),
+    (5, 100.0),
+)
+_PALETTE_BUDGET_PER_UNIT: tuple[float, ...] = (2.0, 4.0)
+
+
+def _batch_palette() -> list[ResourceRequest]:
+    """The request classes a bench batch cycles through (deterministic)."""
+    palette: list[ResourceRequest] = []
+    for node_count, reservation_time in _PALETTE_SHAPES:
+        for per_unit in _PALETTE_BUDGET_PER_UNIT:
+            palette.append(
+                ResourceRequest(
+                    node_count=node_count,
+                    reservation_time=reservation_time,
+                    budget=per_unit * reservation_time * node_count,
+                )
+            )
+    return palette
+
+
+def _choice_fingerprint(choice) -> tuple:
+    """Exact value of a phase-two decision, for byte-identity checks."""
+    assignments = tuple(
+        sorted(
+            (
+                job_id,
+                window.start,
+                tuple(
+                    (
+                        ws.slot.node.node_id,
+                        ws.slot.start,
+                        ws.slot.end,
+                        ws.required_time,
+                        ws.cost,
+                    )
+                    for ws in window.slots
+                ),
+            )
+            for job_id, window in choice.assignments.items()
+        )
+    )
+    return (assignments, choice.unscheduled, choice.total_value)
+
+
+def bench_batch(
+    batch_sizes: Sequence[int] = (16, 64, 256),
+    node_count: int = 200,
+    repeats: int = 3,
+    seed: int = 2013,
+    alternatives: int = 10,
+) -> dict[str, object]:
+    """The cycle-throughput benchmark payload archived in ``BENCH_batch.json``.
+
+    Per (search, batch size) row: whole-cycle jobs/s with per-job
+    phase-one dispatch and with request-class grouping (best of
+    ``repeats``), their ratio, and the grouping telemetry one grouped
+    cycle adds to :data:`~repro.core.vectorized.scan_counters`.  Two
+    searches are measured: CSA (the production multi-alternative search;
+    grouping shares whole alternative sets per class) and MinCost (a
+    plain AEP scan; grouping routes through the batched kernel with one
+    multi-budget sweep per plan shape).
+
+    Both dispatches must make the byte-identical phase-two decision;
+    a mismatch raises instead of recording timings.
+    """
+    from repro.core.algorithms.csa import CSA
+    from repro.core.algorithms.mincost import MinCost
+    from repro.core.criteria import Criterion
+    from repro.core.vectorized import scan_counters
+    from repro.model.job import Job
+    from repro.scheduling.combination import greedy_combination
+
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    environment = EnvironmentGenerator(
+        EnvironmentConfig(node_count=node_count, seed=seed)
+    ).generate()
+    pool = environment.slot_pool()
+    palette = _batch_palette()
+    results: list[dict[str, object]] = []
+    for search_name, search in (
+        ("csa", CSA(max_alternatives=alternatives)),
+        ("mincost", MinCost()),
+    ):
+        for batch_size in batch_sizes:
+            jobs = [
+                Job(job_id=f"job-{index:04d}", request=palette[index % len(palette)])
+                for index in range(batch_size)
+            ]
+            classes = len({job.request for job in jobs})
+
+            def per_job_cycle():
+                found = {
+                    job.job_id: search.find_alternatives(
+                        job, pool, limit=alternatives
+                    )
+                    for job in jobs
+                }
+                return greedy_combination(jobs, found, Criterion.COST)
+
+            def grouped_cycle():
+                batched = search.find_alternatives_batch(
+                    jobs, pool, limit=alternatives
+                )
+                found = {
+                    job.job_id: windows for job, windows in zip(jobs, batched)
+                }
+                return greedy_combination(jobs, found, Criterion.COST)
+
+            before = dict(scan_counters)
+            grouped_choice = grouped_cycle()
+            grouping_delta = {
+                key: scan_counters[key] - before.get(key, 0)
+                for key in (
+                    "grouped_jobs",
+                    "grouped_classes",
+                    "grouped_shared",
+                    "batch_sweeps",
+                    "batch_sweep_classes",
+                )
+            }
+            per_job_choice = per_job_cycle()
+            if _choice_fingerprint(per_job_choice) != _choice_fingerprint(
+                grouped_choice
+            ):
+                raise AssertionError(
+                    f"grouped dispatch changed the phase-two decision for "
+                    f"search {search_name!r} at batch size {batch_size} — "
+                    "refusing to record timings"
+                )
+            per_job_seconds = _time_scans(per_job_cycle, repeats)
+            grouped_seconds = _time_scans(grouped_cycle, repeats)
+            results.append(
+                {
+                    "search": search_name,
+                    "batch_size": batch_size,
+                    "classes": classes,
+                    "scheduled": per_job_choice.scheduled_count,
+                    "unscheduled": len(per_job_choice.unscheduled),
+                    "per_job_jobs_per_second": round(
+                        batch_size / per_job_seconds, 1
+                    ),
+                    "grouped_jobs_per_second": round(
+                        batch_size / grouped_seconds, 1
+                    ),
+                    "speedup": round(per_job_seconds / grouped_seconds, 2),
+                    "grouping": grouping_delta,
+                }
+            )
+    return {
+        "benchmark": "batch_cycle",
+        "config": {
+            "seed": seed,
+            "repeats": repeats,
+            "node_count": node_count,
+            "batch_sizes": list(batch_sizes),
+            "palette_classes": len(palette),
+            "alternatives": alternatives,
+        },
+        "host": host_payload(),
+        "scan_kernel": dict(scan_counters),
         "results": results,
     }

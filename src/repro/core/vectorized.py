@@ -52,7 +52,7 @@ equivalence suite runs both ways in CI).
 from __future__ import annotations
 
 import os
-from bisect import insort
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 from heapq import heapify, heappop, heappush, heapreplace
 from typing import Optional
@@ -95,13 +95,23 @@ KERNEL_ENV = "REPRO_SCAN_KERNEL"
 
 #: Dispatch telemetry for tests and the CI smoke job: counts of scans
 #: served by the vector kernel vs. handed back to the object kernel,
-#: and of scan plans computed vs. reused from a snapshot's cache (the
-#: reuse the rolling-horizon broker banks on between mutations).
+#: of scan plans computed vs. reused from a snapshot's cache (the
+#: reuse the rolling-horizon broker banks on between mutations), and of
+#: the batched entry points' request-class grouping: how many jobs
+#: entered a grouped call, how many distinct scan classes they folded
+#: into, how many rode another class member's result for free, and how
+#: many classes were served by a shared multi-budget sweep
+#: (:func:`repro.core.batchscan.batch_aep_scan`).
 scan_counters = {
     "vectorized": 0,
     "fallback": 0,
     "plans_built": 0,
     "plans_reused": 0,
+    "grouped_jobs": 0,
+    "grouped_classes": 0,
+    "grouped_shared": 0,
+    "batch_sweeps": 0,
+    "batch_sweep_classes": 0,
 }
 
 #: Per-snapshot plan cache bound.  A broker cycle scans one snapshot
@@ -398,6 +408,38 @@ def vectorized_scan(
     best_value, _, best_start, steps, peak, inserted, expired, break_pos = outcome
     if best_cands is None:
         return None
+    return _materialize(
+        plan,
+        slot_list,
+        best_cands,
+        best_value,
+        best_start,
+        steps,
+        peak,
+        inserted,
+        expired,
+        break_pos,
+    )
+
+
+def _materialize(
+    plan,
+    slot_list,
+    best_cands,
+    best_value,
+    best_start,
+    steps,
+    peak,
+    inserted,
+    expired,
+    break_pos,
+) -> VectorScanResult:
+    """Build the winning :class:`VectorScanResult` from candidate indices.
+
+    Shared by the per-request scan above and the batched entry point
+    (:mod:`repro.core.batchscan`), which resolves several budgets from
+    one sweep and materializes each winner through this tail.
+    """
     scanned = int(plan.mpos[break_pos]) + 1 if break_pos >= 0 else plan.total
     cand_slot = plan.cand_slot
     req_list = plan.req_list
@@ -523,6 +565,154 @@ def _run_cheapest(plan, n, budget, stop_at_first, start_valued):
         expired,
         break_pos,
     )
+
+
+def _run_cheapest_multi(plan, n, budgets, stop_at_first, start_valued):
+    """One candidate-evolution sweep serving several budgets at once.
+
+    ``budgets`` must be sorted ascending and distinct.  The candidate
+    evolution of :func:`_run_cheapest` — expiry pointer, top-n/beyond
+    structures, ``cheap_sum`` — does not depend on the budget, so one
+    sweep replays every budget's verdicts: at each step the feasible
+    budgets are exactly the suffix ``budgets[bisect_left(budgets,
+    cheap_sum):]`` (feasible iff ``cheap_sum <= budget``, the identical
+    comparison the single-budget loop makes).  Entry ``j`` of the
+    returned list is byte-identical to ``_run_cheapest(plan, n,
+    budgets[j], stop_at_first, start_valued)``:
+
+    - ``stop_at_first``: each budget resolves at its first feasible
+      step with the running counters snapshot and that step as
+      ``break_pos``; larger budgets resolve no later than smaller ones,
+      so the resolved set is always a suffix and the sweep stops once
+      the smallest budget resolves.
+    - full sweep, start-valued: window starts are non-decreasing, so the
+      first feasible step's extraction is final for that budget (a later
+      start can never satisfy ``value < best - VALUE_EPSILON``); the
+      counters run to the end of the scan.
+    - full sweep, cost-valued: every feasible budget replays the exact
+      per-step improvement comparison, because ``cheap_sum`` may keep
+      shrinking after the first feasible step.
+    """
+    loop_start = plan.loop_start
+    loop_cand = plan.loop_cand
+    expiry_times = plan.expiry_times
+    expiry_cands = plan.expiry_cands
+    cand_crank = plan.cand_crank
+    cost_by_crank = plan.cost_by_crank
+    total_c = plan.count
+    topn: list[int] = []
+    beyond: list[int] = []
+    member = set()
+    dead = bytearray(total_c)  # indexed by cost rank
+    cheap_sum = 0.0
+    pointer = 0
+    alive = inserted = expired = peak = steps = 0
+    count_b = len(budgets)
+    largest = budgets[-1]
+    best_value = [float("inf")] * count_b
+    best_start = [0.0] * count_b
+    best_cranks: list = [None] * count_b
+    outcomes: list = [None] * count_b
+    boundary = count_b  # budgets[boundary:] already resolved (suffix)
+    for pos, window_start in enumerate(loop_start):
+        threshold = window_start - TIME_EPSILON
+        while pointer < total_c and expiry_times[pointer] < threshold:
+            rank = cand_crank[expiry_cands[pointer]]
+            pointer += 1
+            expired += 1
+            alive -= 1
+            dead[rank] = 1
+            if rank in member:
+                member.discard(rank)
+                topn.remove(rank)
+                while beyond:
+                    refill = heappop(beyond)
+                    if not dead[refill]:
+                        insort(topn, refill)
+                        member.add(refill)
+                        break
+                cheap_sum = 0.0
+                for r in topn:
+                    cheap_sum += cost_by_crank[r]
+        cand = loop_cand[pos]
+        if cand < 0:
+            continue
+        rank = cand_crank[cand]
+        inserted += 1
+        alive += 1
+        if alive > peak:
+            peak = alive
+        if len(topn) < n:
+            insort(topn, rank)
+            member.add(rank)
+            cheap_sum = 0.0
+            for r in topn:
+                cheap_sum += cost_by_crank[r]
+        elif rank < topn[-1]:
+            evicted = topn.pop()
+            member.discard(evicted)
+            heappush(beyond, evicted)
+            insort(topn, rank)
+            member.add(rank)
+            cheap_sum = 0.0
+            for r in topn:
+                cheap_sum += cost_by_crank[r]
+        else:
+            heappush(beyond, rank)
+        if alive < n:
+            continue
+        steps += 1
+        if cheap_sum > largest:
+            continue
+        idx = bisect_left(budgets, cheap_sum)
+        value = window_start if start_valued else cheap_sum
+        if stop_at_first:
+            if idx < boundary:
+                cranks = tuple(topn)
+                for j in range(idx, boundary):
+                    outcomes[j] = (
+                        value,
+                        cranks,
+                        window_start,
+                        steps,
+                        peak,
+                        inserted,
+                        expired,
+                        pos,
+                    )
+                boundary = idx
+                if boundary == 0:
+                    break
+        elif start_valued:
+            if idx < boundary:
+                cranks = tuple(topn)
+                for j in range(idx, boundary):
+                    best_value[j] = value
+                    best_start[j] = window_start
+                    best_cranks[j] = cranks
+                boundary = idx
+        else:
+            cranks = None
+            for j in range(idx, count_b):
+                if value < best_value[j] - VALUE_EPSILON:
+                    if cranks is None:
+                        cranks = tuple(topn)
+                    best_value[j] = value
+                    best_start[j] = window_start
+                    best_cranks[j] = cranks
+    for j in range(count_b):
+        if outcomes[j] is None:
+            outcomes[j] = (
+                best_value[j],
+                best_cranks[j],
+                best_start[j],
+                steps,
+                peak,
+                inserted,
+                expired,
+                -1,
+            )
+    return outcomes
 
 
 def _run_walk_budget(plan, n, budget, stop_at_first, exact):

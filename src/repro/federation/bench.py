@@ -31,6 +31,7 @@ import sys
 from time import perf_counter
 from typing import Any, Optional, Sequence
 
+from repro.core.vectorized import scan_counters
 from repro.environment.generator import EnvironmentConfig, EnvironmentGenerator
 from repro.federation.client import FederationClient
 from repro.federation.config import FederationConfig
@@ -241,6 +242,7 @@ def bench_federation(
             "cpu_limited": cpus < 2,
         },
         "single_shard_equivalence": equivalence,
+        "scan_kernel": dict(scan_counters),
         "results": rows,
     }
 

@@ -60,6 +60,11 @@ class CoAllocator:
     """Searches, commits and retires cross-shard windows."""
 
     def __init__(self, service: ServiceConfig, alternatives: int = 10):
+        # Union-pool planning goes through BatchScheduler.find_alternatives,
+        # i.e. the class-grouped phase-1 entry point: repeated placements
+        # of equal requests reuse the union snapshot's cached scan plans,
+        # and multi-job batches (future work) collapse to one search per
+        # request class.
         self._scheduler = BatchScheduler(
             search=CSA(max_alternatives=alternatives),
             criterion=service.criterion,

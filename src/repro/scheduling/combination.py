@@ -23,9 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.core.criteria import Criterion
 from repro.model.errors import SchedulingError
 from repro.model.job import Job
+from repro.model.slot import TIME_EPSILON
 from repro.model.window import Window
 
 
@@ -54,7 +57,107 @@ class CombinationChoice:
 
 
 def _conflicts_with_any(window: Window, chosen: Sequence[Window]) -> bool:
+    """Reference predicate: pairwise :meth:`Window.conflicts_with` loop.
+
+    Kept as the specification :class:`ConflictIndex` is tested against;
+    the solvers below use the index, which answers the same question in
+    O(window legs) numpy comparisons instead of O(chosen x legs) Python.
+    """
     return any(window.conflicts_with(other) for other in chosen)
+
+
+class ConflictIndex:
+    """Chosen-window reservations indexed by node, with LIFO removal.
+
+    Phase 2 asks one question per candidate alternative: does it overlap
+    any already-chosen window on a common node?  The historical answer
+    walked every chosen window's legs in Python — O(chosen x legs) per
+    candidate, the phase-2 hot loop on large batches.  This index keeps,
+    per node, flat arrays of the chosen reservations' starts and
+    epsilon-adjusted ends, so a candidate is checked with one vectorized
+    interval-overlap mask per (distinct) candidate node.
+
+    Exactness: ``candidate.conflicts_with(chosen)`` declares a conflict
+    on a common node iff ``cand.start < (chosen.start +
+    chosen_leg.required_time) - TIME_EPSILON`` and ``chosen.start <
+    (cand.start + cand_leg.required_time) - TIME_EPSILON``.  The index
+    precomputes the epsilon-adjusted ends with the identical ``(start +
+    required_time) - TIME_EPSILON`` operation order, and it mirrors the
+    reference's node-reuse asymmetry exactly: the *candidate* side keeps
+    only the last leg per node (the ``mine`` dict comprehension) while
+    the *chosen* side retains every pushed leg (the ``other.slots``
+    loop) — so accept/reject decisions are byte-identical to the
+    pairwise loop (property-tested in
+    ``tests/scheduling/test_combination.py``).
+
+    ``pop`` removes the most recently pushed window (per-node count
+    rollback), which is exactly the discipline the branch-and-bound
+    recursion needs.
+    """
+
+    __slots__ = ("_starts", "_ends_eps", "_counts", "_stack")
+
+    def __init__(self) -> None:
+        self._starts: dict[int, np.ndarray] = {}
+        self._ends_eps: dict[int, np.ndarray] = {}
+        self._counts: dict[int, int] = {}
+        self._stack: list[list[int]] = []
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def push(self, window: Window) -> None:
+        """Add a chosen window's reservations to the index."""
+        start = window.start
+        nodes: list[int] = []
+        for ws in window.slots:
+            node_id = ws.slot.node.node_id
+            end_eps = (start + ws.required_time) - TIME_EPSILON
+            count = self._counts.get(node_id, 0)
+            starts = self._starts.get(node_id)
+            if starts is None:
+                starts = np.empty(4)
+                self._starts[node_id] = starts
+                self._ends_eps[node_id] = np.empty(4)
+            elif count == starts.size:  # amortized doubling growth
+                starts = np.concatenate([starts, np.empty(starts.size)])
+                self._starts[node_id] = starts
+                self._ends_eps[node_id] = np.concatenate(
+                    [self._ends_eps[node_id], np.empty(count)]
+                )
+            starts[count] = start
+            self._ends_eps[node_id][count] = end_eps
+            self._counts[node_id] = count + 1
+            nodes.append(node_id)
+        self._stack.append(nodes)
+
+    def pop(self) -> None:
+        """Remove the most recently pushed window (LIFO)."""
+        for node_id in self._stack.pop():
+            self._counts[node_id] -= 1
+
+    def conflicts(self, window: Window) -> bool:
+        """Whether ``window`` overlaps any indexed window on a common node."""
+        start = window.start
+        counts = self._counts
+        # Last leg wins on a node reused within the window, mirroring the
+        # span dict in Window.conflicts_with.
+        cand_end_eps: dict[int, float] = {}
+        for ws in window.slots:
+            cand_end_eps[ws.slot.node.node_id] = (
+                start + ws.required_time
+            ) - TIME_EPSILON
+        for node_id, end_eps in cand_end_eps.items():
+            count = counts.get(node_id, 0)
+            if not count:
+                continue
+            chosen_starts = self._starts[node_id][:count]
+            chosen_ends_eps = self._ends_eps[node_id][:count]
+            if bool(
+                ((start < chosen_ends_eps) & (chosen_starts < end_eps)).any()
+            ):
+                return True
+        return False
 
 
 def greedy_combination(
@@ -71,7 +174,7 @@ def greedy_combination(
     of alternatives; the scheme the metascheduler uses on-line.
     """
     ordered = sorted(jobs, key=lambda job: -job.priority)
-    chosen: list[Window] = []
+    chosen = ConflictIndex()
     assignments: dict[str, Window] = {}
     unscheduled: list[str] = []
     remaining_budget = float("inf") if vo_budget is None else vo_budget
@@ -83,14 +186,14 @@ def greedy_combination(
         for window in ranked:
             if window.total_cost > remaining_budget + 1e-9:
                 continue
-            if _conflicts_with_any(window, chosen):
+            if chosen.conflicts(window):
                 continue
             selected = window
             break
         if selected is None:
             unscheduled.append(job.job_id)
             continue
-        chosen.append(selected)
+        chosen.push(selected)
         assignments[job.job_id] = selected
         remaining_budget -= selected.total_cost
         total_value += criterion.evaluate(selected)
@@ -135,7 +238,7 @@ def optimal_combination(
 
     def visit(
         index: int,
-        chosen: list[Window],
+        chosen: ConflictIndex,
         assignments: dict[str, Window],
         value: float,
         cost: float,
@@ -165,9 +268,9 @@ def optimal_combination(
         for window in options:
             if cost + window.total_cost > budget + 1e-9:
                 continue
-            if _conflicts_with_any(window, chosen):
+            if chosen.conflicts(window):
                 continue
-            chosen.append(window)
+            chosen.push(window)
             assignments[job.job_id] = window
             visit(
                 index + 1,
@@ -181,7 +284,7 @@ def optimal_combination(
         # Also consider leaving the job unscheduled.
         visit(index + 1, chosen, assignments, value, cost)
 
-    visit(0, [], {}, 0.0, 0.0)
+    visit(0, ConflictIndex(), {}, 0.0, 0.0)
     scheduled_ids = set(state.best_assignments)
     unscheduled = tuple(job.job_id for job in ordered if job.job_id not in scheduled_ids)
     total_value = (

@@ -104,18 +104,32 @@ class BatchScheduler:
     def find_alternatives(
         self, batch: JobBatch, pool: SlotPool
     ) -> dict[str, list[Window]]:
-        """Phase one: alternative windows per job, priority order."""
+        """Phase one: alternative windows per job, priority order.
+
+        The non-consuming default searches every job against the same
+        published pool, so jobs with equal requests would recompute the
+        identical search; the batch is routed through
+        :meth:`~repro.core.algorithms.base.SlotSelectionAlgorithm.find_alternatives_batch`,
+        which runs one search per request class (decisions are identical
+        to the per-job loop).  ``consume_slots`` keeps the sequential
+        loop: each job's search depends on the cuts of its predecessors,
+        so no two jobs see the same pool and grouping does not apply.
+        """
+        if not self.consume_slots:
+            jobs = list(batch)
+            found = self.search.find_alternatives_batch(
+                jobs, pool, limit=self.alternatives_per_job
+            )
+            return {job.job_id: windows for job, windows in zip(jobs, found)}
         alternatives: dict[str, list[Window]] = {}
         working = pool.copy()
         for job in batch:
-            source = working if self.consume_slots else pool
             found = self.search.find_alternatives(
-                job, source, limit=self.alternatives_per_job
+                job, working, limit=self.alternatives_per_job
             )
             alternatives[job.job_id] = found
-            if self.consume_slots:
-                for window in found:
-                    working.cut_window(window)
+            for window in found:
+                working.cut_window(window)
         return alternatives
 
     def choose_combination(

@@ -579,9 +579,10 @@ class BrokerService:
             )
 
         search_started = perf_counter()
+        jobs_by_priority = batch.by_priority()
         alternatives = parallel_find_alternatives(
             self.scheduler.search,
-            batch.by_priority(),
+            jobs_by_priority,
             self.pool,
             workers=self.config.workers,
             limit=self.config.alternatives_per_job,
@@ -591,6 +592,11 @@ class BrokerService:
         search_seconds = perf_counter() - search_started
         self.stats.search_seconds += search_seconds
         self.stats.windows_found += sum(len(found) for found in alternatives.values())
+        # Per-broker grouping telemetry: how many phase-1 searches the
+        # request-class grouping collapsed this cycle (the process-wide
+        # scan_counters cannot attribute savings to one broker).
+        self.stats.phase1_jobs += len(jobs_by_priority)
+        self.stats.phase1_classes += len({job.request for job in jobs_by_priority})
 
         report = self.scheduler.plan(batch, self.pool, alternatives=alternatives)
         for job_id, window in report.scheduled.items():

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Optional, Sequence
 
+from repro.core.vectorized import scan_counters
 from repro.environment.generator import EnvironmentConfig, EnvironmentGenerator
 from repro.hostinfo import host_payload
 from repro.model.errors import ConfigurationError
@@ -193,5 +194,6 @@ def bench_service(
             "max_wait": ServiceConfig().max_wait,
         },
         "host": host_payload(parallel_target=max(workers, 2)),
+        "scan_kernel": dict(scan_counters),
         "results": results,
     }

@@ -8,6 +8,17 @@ it on a ``concurrent.futures`` pool.  Results are merged back in job
 order, so the output is *identical* for any worker count: parallelism
 changes wall-clock time, never assignments.
 
+Since the cycle-level batching change, the unit of fan-out is the
+*request class*, not the job: jobs whose requests compare equal are
+grouped in the parent before submission, one search task runs per class,
+and every member of the class receives the class result (later members
+get shallow list copies; sharing windows is decision-safe because a
+window conflicts with itself, so phase 2 can never assign one twice).
+Shared-memory payloads and task counts shrink accordingly on duplicate-
+heavy traffic.  Grouping only applies to deterministic searches
+(``search.deterministic``); pass ``group_by_class=False`` to restore
+strict per-job dispatch.
+
 Two fan-out transports share that discipline:
 
 ``"thread"``
@@ -37,8 +48,10 @@ from __future__ import annotations
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Optional, Sequence
 
+from repro.core.aep import request_of
 from repro.core.algorithms.base import SlotSelectionAlgorithm
-from repro.model.job import Job
+from repro.core.vectorized import scan_counters
+from repro.model.job import Job, ResourceRequest
 from repro.model.slotarrays import SharedSlotArrays
 from repro.model.slotpool import SlotPool
 from repro.model.window import Window
@@ -81,13 +94,29 @@ def _search_against_block(
     return search.find_alternatives(job, pool, limit=limit)
 
 
+def _class_members(jobs: Sequence[Job]) -> list[list[int]]:
+    """Job indices grouped by request equality, in first-appearance order."""
+    groups: dict[ResourceRequest, list[int]] = {}
+    for index, job in enumerate(jobs):
+        groups.setdefault(request_of(job), []).append(index)
+    return list(groups.values())
+
+
 def _collect(
     executor: Executor,
     submit_one,
     jobs: Sequence[Job],
+    member_lists: list[list[int]],
 ) -> dict[str, list[Window]]:
-    futures = [submit_one(executor, job) for job in jobs]
-    return {job.job_id: future.result() for job, future in zip(jobs, futures)}
+    futures = [submit_one(executor, jobs[members[0]]) for members in member_lists]
+    windows_by_index: dict[int, list[Window]] = {}
+    for members, future in zip(member_lists, futures):
+        windows = future.result()
+        windows_by_index[members[0]] = windows
+        for index in members[1:]:
+            windows_by_index[index] = list(windows)
+    # Keyed in ``jobs`` order, exactly like the historical per-job path.
+    return {job.job_id: windows_by_index[index] for index, job in enumerate(jobs)}
 
 
 def parallel_find_alternatives(
@@ -98,6 +127,7 @@ def parallel_find_alternatives(
     limit: Optional[int] = None,
     executor: Optional[Executor] = None,
     mode: str = "thread",
+    group_by_class: bool = True,
 ) -> dict[str, list[Window]]:
     """Phase-one alternatives per job, searched on a shared pool snapshot.
 
@@ -108,6 +138,12 @@ def parallel_find_alternatives(
     the loop runs inline; every path returns the same mapping, keyed in
     ``jobs`` order.
 
+    With ``group_by_class`` (the default) jobs of equal requests share
+    one search task — see the module docstring; results are identical to
+    per-job dispatch for deterministic searches, and stochastic searches
+    (``search.deterministic == False``) are dispatched per job
+    regardless.
+
     ``mode`` selects the fan-out transport (see the module docstring):
     ``"thread"`` shares the snapshot object, ``"process"`` publishes one
     shared-memory block per call and fans out over processes.
@@ -116,12 +152,26 @@ def parallel_find_alternatives(
     mode (the broker keeps one for its lifetime); when omitted and
     ``workers > 1`` a transient executor is created for the call.
     """
+    # Duck-typed: test doubles and third-party searches may predate the
+    # grouping protocol, in which case they get per-job dispatch.
+    grouped = group_by_class and getattr(search, "deterministic", False)
+    batch_search = getattr(search, "find_alternatives_batch", None)
     if workers <= 1 or len(jobs) <= 1:
         snapshot = pool.copy()
+        if grouped and batch_search is not None:
+            found = batch_search(list(jobs), snapshot, limit=limit)
+            return {job.job_id: windows for job, windows in zip(jobs, found)}
         return {
             job.job_id: search.find_alternatives(job, snapshot, limit=limit)
             for job in jobs
         }
+    if grouped:
+        member_lists = _class_members(jobs)
+        scan_counters["grouped_jobs"] += len(jobs)
+        scan_counters["grouped_classes"] += len(member_lists)
+        scan_counters["grouped_shared"] += len(jobs) - len(member_lists)
+    else:
+        member_lists = [[index] for index in range(len(jobs))]
     if mode == "process":
         shared = pool.as_arrays().to_shared()
         try:
@@ -137,9 +187,9 @@ def parallel_find_alternatives(
                 )
 
             if executor is not None:
-                return _collect(executor, submit_one, jobs)
+                return _collect(executor, submit_one, jobs, member_lists)
             with ProcessPoolExecutor(max_workers=workers) as transient:
-                return _collect(transient, submit_one, jobs)
+                return _collect(transient, submit_one, jobs, member_lists)
         finally:
             shared.close()
             shared.unlink()
@@ -149,6 +199,6 @@ def parallel_find_alternatives(
         return pool_executor.submit(search.find_alternatives, job, snapshot, limit)
 
     if executor is not None:
-        return _collect(executor, submit_one, jobs)
+        return _collect(executor, submit_one, jobs, member_lists)
     with ThreadPoolExecutor(max_workers=workers) as transient:
-        return _collect(transient, submit_one, jobs)
+        return _collect(transient, submit_one, jobs, member_lists)

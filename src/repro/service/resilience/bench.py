@@ -43,6 +43,7 @@ def bench_resilience(
     identical fault sequence and the goodput differences are pure policy
     effects.  Each run's trace is validated end to end.
     """
+    from repro.core.vectorized import scan_counters
     from repro.hostinfo import host_payload
     from repro.service.config import ServiceConfig
     from repro.service.driver import TraceConfig, run_service_trace
@@ -112,6 +113,7 @@ def bench_resilience(
             "workers": workers,
         },
         "host": host_payload(parallel_target=max(workers, 2)),
+        "scan_kernel": dict(scan_counters),
         "results": results,
     }
 

@@ -173,6 +173,12 @@ class ServiceStats:
     active_jobs: int = 0
     windows_found: int = 0
     search_seconds: float = 0.0
+    #: Phase-1 request-class grouping: jobs that entered a cycle's
+    #: search vs. the distinct request classes actually searched.  The
+    #: difference is the per-cycle work the class grouping saved; unlike
+    #: the process-wide ``scan_counters`` these are per broker.
+    phase1_jobs: int = 0
+    phase1_classes: int = 0
     #: Slots appended by the rolling-horizon source (0 without one).
     slots_published: int = 0
     cycle_latency: LatencyTracker = field(default_factory=LatencyTracker)
@@ -236,6 +242,11 @@ class ServiceStats:
             "windows_found": self.windows_found,
             "windows_per_second": round(self.windows_per_second, 1),
             "slots_published": self.slots_published,
+            "phase1_grouping": {
+                "jobs": self.phase1_jobs,
+                "classes": self.phase1_classes,
+                "shared": self.phase1_jobs - self.phase1_classes,
+            },
             "scan_kernel": dict(scan_counters),
             "cycle_latency_ms": {
                 "mean": round(self.cycle_latency.mean * 1e3, 3),

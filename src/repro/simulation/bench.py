@@ -24,6 +24,7 @@ import json
 from time import perf_counter
 from typing import Optional, Sequence
 
+from repro.core.vectorized import scan_counters
 from repro.hostinfo import host_payload, usable_cpu_count
 from repro.model.errors import ConfigurationError
 from repro.simulation.config import ExperimentConfig, paper_base_config
@@ -165,6 +166,7 @@ def bench_experiments(
             "include_csa": include_csa,
         },
         "host": host_payload(parallel_target=max(worker_counts, default=1)),
+        "scan_kernel": dict(scan_counters),
         "invariant": True,
         "aggregate_fingerprint": reference_digest,
         "results": rows,

@@ -151,3 +151,123 @@ class TestOptimal:
     def test_empty_batch(self):
         optimal = optimal_combination([], {}, Criterion.COST)
         assert optimal.scheduled_count == 0
+
+
+class TestConflictIndexEquivalence:
+    """The interval index must accept/reject exactly like the pairwise
+    ``Window.conflicts_with`` loop it replaced — including at
+    TIME_EPSILON boundaries and for windows reusing a node."""
+
+    def test_randomized_push_pop_equivalence(self):
+        import random
+
+        from repro.scheduling.combination import (
+            ConflictIndex,
+            _conflicts_with_any,
+        )
+
+        rng = random.Random(2013)
+        for _trial in range(20):
+            index = ConflictIndex()
+            chosen: list[Window] = []
+            for _step in range(60):
+                node_ids = rng.sample(range(6), k=rng.randint(1, 3))
+                candidate = window(
+                    node_ids,
+                    start=rng.uniform(0.0, 40.0),
+                    performance=rng.choice([2.0, 4.0, 8.0]),
+                )
+                assert index.conflicts(candidate) == _conflicts_with_any(
+                    candidate, chosen
+                ), (len(chosen), candidate.start)
+                if rng.random() < 0.6:
+                    index.push(candidate)
+                    chosen.append(candidate)
+                elif chosen:
+                    index.pop()
+                    chosen.pop()
+            assert len(index) == len(chosen)
+
+    def test_epsilon_boundary_cases(self):
+        from repro.model.slot import TIME_EPSILON
+        from repro.scheduling.combination import (
+            ConflictIndex,
+            _conflicts_with_any,
+        )
+
+        # performance=4.0, reservation 20.0 -> required_time 5.0, so the
+        # chosen window occupies node 0 over [10, 15).
+        base = window([0], start=10.0, performance=4.0)
+        deltas = (
+            -2.0 * TIME_EPSILON,
+            -TIME_EPSILON,
+            -TIME_EPSILON / 2.0,
+            0.0,
+            TIME_EPSILON / 2.0,
+            TIME_EPSILON,
+        )
+        for boundary in (15.0, 5.0):  # trailing and leading edges
+            for delta in deltas:
+                candidate = window([0], start=boundary + delta, performance=4.0)
+                index = ConflictIndex()
+                index.push(base)
+                assert index.conflicts(candidate) == _conflicts_with_any(
+                    candidate, [base]
+                ), (boundary, delta)
+
+    def test_node_reused_within_window_matches_reference(self):
+        from repro.scheduling.combination import (
+            ConflictIndex,
+            _conflicts_with_any,
+        )
+
+        request = ResourceRequest(node_count=2, reservation_time=20.0)
+        # Candidate side: conflicts_with keeps the *last* leg per node
+        # (dict comprehension), so a candidate whose legs on node 0 have
+        # required_time 5.0 then 1.0 effectively spans [8, 9) — clear of
+        # a chosen [10, 15) even though its first leg would reach 13.
+        chosen = window([0], start=10.0, performance=4.0)  # [10, 15)
+        candidate_legs = tuple(
+            WindowSlot.for_request(make_slot(0, 8.0, 108.0, performance), request)
+            for performance in (4.0, 20.0)
+        )
+        candidate = Window(start=8.0, slots=candidate_legs)
+        index = ConflictIndex()
+        index.push(chosen)
+        verdict = index.conflicts(candidate)
+        assert verdict == _conflicts_with_any(candidate, [chosen])
+        assert verdict is False
+        # Chosen side: conflicts_with iterates *every* leg of the other
+        # window, so a chosen window whose first leg covers [10, 15)
+        # still blocks a candidate at 13 even though its last leg ends
+        # at 12.5 — and the index, which stores all pushed legs, agrees.
+        multi_chosen = Window(
+            start=10.0,
+            slots=tuple(
+                WindowSlot.for_request(
+                    make_slot(0, 10.0, 110.0, performance), request
+                )
+                for performance in (4.0, 8.0)
+            ),
+        )
+        late = window([0], start=13.0, performance=4.0)
+        blocked = ConflictIndex()
+        blocked.push(multi_chosen)
+        verdict = blocked.conflicts(late)
+        assert verdict == _conflicts_with_any(late, [multi_chosen])
+        assert verdict is True
+
+    def test_pop_restores_prior_state(self):
+        from repro.scheduling.combination import ConflictIndex
+
+        first = window([0], start=0.0)
+        second = window([0], start=1.0)
+        index = ConflictIndex()
+        index.push(first)
+        assert index.conflicts(second)
+        index.push(second)
+        index.pop()
+        assert index.conflicts(second)  # still conflicts with `first`
+        index.pop()
+        assert not index.conflicts(second)
+        assert len(index) == 0

@@ -194,3 +194,88 @@ class TestProcessFanOut:
 
         with pytest.raises(ConfigurationError):
             ServiceConfig(worker_mode="fiber")
+
+
+class TestClassGroupedFanOut:
+    """Request-class grouping is a pure optimization: every transport and
+    worker count must produce the identical mapping with grouping on and
+    off, and the grouping telemetry must record the sharing."""
+
+    def test_grouped_matches_per_job_across_modes(self):
+        pool = make_pool()
+        jobs = make_jobs(10)  # two request classes, five duplicates each
+        search = CSA(max_alternatives=4)
+        per_job = parallel_find_alternatives(
+            search, jobs, pool, workers=1, limit=4, group_by_class=False
+        )
+        reference = fingerprint(per_job)
+        for workers, mode in ((1, "thread"), (4, "thread"), (2, "process")):
+            grouped = parallel_find_alternatives(
+                search, jobs, pool, workers=workers, limit=4, mode=mode
+            )
+            assert fingerprint(grouped) == reference, (workers, mode)
+            ungrouped = parallel_find_alternatives(
+                search,
+                jobs,
+                pool,
+                workers=workers,
+                limit=4,
+                mode=mode,
+                group_by_class=False,
+            )
+            assert fingerprint(ungrouped) == reference, (workers, mode)
+
+    def test_grouping_counters_record_sharing(self):
+        from repro.core.vectorized import scan_counters
+
+        pool = make_pool()
+        jobs = make_jobs(10)
+        before = dict(scan_counters)
+        parallel_find_alternatives(
+            CSA(max_alternatives=3), jobs, pool, workers=4, limit=3
+        )
+        assert scan_counters["grouped_jobs"] - before["grouped_jobs"] == 10
+        assert scan_counters["grouped_classes"] - before["grouped_classes"] == 2
+        assert scan_counters["grouped_shared"] - before["grouped_shared"] == 8
+
+    def test_duplicate_jobs_receive_independent_lists(self):
+        pool = make_pool()
+        jobs = make_jobs(4)
+        result = parallel_find_alternatives(
+            CSA(max_alternatives=3), jobs, pool, workers=2, limit=3
+        )
+        # jobs 0 and 2 share a request class; their lists are equal but
+        # not the same object, so a caller may mutate one safely.
+        first, third = result[jobs[0].job_id], result[jobs[2].job_id]
+        assert first == third
+        assert first is not third
+
+    def test_nondeterministic_search_dispatched_per_job(self):
+        import numpy as np
+
+        from repro.core.algorithms.minproctime import MinProcTime
+
+        pool = make_pool()
+        jobs = make_jobs(6)  # duplicate request classes
+        assert MinProcTime(simplified=True).deterministic is False
+        # The randomized search consumes one shared random stream, so
+        # grouping would draw fewer times than a sequential loop.  With
+        # grouping requested (the default) the fan-out must fall back to
+        # per-job dispatch: identical results to group_by_class=False
+        # for same-seeded instances.
+        grouped_path = parallel_find_alternatives(
+            MinProcTime(simplified=True, rng=np.random.default_rng(42)),
+            jobs,
+            pool,
+            workers=1,
+            limit=3,
+        )
+        per_job_path = parallel_find_alternatives(
+            MinProcTime(simplified=True, rng=np.random.default_rng(42)),
+            jobs,
+            pool,
+            workers=1,
+            limit=3,
+            group_by_class=False,
+        )
+        assert fingerprint(grouped_path) == fingerprint(per_job_path)
