@@ -4,7 +4,7 @@ PY ?= python
 
 .PHONY: install test bench bench-full bench-all bench-core bench-batch \
 	bench-service bench-experiments bench-resilience bench-federation \
-	bench-soak figures report examples clean
+	bench-soak bench-tenancy figures report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -41,11 +41,16 @@ bench-federation:
 bench-soak:
 	PYTHONPATH=src $(PY) -m repro.cli bench-soak -o BENCH_soak.json
 
+# Hog-vs-small-tenants fairness/revenue run: refuses to record unless
+# the stream was contended and DRF beat FIFO on Jain's index.
+bench-tenancy:
+	PYTHONPATH=src $(PY) -m repro.cli bench-tenancy -o BENCH_tenancy.json
+
 # Regenerate every committed BENCH_*.json in one pass (one slow-ish
 # command per archive; each refuses to record numbers whose invariants
 # do not hold).
 bench-all: bench-core bench-batch bench-service bench-experiments \
-	bench-resilience bench-federation bench-soak
+	bench-resilience bench-federation bench-soak bench-tenancy
 
 # The paper-scale run (hours): 5000 cycles, 1000 reps, full grids.
 bench-full:

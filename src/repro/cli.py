@@ -45,6 +45,11 @@ Installed as the ``repro`` console script (also runnable as
     across hundreds of horizon segments, gate on flat RSS / stable p99
     cycle latency / incremental-snapshot speedup, and archive the JSON
     baseline (``BENCH_soak.json``).
+``repro bench-tenancy``
+    Run the hog-vs-small-tenants mix through FIFO and DRF cycle
+    ordering with credits and utilization pricing live, gate on credit
+    conservation + contention + DRF strictly beating FIFO on Jain's
+    fairness index, and archive the baseline (``BENCH_tenancy.json``).
 """
 
 from __future__ import annotations
@@ -702,6 +707,53 @@ def cmd_bench_soak(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_tenancy(args: argparse.Namespace) -> int:
+    """Handler of the ``repro bench-tenancy`` subcommand."""
+    from repro.io import save_json
+    from repro.tenancy.bench import TenancyGateError, bench_tenancy
+
+    print(
+        f"benchmarking multi-tenant economics: {args.jobs} jobs "
+        f"(1 hog + {args.small_tenants} small tenants) on {args.nodes} "
+        f"nodes, waves of {args.wave}, batch {args.batch_size} "
+        f"(seed {args.seed}) ..."
+    )
+    try:
+        payload = bench_tenancy(
+            jobs=args.jobs,
+            node_count=args.nodes,
+            small_tenants=args.small_tenants,
+            arrival_rate=args.rate,
+            wave=args.wave,
+            seed=args.seed,
+            credit=args.credit,
+            batch_size=args.batch_size,
+        )
+    except TenancyGateError as error:
+        print(f"TENANCY GATE FAILED\n{error}", file=sys.stderr)
+        return 1
+    for row in payload["results"]:
+        print(
+            f"  {row['ordering']:<5} Jain {row['jain_index']:.4f}  "
+            f"revenue {row['revenue']:10.2f}  "
+            f"multiplier {row['price_multiplier']:.3f}  "
+            f"retired {row['retired']:>3}  dropped {row['dropped']:>3}  "
+            f"debits {row['credits_debited']:>3} / refunds "
+            f"{row['credits_refunded']:>3}"
+        )
+    by_ordering = {row["ordering"]: row for row in payload["results"]}
+    if {"fifo", "drf"} <= set(by_ordering):
+        print(
+            f"fairness gate holds: DRF Jain "
+            f"{by_ordering['drf']['jain_index']:.4f} > FIFO "
+            f"{by_ordering['fifo']['jain_index']:.4f}"
+        )
+    if args.output:
+        save_json(payload, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def cmd_bench_experiments(args: argparse.Namespace) -> int:
     """Handler of the ``repro bench-experiments`` subcommand."""
     from repro.io import save_json
@@ -1177,6 +1229,31 @@ def build_parser() -> argparse.ArgumentParser:
                             help="write the JSON payload here "
                                  "(BENCH_soak.json)")
     bench_soak.set_defaults(func=cmd_bench_soak)
+
+    bench_tenancy = sub.add_parser(
+        "bench-tenancy",
+        help="multi-tenant fairness and revenue: DRF vs FIFO cycle "
+             "ordering under a hog-vs-small-tenants mix",
+    )
+    bench_tenancy.add_argument("--jobs", type=int, default=160)
+    bench_tenancy.add_argument("--nodes", type=int, default=16)
+    bench_tenancy.add_argument("--small-tenants", type=int, default=4,
+                               help="tenants sharing the non-hog half of "
+                                    "the stream")
+    bench_tenancy.add_argument("--rate", type=float, default=8.0,
+                               help="mean arrivals per virtual time unit")
+    bench_tenancy.add_argument("--wave", type=int, default=24,
+                               help="jobs per arrival burst (must exceed "
+                                    "the batch size for ordering to bite)")
+    bench_tenancy.add_argument("--seed", type=int, default=2013)
+    bench_tenancy.add_argument("--credit", type=float, default=1_000_000.0,
+                               help="initial credit per tenant account")
+    bench_tenancy.add_argument("--batch-size", type=int, default=4)
+    bench_tenancy.add_argument(
+        "-o", "--output",
+        help="write the JSON payload here (BENCH_tenancy.json)",
+    )
+    bench_tenancy.set_defaults(func=cmd_bench_tenancy)
 
     presets = sub.add_parser("presets", help="list environment presets")
     presets.add_argument("--nodes", type=int, default=100)

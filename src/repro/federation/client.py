@@ -81,12 +81,22 @@ class FederationClient:
         return float((await self._checked({"op": "ping"}))["now"])
 
     async def submit(
-        self, job: Job, at: Optional[float] = None
+        self,
+        job: Job,
+        at: Optional[float] = None,
+        tenant_id: Optional[str] = None,
     ) -> dict[str, Any]:
-        """Offer a job, optionally advancing the clock to its arrival."""
+        """Offer a job, optionally advancing the clock to its arrival.
+
+        ``tenant_id`` rebinds the job to that billing identity before it
+        enters the federation (requires tenancy on the server to have
+        any effect beyond relabelling the owner).
+        """
         message: dict[str, Any] = {"op": "submit", "job": job_to_dict(job)}
         if at is not None:
             message["at"] = at
+        if tenant_id is not None:
+            message["tenant_id"] = tenant_id
         return await self._checked(message)
 
     async def status(self, job_id: str) -> dict[str, Any]:
@@ -109,6 +119,14 @@ class FederationClient:
     async def kill_shard(self, shard: int) -> list[str]:
         response = await self._checked({"op": "kill-shard", "shard": shard})
         return list(response["evacuated"])
+
+    async def credits(self) -> dict[str, Any]:
+        """The shared tenancy snapshot (ledger totals + pricing state)."""
+        return (await self._checked({"op": "credits"}))["credits"]
+
+    async def tenants(self) -> list[dict[str, Any]]:
+        """Per-tenant balance, weight and DRF dominant share."""
+        return list((await self._checked({"op": "tenants"}))["tenants"])
 
     async def shutdown(self) -> None:
         await self._checked({"op": "shutdown"})

@@ -22,7 +22,8 @@ surviving legs flow back to their (still live) pools.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, replace
 from typing import Mapping, Optional
 
 from repro.core.algorithms.csa import CSA
@@ -59,7 +60,14 @@ class CoAllocation:
 class CoAllocator:
     """Searches, commits and retires cross-shard windows."""
 
-    def __init__(self, service: ServiceConfig, alternatives: int = 10):
+    def __init__(
+        self,
+        service: ServiceConfig,
+        alternatives: int = 10,
+        *,
+        tenancy=None,
+        emitter=None,
+    ):
         # Union-pool planning goes through BatchScheduler.find_alternatives,
         # i.e. the class-grouped phase-1 entry point: repeated placements
         # of equal requests reuse the union snapshot's cached scan plans,
@@ -72,6 +80,12 @@ class CoAllocator:
         )
         self._cut_mode = service.cut_mode
         self._completion_factor = service.completion_factor
+        #: Shared tenancy manager (the federation's, so shard brokers and
+        #: cross-shard windows debit one ledger) and the federation
+        #: emitter the credit events go to.  ``None`` keeps the
+        #: co-allocator credit-free and byte-identical.
+        self._tenancy = tenancy
+        self._emitter = emitter
         self._active: dict[str, CoAllocation] = {}
 
     # ------------------------------------------------------------------
@@ -120,8 +134,33 @@ class CoAllocator:
             for slot in pools[shard_id]:
                 union.add(slot, coalesce=False)
                 node_shard[slot.node.node_id] = shard_id
+        plan_job = job
+        multiplier = 1.0
+        if self._tenancy is not None:
+            multiplier = self._tenancy.price_multiplier
+            if multiplier != 1.0:
+                # Same uniform-scaling trick as the broker cycle: live
+                # window cost m*C fits budget b iff static cost C fits
+                # b/m, so the union search sees live prices by scaling
+                # the budget and price cap instead of the slots.
+                request = plan_job.request
+                budget = request.effective_budget
+                cap = request.max_price_per_unit
+                plan_job = replace(
+                    plan_job,
+                    request=replace(
+                        request,
+                        budget=(
+                            None if not math.isfinite(budget)
+                            else budget / multiplier
+                        ),
+                        max_price_per_unit=(
+                            None if cap is None else cap / multiplier
+                        ),
+                    ),
+                )
         batch = JobBatch()
-        batch.add(job)
+        batch.add(plan_job)
         report = self._scheduler.plan(batch, union)
         window = report.scheduled.get(job.job_id)
         if window is None:
@@ -141,6 +180,15 @@ class CoAllocator:
         except AllocationError:
             # Roll back in reverse: everything cut so far goes straight
             # back, so a half-committed window never holds capacity.
+            for pool, sub in reversed(committed):
+                pool.release(sub)
+            return None
+        if self._tenancy is not None and not self._tenancy.charge_commit(
+            job, window, self._emitter, multiplier=multiplier
+        ):
+            # The tenant cannot pay for the cross-shard window: the
+            # two-phase commit rolls back exactly like a failed leg, so
+            # an unfunded attempt never holds capacity either.
             for pool, sub in reversed(committed):
                 pool.release(sub)
             return None
@@ -175,6 +223,9 @@ class CoAllocator:
             for shard_id in sorted(entry.legs):
                 pools[shard_id].release(entry.legs[shard_id])
             del self._active[entry.job.job_id]
+            if self._tenancy is not None:
+                # Clean completion settles the escrow into revenue.
+                self._tenancy.on_retired(entry.job.job_id)
         return due
 
     def fail_shard(
@@ -199,6 +250,7 @@ class CoAllocator:
         for entry in victims:
             released = 0.0
             forfeited = 0.0
+            forfeited_cost = 0.0
             for leg_shard in sorted(entry.legs):
                 sub = entry.legs[leg_shard]
                 if leg_shard != shard_id and leg_shard in live_pools:
@@ -206,6 +258,15 @@ class CoAllocator:
                     released += sub.processor_time
                 else:
                     forfeited += sub.processor_time
+                    forfeited_cost += sub.total_cost
             del self._active[entry.job.job_id]
+            if self._tenancy is not None:
+                # The dead legs forfeit (partial refund on their share
+                # of the escrow); the surviving legs never ran, so the
+                # rest of the escrow flows back in full.
+                self._tenancy.on_forfeit(
+                    entry.job.job_id, forfeited_cost, self._emitter
+                )
+                self._tenancy.on_release(entry.job.job_id, self._emitter)
             results.append((entry, released, forfeited))
         return results

@@ -16,6 +16,7 @@ slow client throttles only itself.
 from __future__ import annotations
 
 import asyncio
+from dataclasses import replace
 from typing import Any, Optional
 
 from repro.federation.protocol import ProtocolError, read_frame, write_frame
@@ -133,6 +134,16 @@ class FederationServer:
         if not isinstance(payload, dict):
             return {"ok": False, "error": "submit requires a 'job' object"}
         job = job_from_dict(payload)
+        tenant_id = request.get("tenant_id")
+        if tenant_id is not None:
+            if not isinstance(tenant_id, str) or not tenant_id:
+                return {
+                    "ok": False,
+                    "error": "'tenant_id' must be a non-empty string",
+                }
+            # The wire-level tenant wins over whatever owner the job
+            # payload carried: the connection is the billing identity.
+            job = replace(job, owner=tenant_id)
         at = request.get("at")
         if at is not None:
             if not isinstance(at, (int, float)):
@@ -195,6 +206,34 @@ class FederationServer:
             "evacuated": [job.job_id for job in evacuated],
         }
 
+    def _op_credits(self, request: dict[str, Any]) -> dict[str, Any]:
+        tenancy = self.manager.tenancy
+        if tenancy is None:
+            return {"ok": False, "error": "tenancy is not enabled"}
+        return {"ok": True, "credits": tenancy.snapshot()}
+
+    def _op_tenants(self, request: dict[str, Any]) -> dict[str, Any]:
+        tenancy = self.manager.tenancy
+        if tenancy is None:
+            return {"ok": False, "error": "tenancy is not enabled"}
+        from repro.tenancy.drf import dominant_share
+
+        tenants = []
+        for name in tenancy.ledger.tenants():
+            account = tenancy.ledger.account(name)
+            tenants.append(
+                {
+                    "name": name,
+                    "weight": account.weight,
+                    "balance": account.balance,
+                    "committed_node_seconds": account.committed_node_seconds,
+                    "dominant_share": dominant_share(
+                        account.committed_node_seconds, account.weight
+                    ),
+                }
+            )
+        return {"ok": True, "tenants": tenants}
+
     def _op_shutdown(self, request: dict[str, Any]) -> dict[str, Any]:
         self._shutdown.set()
         return {"ok": True, "now": self.manager.now}
@@ -208,5 +247,7 @@ class FederationServer:
         "advance": _op_advance,
         "drain": _op_drain,
         "kill-shard": _op_kill_shard,
+        "credits": _op_credits,
+        "tenants": _op_tenants,
         "shutdown": _op_shutdown,
     }

@@ -188,6 +188,15 @@ class ShardManager:
         self.config = config if config is not None else FederationConfig()
         self._now = clock_start
         self.events = EventEmitter(sinks, clock=lambda: self._now)
+        # One tenancy manager shared by every shard broker and the
+        # co-allocator: tenants hold a single federation-wide credit
+        # account and DRF share, not one per shard.  Imported lazily so
+        # a tenancy-free federation never loads the package.
+        self._tenancy = None
+        if self.config.service.tenancy is not None:
+            from repro.tenancy.manager import TenancyManager
+
+            self._tenancy = TenancyManager(self.config.service.tenancy)
         node_ids = sorted(pool.by_node())
         assignments = partition_nodes(node_ids, self.config.shards)
         pools = partition_pool(pool, assignments)
@@ -204,6 +213,7 @@ class ShardManager:
                 config=self.config.service,
                 clock_start=clock_start,
                 sinks=broker_sinks,
+                tenancy=self._tenancy,
             )
             self.shards.append(
                 Shard(shard_id=shard_id, broker=broker, node_ids=tuple(ids))
@@ -217,6 +227,8 @@ class ShardManager:
             CoAllocator(
                 self.config.service,
                 alternatives=self.config.coallocation_alternatives,
+                tenancy=self._tenancy,
+                emitter=self.events,
             )
             if self.config.coallocation
             else None
@@ -249,6 +261,11 @@ class ShardManager:
     def coallocator(self) -> Optional[CoAllocator]:
         """The cross-shard fallback, or ``None`` when disabled."""
         return self._coalloc
+
+    @property
+    def tenancy(self):
+        """The shared tenancy manager, or ``None`` when the layer is off."""
+        return self._tenancy
 
     def live_shards(self) -> list[Shard]:
         """Shards still alive, ascending shard id."""
@@ -315,7 +332,7 @@ class ShardManager:
             )
             for key in aggregate:
                 aggregate[key] += int(per_shard[-1][key])
-        return {
+        snapshot: dict[str, object] = {
             "now": self._now,
             "policy": self.router.name,
             "federation": {
@@ -338,6 +355,9 @@ class ShardManager:
             "shards": per_shard,
             "aggregate": aggregate,
         }
+        if self._tenancy is not None:
+            snapshot["tenancy"] = self._tenancy.snapshot()
+        return snapshot
 
     # ------------------------------------------------------------------
     # Intake

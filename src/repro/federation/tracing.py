@@ -33,7 +33,12 @@ from typing import Iterable, Optional
 
 from repro.model.slot import TIME_EPSILON
 from repro.service.events import Event, EventSink, EventType, load_trace
-from repro.service.tracing import TraceInvariantError, TraceValidator
+from repro.service.tracing import (
+    CREDIT_EVENT_TYPES,
+    CreditReplay,
+    TraceInvariantError,
+    TraceValidator,
+)
 
 
 class FedJobState(enum.Enum):
@@ -99,6 +104,11 @@ class FederationTraceValidator(EventSink):
         self._coalloc_committed = 0.0
         self._coalloc_released = 0.0
         self._coalloc_forfeited = 0.0
+        #: One credit replay for the whole federation: shard brokers and
+        #: the co-allocator debit a single shared ledger, so per-shard
+        #: replays would see balance gaps wherever a tenant's spending
+        #: interleaves across shards.
+        self._credit = CreditReplay()
         self.events_seen = 0
 
     # ------------------------------------------------------------------
@@ -111,6 +121,15 @@ class FederationTraceValidator(EventSink):
     def observe(self, event: Event) -> None:
         """Demultiplex one event to its shard machine or the fed machine."""
         self.events_seen += 1
+        if event.type in CREDIT_EVENT_TYPES:
+            # Credit events replay against the federation's one shared
+            # ledger regardless of emitting tier (shard-tagged commits
+            # and intake-tier co-allocation debits hit the same
+            # accounts), so they are checked here, not per shard.
+            self.counts[event.type] = self.counts.get(event.type, 0) + 1
+            for message in self._credit.observe(event):
+                self._violate(event, message)
+            return
         shard_id = event.fields.get("shard_id")
         if shard_id is not None:
             validator = self.shard_validators.get(shard_id)
@@ -197,6 +216,10 @@ class FederationTraceValidator(EventSink):
         state = self._states.get(job_id)
         if state is not None and not state.terminal:
             self._dup_pending[job_id] = state
+        else:
+            # A fresh (or re-) submission starts a new per-job credit
+            # episode; an in-flight duplicate does not.
+            self._credit.reset_job(job_id)
         self._states[job_id] = FedJobState.SUBMITTED
 
     def _on_coallocated(self, event: Event) -> None:
@@ -271,6 +294,7 @@ class FederationTraceValidator(EventSink):
         windows are accounted as forfeits, not leaks).
         """
         failures = list(self.violations)
+        failures.extend(self._credit.check())
         shard_admitted = 0
         for shard_id in sorted(self.shard_validators):
             validator = self.shard_validators[shard_id]
@@ -364,6 +388,7 @@ class FederationTraceValidator(EventSink):
                 self._coalloc_forfeited, 6
             ),
             "jobs_routed_live": tally[FedJobState.ROUTED],
+            "credits": self._credit.summary(),
             "violations": len(self.violations),
         }
 

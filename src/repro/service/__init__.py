@@ -61,6 +61,7 @@ from repro.service.stats import (
     percentile_of_sorted,
 )
 from repro.service.tracing import (
+    CreditReplay,
     TraceInvariantError,
     TraceValidator,
     validate_trace_file,
@@ -77,6 +78,7 @@ __all__ = [
     "build_service",
     "cheapest_feasible_cost",
     "CollectingSink",
+    "CreditReplay",
     "CycleTrigger",
     "deterministic_trace",
     "Event",

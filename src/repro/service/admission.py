@@ -56,6 +56,7 @@ class RejectionReason(enum.Enum):
     TOO_FEW_NODES = "too_few_nodes"
     BUDGET_INFEASIBLE = "budget_infeasible"
     PREDICTED_MISS = "predicted_miss"
+    INSUFFICIENT_CREDIT = "insufficient_credit"
 
 
 @dataclass(frozen=True)
@@ -315,13 +316,37 @@ class AdmissionController:
         queue_depth: int,
         queue_capacity: int,
         known_ids: AbstractSet[str],
+        price_multiplier: float = 1.0,
+        credit_balance: Optional[float] = None,
     ) -> AdmissionDecision:
-        """Admit or reject one submission (called under the broker lock)."""
-        decision = self._decide(job, pool, queue_depth, queue_capacity, known_ids)
+        """Admit or reject one submission (called under the broker lock).
+
+        ``price_multiplier`` scales the cheapest-feasible lower bound to
+        live prices; ``credit_balance``, when given, additionally gates
+        on the tenant's ability to pay that bound (tenancy layer).
+        """
+        decision = self._decide(
+            job,
+            pool,
+            queue_depth,
+            queue_capacity,
+            known_ids,
+            price_multiplier,
+            credit_balance,
+        )
         if decision.admitted:
             self._emitter.emit(EventType.ADMITTED, job_id=job.job_id)
         else:
             assert decision.reason is not None
+            if decision.reason is RejectionReason.INSUFFICIENT_CREDIT:
+                lower_bound = cheapest_feasible_cost(job.request, pool) or 0.0
+                self._emitter.emit(
+                    EventType.INSUFFICIENT_CREDIT,
+                    job_id=job.job_id,
+                    tenant=job.owner,
+                    required=lower_bound * price_multiplier,
+                    balance=credit_balance if credit_balance is not None else 0.0,
+                )
             self._emitter.emit(
                 EventType.REJECTED,
                 job_id=job.job_id,
@@ -336,6 +361,8 @@ class AdmissionController:
         queue_depth: int,
         queue_capacity: int,
         known_ids: AbstractSet[str],
+        price_multiplier: float = 1.0,
+        credit_balance: Optional[float] = None,
     ) -> AdmissionDecision:
         if queue_depth >= queue_capacity:
             return AdmissionDecision.reject(
@@ -356,11 +383,22 @@ class AdmissionController:
                 f"the pool cannot host that many",
             )
         budget = request.effective_budget
-        if self.strict_budget and lower_bound > budget * (1.0 + COST_EPSILON) + COST_EPSILON:
+        live_bound = lower_bound * price_multiplier
+        if self.strict_budget and live_bound > budget * (1.0 + COST_EPSILON) + COST_EPSILON:
             return AdmissionDecision.reject(
                 RejectionReason.BUDGET_INFEASIBLE,
-                f"cheapest possible window costs {lower_bound:.1f}, "
-                f"budget is {budget:.1f}",
+                f"cheapest possible window costs {live_bound:.1f} at live "
+                f"prices, budget is {budget:.1f}",
+            )
+        if (
+            credit_balance is not None
+            and live_bound > credit_balance * (1.0 + COST_EPSILON) + COST_EPSILON
+        ):
+            return AdmissionDecision.reject(
+                RejectionReason.INSUFFICIENT_CREDIT,
+                f"cheapest possible window costs {live_bound:.1f} at live "
+                f"prices, tenant {job.owner!r} holds {credit_balance:.1f} "
+                "credits",
             )
         if self.min_fit > 0.0 and self.outlook is not None:
             if self.outlook.cycles_observed(self.criterion) >= self.min_fit_cycles:

@@ -22,8 +22,10 @@ the configuration — never on wall-clock or worker count.
 
 from __future__ import annotations
 
+import math
 import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import replace
 from time import perf_counter
 from typing import Iterable, Optional, Sequence
 
@@ -77,6 +79,11 @@ class BrokerService:
         publishes the future, so the pool stays inside a bounded window
         over unbounded virtual time.  ``None`` (the default) keeps the
         paper's fixed-interval behaviour.
+    tenancy:
+        Optional shared :class:`~repro.tenancy.TenancyManager`.  A
+        federation passes one manager to every shard broker so credit
+        balances and the pricing EWMA are deployment-global; a
+        standalone broker builds its own from ``config.tenancy``.
     """
 
     def __init__(
@@ -87,6 +94,7 @@ class BrokerService:
         clock_start: float = 0.0,
         sinks: Sequence[EventSink] = (),
         horizon_source=None,
+        tenancy=None,
     ):
         self.config = config if config is not None else ServiceConfig()
         self.pool = pool
@@ -124,6 +132,17 @@ class BrokerService:
         #: broker without the subsystem.  Imported lazily: the manager
         #: module pulls in service submodules, so a module-level import
         #: would close an import cycle for some entry points.
+        #: Multi-tenant economics (credit ledger, DRF ordering, pricing);
+        #: ``None`` keeps every path byte-identical to a broker without
+        #: the subsystem.  A shared manager (federation) wins over
+        #: building one from the config; imported lazily like the
+        #: resilience manager to keep the optional package out of the
+        #: default import graph.
+        self._tenancy = tenancy
+        if self._tenancy is None and self.config.tenancy is not None:
+            from repro.tenancy.manager import TenancyManager
+
+            self._tenancy = TenancyManager(self.config.tenancy)
         self._resilience = None
         if self.config.resilience is not None:
             from repro.service.resilience.manager import ResilienceManager
@@ -139,6 +158,7 @@ class BrokerService:
                 cut_mode=self.config.cut_mode,
                 completion_factor=self.config.completion_factor,
                 record_assignments=self.config.record_assignments,
+                tenancy=self._tenancy,
             )
         #: Persistent phase-one executor, created on first parallel cycle
         #: and reused for the broker's lifetime (thread spawn per cycle
@@ -215,6 +235,11 @@ class BrokerService:
         return self._resilience
 
     @property
+    def tenancy(self):
+        """The tenancy manager, or ``None`` when the layer is off."""
+        return self._tenancy
+
+    @property
     def is_idle(self) -> bool:
         """No queued jobs, no active windows, no pending retries."""
         with self._lock:
@@ -286,12 +311,19 @@ class BrokerService:
             # resubmitting its id would fork the job, so in_flight_ids
             # includes the retry buffer.
             known = self.in_flight_ids()
+            price_multiplier = 1.0
+            credit_balance = None
+            if self._tenancy is not None:
+                price_multiplier = self._tenancy.price_multiplier
+                credit_balance = self._tenancy.admission_balance(job.owner)
             decision = self._admission.evaluate(
                 job,
                 self.pool,
                 queue_depth=self._queue.depth,
                 queue_capacity=self._queue.capacity,
                 known_ids=known,
+                price_multiplier=price_multiplier,
+                credit_balance=credit_balance,
             )
             if decision.admitted:
                 self._queue.push(job, self._now)
@@ -372,6 +404,14 @@ class BrokerService:
                     nodes=window.nodes(),
                     node_seconds=node_seconds,
                 )
+                if self._tenancy is not None:
+                    # The whole window is forfeited: partial refund on
+                    # its full escrowed cost, then close out whatever
+                    # remains (nothing runnable survives the shard).
+                    self._tenancy.on_forfeit(
+                        entry.job.job_id, window.total_cost, self.events
+                    )
+                    self._tenancy.on_release(entry.job.job_id, self.events)
                 self.events.emit(
                     EventType.ABANDONED,
                     job_id=entry.job.job_id,
@@ -381,7 +421,7 @@ class BrokerService:
                 self.stats.revocations += 1
                 self.stats.legs_revoked += len(window.slots)
                 self.stats.abandoned += 1
-                self.stats.forfeited_node_seconds += node_seconds
+                self.stats.record_forfeit(entry.job.owner, node_seconds)
                 self._lifecycle.cancel(entry.job.job_id)
                 self.assignments.pop(entry.job.job_id, None)
                 if self._resilience is not None:
@@ -540,6 +580,10 @@ class BrokerService:
             self.stats.delivered_node_seconds += entry.window.processor_time
             if self._resilience is not None:
                 self._resilience.forget(entry.job.job_id)
+            if self._tenancy is not None:
+                # A clean retirement settles the escrow: the window's
+                # cost becomes provider revenue, no event to replay.
+                self._tenancy.on_retired(entry.job.job_id)
         self.pool.trim_before(self._now)
         if self._horizon is not None:
             self.stats.slots_published += self._horizon.ensure(self.pool, self._now)
@@ -562,17 +606,42 @@ class BrokerService:
             queue_depth=self._queue.depth,
             active_jobs=self._lifecycle.active_count,
         )
-        queued = self._queue.pop_batch(self.config.batch_size)
+        if self._tenancy is not None:
+            queued = self._tenancy.drain_batch(self._queue, self.config.batch_size)
+        else:
+            queued = self._queue.pop_batch(self.config.batch_size)
+        price_multiplier = (
+            1.0 if self._tenancy is None else self._tenancy.price_multiplier
+        )
         batch = JobBatch()
         by_id: dict[str, QueuedJob] = {}
         for item in queued:
             by_id[item.job.job_id] = item
+            request = item.job.request
+            if price_multiplier != 1.0:
+                # Live prices are the static prices scaled uniformly by
+                # the multiplier ``m``, so "window cost m*C fits budget
+                # b" is exactly "C fits b/m": scaling the *budget* (and
+                # the per-node price cap) lets phase one and phase two
+                # see live prices without touching the slot snapshot.
+                budget = request.effective_budget
+                cap = request.max_price_per_unit
+                request = replace(
+                    request,
+                    budget=(
+                        None if not math.isfinite(budget)
+                        else budget / price_multiplier
+                    ),
+                    max_price_per_unit=(
+                        None if cap is None else cap / price_multiplier
+                    ),
+                )
             # Ageing: every deferral bumps the priority, as in the flow
             # simulation, so waiting jobs eventually win conflicts.
             batch.add(
                 Job(
                     item.job.job_id,
-                    item.job.request,
+                    request,
                     priority=item.job.priority + item.deferrals,
                     owner=item.job.owner,
                 )
@@ -599,7 +668,20 @@ class BrokerService:
         self.stats.phase1_classes += len({job.request for job in jobs_by_priority})
 
         report = self.scheduler.plan(batch, self.pool, alternatives=alternatives)
+        credit_blocked: list[str] = []
         for job_id, window in report.scheduled.items():
+            if self._tenancy is not None and not self._tenancy.charge_commit(
+                by_id[job_id].job,
+                window,
+                self.events,
+                multiplier=price_multiplier,
+            ):
+                # The tenant cannot pay for the window it won: the
+                # commit is withheld (the pool is untouched — phase-two
+                # windows are disjoint, so skipping one never invalidates
+                # the others) and the job rides the defer/drop path below.
+                credit_blocked.append(job_id)
+                continue
             # Commit by span containment: earlier commits this cycle may
             # have replaced a leg's snapshot slot with its remainders.
             self.pool.commit_window(window, mode=self.config.cut_mode)
@@ -623,7 +705,8 @@ class BrokerService:
             )
             if self._resilience is not None:
                 self._resilience.on_scheduled(job_id, self._now)
-        self.stats.scheduled += len(report.scheduled)
+        committed = len(report.scheduled) - len(credit_blocked)
+        self.stats.scheduled += committed
         if queued:
             # Feed the warm-start outlook: this cycle's demonstrated fit
             # ratio and the batch's mean queue wait (virtual time).
@@ -633,11 +716,11 @@ class BrokerService:
             self.outlook.observe_cycle(
                 self.config.criterion.value,
                 len(queued),
-                len(report.scheduled),
+                committed,
                 mean_wait,
             )
 
-        for job_id in report.unscheduled:
+        for job_id in list(report.unscheduled) + credit_blocked:
             item = by_id[job_id]
             deferrals = item.deferrals + 1
             if deferrals > self.config.max_deferrals:
@@ -681,17 +764,31 @@ class BrokerService:
         self.stats.active_jobs = self._lifecycle.active_count
         cycle_seconds = perf_counter() - cycle_started
         self.stats.cycle_latency.add(cycle_seconds)
-        self.events.emit(
-            EventType.CYCLE_END,
+        cycle_fields: dict[str, object] = dict(
             cycle=cycle_index,
             batch=len(queued),
-            scheduled=len(report.scheduled),
-            unscheduled=len(report.unscheduled),
+            scheduled=committed,
+            unscheduled=len(report.unscheduled) + len(credit_blocked),
             queue_depth=self._queue.depth,
             active_jobs=self._lifecycle.active_count,
             wall_search_seconds=search_seconds,
             wall_cycle_seconds=cycle_seconds,
         )
+        if self._tenancy is not None:
+            # Fold this cycle's utilization into the pricing EWMA: the
+            # node-seconds held by live windows against what the pool
+            # still offers.  The updated multiplier prices the *next*
+            # cycle and every admission until then.
+            held = sum(
+                entry.window.processor_time
+                for entry in self._lifecycle.entries()
+            )
+            arrays = self.pool.as_arrays()
+            free = float((arrays.end - arrays.start).sum())
+            cycle_fields["price_multiplier"] = self._tenancy.observe_cycle(
+                held, free
+            )
+        self.events.emit(EventType.CYCLE_END, **cycle_fields)
         if self.config.check_invariants:
             self.pool.assert_disjoint_per_node()
         self.last_report = report

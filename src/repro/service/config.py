@@ -11,11 +11,14 @@ one object.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.criteria import Criterion
 from repro.model.errors import ConfigurationError
 from repro.service.resilience.config import ResilienceConfig
+
+if TYPE_CHECKING:
+    from repro.tenancy.config import TenancyConfig
 
 
 @dataclass(frozen=True)
@@ -93,6 +96,14 @@ class ServiceConfig:
         (the default) leaves the layer out entirely; the broker's
         behaviour — including its event traces — is then byte-identical
         to a build without the subsystem.
+    tenancy:
+        Multi-tenant economics
+        (:class:`~repro.tenancy.TenancyConfig`): per-tenant credit
+        accounts debited at commit time, DRF ordering of which tenant's
+        jobs enter each cycle, and a utilization-driven price
+        multiplier.  ``None`` (the default) leaves the layer out
+        entirely with the same byte-identical guarantee as
+        ``resilience``.
     """
 
     queue_capacity: int = 256
@@ -108,6 +119,7 @@ class ServiceConfig:
     check_invariants: bool = True
     record_assignments: bool = False
     resilience: Optional[ResilienceConfig] = None
+    tenancy: Optional["TenancyConfig"] = None
     outlook_decay: float = 0.85
     outlook_min_fit: float = 0.0
     outlook_min_fit_cycles: int = 3

@@ -60,6 +60,12 @@ class EventType(enum.Enum):
     REPAIRED = "repaired"  #: revoked legs replaced at the same start time
     REPLANNED = "replanned"  #: window cancelled, job re-queued with backoff
     ABANDONED = "abandoned"  #: recovery gave up (budget/deadline/retries)
+    # --- tenancy / credit events (only emitted with ``ServiceConfig.
+    # tenancy`` enabled; ``balance`` is the tenant's post-operation
+    # balance, which the TraceValidator replays for conservation) ---
+    CREDIT_DEBITED = "credit_debited"  #: escrow charged at commit (``amount``)
+    CREDIT_REFUNDED = "credit_refunded"  #: escrow returned (``kind``)
+    INSUFFICIENT_CREDIT = "insufficient_credit"  #: tenant could not pay
     # --- federation-level events (intake tier, never emitted by a broker;
     # shard-broker events in a federation trace instead carry a
     # ``shard_id`` payload field) ---

@@ -64,6 +64,16 @@ class BoundedJobQueue:
         """Ids of every pending job (duplicate-submission guard)."""
         return {item.job.job_id for item in self._items}
 
+    def items(self) -> list[QueuedJob]:
+        """A FIFO-ordered snapshot of the pending entries.
+
+        The entries are the live objects (mutating them is the caller's
+        responsibility); the list itself is a copy, so the queue can be
+        mutated while iterating it.  The tenancy layer's DRF drain uses
+        this to group the backlog by owner before picking a batch.
+        """
+        return list(self._items)
+
     def oldest_enqueued_at(self) -> Optional[float]:
         """Enqueue time of the longest-waiting job, ``None`` when empty.
 

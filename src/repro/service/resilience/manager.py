@@ -64,6 +64,7 @@ class ResilienceManager:
         cut_mode: str,
         completion_factor: float,
         record_assignments: bool,
+        tenancy=None,
     ):
         self.config = config
         self.injector = RevocationInjector(config.build_model(), seed=config.seed)
@@ -77,6 +78,9 @@ class ResilienceManager:
         self._cut_mode = cut_mode
         self._completion_factor = completion_factor
         self._record_assignments = record_assignments
+        #: Optional tenancy manager: forfeits trigger partial credit
+        #: refunds, replans/abandons release the remaining escrow.
+        self._tenancy = tenancy
         #: (ready_at, seq, job) — jobs waiting out their replan backoff.
         self._retry_heap: list[tuple[float, int, Job]] = []
         self._retry_seq = 0
@@ -213,14 +217,23 @@ class ResilienceManager:
         revoked_seconds = sum(leg.required_time for leg in revoked)
         self._stats.revocations += 1
         self._stats.legs_revoked += len(revoked)
-        self._stats.forfeited_node_seconds += revoked_seconds
+        # Forfeits are attributed to the revoked window's owner so the
+        # loss (and any credit refund) is billable per tenant.
+        self._stats.record_forfeit(job.owner, revoked_seconds)
         self._emitter.emit(
             EventType.REVOKED,
             job_id=job.job_id,
+            owner=job.owner,
             window_start=window.start,
             nodes=sorted(leg.slot.node.node_id for leg in revoked),
             node_seconds=revoked_seconds,
         )
+        if self._tenancy is not None:
+            # The revoked legs' escrowed cost is partially refunded; the
+            # remainder is spent (the disruption's shared cost).
+            self._tenancy.on_forfeit(
+                job.job_id, sum(leg.cost for leg in revoked), self._emitter
+            )
 
         context = RevocationContext(
             job=job,
@@ -312,6 +325,10 @@ class ResilienceManager:
             retries=retries,
             ready_at=action.ready_at,
         )
+        if self._tenancy is not None:
+            # The window is gone without running: the rest of the escrow
+            # flows back (the job will pay afresh when it lands again).
+            self._tenancy.on_release(job_id, self._emitter)
 
     def _apply_abandon(
         self,
@@ -330,4 +347,6 @@ class ResilienceManager:
             cause=action.cause,
             released_node_seconds=released,
         )
+        if self._tenancy is not None:
+            self._tenancy.on_release(job_id, self._emitter)
         self.forget(job_id)

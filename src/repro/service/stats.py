@@ -190,6 +190,9 @@ class ServiceStats:
     abandoned: int = 0
     retried: int = 0
     forfeited_node_seconds: float = 0.0
+    #: Forfeited node-seconds attributed to each revoked window's owner —
+    #: what makes credit refunds (and blame) attributable per tenant.
+    forfeited_by_owner: dict[str, float] = field(default_factory=dict)
     delivered_node_seconds: float = 0.0
     recovery_latency: LatencyTracker = field(default_factory=LatencyTracker)
 
@@ -197,6 +200,13 @@ class ServiceStats:
         """Count one rejected submission under its reason."""
         self.rejected += 1
         self.rejected_by_reason[reason] = self.rejected_by_reason.get(reason, 0) + 1
+
+    def record_forfeit(self, owner: str, node_seconds: float) -> None:
+        """Attribute one revocation's forfeited node-seconds to its owner."""
+        self.forfeited_node_seconds += node_seconds
+        self.forfeited_by_owner[owner] = (
+            self.forfeited_by_owner.get(owner, 0.0) + node_seconds
+        )
 
     @property
     def windows_per_second(self) -> float:
@@ -263,6 +273,10 @@ class ServiceStats:
                 "abandoned": self.abandoned,
                 "retried": self.retried,
                 "forfeited_node_seconds": round(self.forfeited_node_seconds, 6),
+                "forfeited_by_owner": {
+                    owner: round(seconds, 6)
+                    for owner, seconds in sorted(self.forfeited_by_owner.items())
+                },
                 "recovery_latency_mean": round(self.recovery_latency.mean, 6),
             },
         }

@@ -59,7 +59,163 @@ _TRANSITIONS: dict[EventType, tuple[tuple[Optional[JobState], JobState], ...]] =
     EventType.REPAIRED: ((JobState.SCHEDULED, JobState.SCHEDULED),),
     EventType.REPLANNED: ((JobState.SCHEDULED, JobState.PENDING),),
     EventType.ABANDONED: ((JobState.SCHEDULED, JobState.ABANDONED),),
+    # Credit events ride alongside the lifecycle without changing it: a
+    # debit lands while the commit is being decided (still PENDING —
+    # SCHEDULED follows) or right after it (a co-allocator debiting once
+    # across already-committed shard legs); a forfeit refund while the
+    # (damaged) window is still held; a release refund after the job
+    # went back to pending (replanned) or terminal (abandoned); an
+    # insufficient-credit verdict either at admission (still SUBMITTED,
+    # REJECTED follows) or at commit time (still PENDING, the job is
+    # then deferred or dropped).
+    EventType.CREDIT_DEBITED: (
+        (JobState.PENDING, JobState.PENDING),
+        (JobState.SCHEDULED, JobState.SCHEDULED),
+    ),
+    EventType.CREDIT_REFUNDED: (
+        (JobState.SCHEDULED, JobState.SCHEDULED),
+        (JobState.PENDING, JobState.PENDING),
+        (JobState.ABANDONED, JobState.ABANDONED),
+    ),
+    EventType.INSUFFICIENT_CREDIT: (
+        (JobState.SUBMITTED, JobState.SUBMITTED),
+        (JobState.PENDING, JobState.PENDING),
+    ),
 }
+
+#: The credit-event subset (shared with the federation validator, which
+#: replays the same balance laws at its intake tier).
+CREDIT_EVENT_TYPES = frozenset(
+    {
+        EventType.CREDIT_DEBITED,
+        EventType.CREDIT_REFUNDED,
+        EventType.INSUFFICIENT_CREDIT,
+    }
+)
+
+#: Absolute slack for replayed credit balances (mirrors the ledger's own
+#: :data:`repro.tenancy.ledger.CREDIT_EPSILON` without importing it —
+#: tracing must not depend on the optional tenancy package).
+_CREDIT_EPSILON = 1e-6
+
+
+class CreditReplay:
+    """Replay ``CREDIT_*`` events and check the ledger laws they imply.
+
+    Each event carries the tenant's *post-operation* balance, so the
+    stream itself fixes the arithmetic: a debit's balance must be the
+    previous balance minus the amount, a refund's the previous plus the
+    amount, and an insufficient-credit verdict leaves it unchanged.  On
+    a tenant's first sighting the stated balance is taken as ground
+    truth (the trace does not carry initial endowments).  On top of the
+    per-event arithmetic: amounts are non-negative, balances never go
+    negative, no job's refunds exceed its debits, and globally
+    ``refunds <= debits`` (the remainder being provider revenue plus
+    open escrow).  Used by both the single-broker and the federation
+    validators.
+    """
+
+    def __init__(self) -> None:
+        self.balances: dict[str, float] = {}
+        self.debited_by_job: dict[str, float] = {}
+        self.refunded_by_job: dict[str, float] = {}
+        self.total_debited = 0.0
+        self.total_refunded = 0.0
+
+    def reset_job(self, job_id: str) -> None:
+        """A terminal job id was resubmitted: its escrow history resets."""
+        self.debited_by_job.pop(job_id, None)
+        self.refunded_by_job.pop(job_id, None)
+
+    def observe(self, event: Event) -> list[str]:
+        """Check one credit event; returns the violations it triggers."""
+        failures: list[str] = []
+        tenant = event.fields.get("tenant")
+        if not isinstance(tenant, str) or not tenant:
+            return [f"{event.type.value} event without a 'tenant' field"]
+        balance = event.fields.get("balance")
+        if not isinstance(balance, (int, float)):
+            return [f"{event.type.value} event without a numeric 'balance'"]
+        balance = float(balance)
+        if balance < -_CREDIT_EPSILON:
+            failures.append(
+                f"tenant {tenant!r} balance went negative: {balance}"
+            )
+        known = self.balances.get(tenant)
+        if event.type is EventType.INSUFFICIENT_CREDIT:
+            required = event.fields.get("required")
+            if not isinstance(required, (int, float)) or required < 0:
+                failures.append(
+                    "insufficient_credit event without valid 'required'"
+                )
+            if known is not None and abs(balance - known) > _CREDIT_EPSILON:
+                failures.append(
+                    f"insufficient_credit changed tenant {tenant!r}'s "
+                    f"balance: {known} -> {balance}"
+                )
+            self.balances[tenant] = balance
+            return failures
+        amount = event.fields.get("amount")
+        if not isinstance(amount, (int, float)) or amount < 0:
+            failures.append(
+                f"{event.type.value} event without a non-negative 'amount'"
+            )
+            self.balances[tenant] = balance
+            return failures
+        amount = float(amount)
+        job_id = event.job_id or ""
+        if event.type is EventType.CREDIT_DEBITED:
+            expected = None if known is None else known - amount
+            self.debited_by_job[job_id] = (
+                self.debited_by_job.get(job_id, 0.0) + amount
+            )
+            self.total_debited += amount
+        else:  # CREDIT_REFUNDED
+            expected = None if known is None else known + amount
+            self.refunded_by_job[job_id] = (
+                self.refunded_by_job.get(job_id, 0.0) + amount
+            )
+            self.total_refunded += amount
+            debited = self.debited_by_job.get(job_id, 0.0)
+            if self.refunded_by_job[job_id] > debited + _CREDIT_EPSILON:
+                failures.append(
+                    f"job {job_id!r} refunded {self.refunded_by_job[job_id]} "
+                    f"credits but was debited only {debited}"
+                )
+        if expected is not None and abs(balance - expected) > max(
+            _CREDIT_EPSILON, 1e-9 * abs(expected)
+        ):
+            failures.append(
+                f"tenant {tenant!r} balance mismatch on "
+                f"{event.type.value}: expected {expected}, got {balance}"
+            )
+        self.balances[tenant] = balance
+        return failures
+
+    def check(self) -> list[str]:
+        """End-of-trace credit laws; returns the violations found."""
+        failures: list[str] = []
+        if self.total_refunded > self.total_debited + max(
+            _CREDIT_EPSILON, 1e-9 * self.total_debited
+        ):
+            failures.append(
+                f"total refunds ({self.total_refunded}) exceed total "
+                f"debits ({self.total_debited})"
+            )
+        for tenant, balance in self.balances.items():
+            if balance < -_CREDIT_EPSILON:
+                failures.append(
+                    f"tenant {tenant!r} ended with a negative balance: "
+                    f"{balance}"
+                )
+        return failures
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "credits_debited": round(self.total_debited, 6),
+            "credits_refunded": round(self.total_refunded, 6),
+            "tenants_seen": len(self.balances),
+        }
 
 #: Terminal states a job id may be resubmitted from (a retired or
 #: rejected id is free again as far as the broker's duplicate check goes).
@@ -93,6 +249,7 @@ class TraceValidator(EventSink):
         self.violations: list[str] = []
         self.counts: dict[EventType, int] = {t: 0 for t in EventType}
         self._states: dict[str, JobState] = {}
+        self._credit = CreditReplay()
         self._committed: dict[str, float] = {}
         self._committed_total = 0.0
         self._released_total = 0.0
@@ -184,9 +341,10 @@ class TraceValidator(EventSink):
                 event, f"job {job_id!r} resubmitted while {state.value}"
             )
         # A resubmitted terminal id starts a fresh life; its committed
-        # node-seconds budget starts over with it.
+        # node-seconds budget and escrow history start over with it.
         self._states[job_id] = JobState.SUBMITTED
         self._committed.pop(job_id, None)
+        self._credit.reset_job(job_id)
 
     def _on_job_event(self, event: Event) -> None:
         job_id = event.job_id
@@ -218,6 +376,10 @@ class TraceValidator(EventSink):
                 f"illegal transition for job {job_id!r}: "
                 f"{event.type.value} while {have}",
             )
+            return
+        if event.type in CREDIT_EVENT_TYPES:
+            for message in self._credit.observe(event):
+                self._violate(event, message)
             return
         if event.type is EventType.SCHEDULED:
             self._on_scheduled(event, job_id)
@@ -474,6 +636,7 @@ class TraceValidator(EventSink):
                 f"({self._forfeited_total}) node-seconds exceed "
                 f"committed ({self._committed_total})"
             )
+        failures.extend(self._credit.check())
         if expect_drained:
             if pending:
                 failures.append(
@@ -511,6 +674,10 @@ class TraceValidator(EventSink):
             "committed_node_seconds": round(self._committed_total, 6),
             "released_node_seconds": round(self._released_total, 6),
             "forfeited_node_seconds": round(self._forfeited_total, 6),
+            "credit_debited": self.counts[EventType.CREDIT_DEBITED],
+            "credit_refunded": self.counts[EventType.CREDIT_REFUNDED],
+            "insufficient_credit": self.counts[EventType.INSUFFICIENT_CREDIT],
+            **self._credit.summary(),
             "violations": len(self.violations),
         }
 

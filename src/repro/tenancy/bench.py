@@ -1,0 +1,213 @@
+"""Fairness-and-revenue benchmark of the tenancy layer.
+
+One aggressive tenant (the *hog*) submits half of an overloaded arrival
+stream while ``small_tenants`` split the other half.  The identical
+stream runs twice through the same broker configuration — once with the
+legacy FIFO cycle drain, once with DRF ordering — with credits and
+utilization pricing live in both runs.  The figure of merit is Jain's
+fairness index over the per-tenant committed node-seconds: under FIFO
+the hog's queue position buys it the capacity, under DRF the sorter
+serves the tenant with the smallest dominant share first, so the small
+tenants' share (and the index) must rise.
+
+Refuse-to-record gates, in the spirit of the other benches:
+
+* both runs' traces must pass the :class:`TraceValidator` drained laws
+  (including the credit-conservation replay), and both ledgers must
+  pass :meth:`~repro.tenancy.ledger.CreditLedger.assert_conservation`;
+* the stream must actually be contended (somebody's jobs dropped) —
+  an uncontended pool makes every ordering trivially fair;
+* DRF's Jain index must strictly beat FIFO's, or nothing is recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+
+class TenancyGateError(RuntimeError):
+    """A refuse-to-record gate failed; the payload must not be written."""
+
+
+def _assign_owners(arrivals, small_tenants: Sequence[str]):
+    """Alternate hog / small-tenant ownership over one arrival stream.
+
+    Even indices belong to the hog (half the demand from one account),
+    odd indices round-robin across the small tenants, so at every point
+    in the backlog the hog has as many queued jobs as everyone else
+    combined.
+    """
+    owned = []
+    small_index = 0
+    for index, (arrival_time, job) in enumerate(arrivals):
+        if index % 2 == 0:
+            owner = "hog"
+        else:
+            owner = small_tenants[small_index % len(small_tenants)]
+            small_index += 1
+        owned.append((arrival_time, replace(job, owner=owner)))
+    return owned
+
+
+def _waves(arrivals, wave: int):
+    """Chunk an arrival stream into bursts of ``wave`` jobs.
+
+    All jobs of one burst are submitted back-to-back at the burst's
+    first arrival time before any cycle runs, so the queue actually
+    backs up past the batch size — the only regime where the cycle
+    drain's *selection* (and not merely its order) can differ between
+    FIFO and DRF.
+    """
+    chunks = []
+    for start in range(0, len(arrivals), wave):
+        chunk = arrivals[start : start + wave]
+        chunks.append((chunk[0][0], [job for _, job in chunk]))
+    return chunks
+
+
+def _run_ordering(
+    ordering: str,
+    waves,
+    node_count: int,
+    env_seed: int,
+    credit: float,
+    batch_size: int,
+) -> dict[str, object]:
+    from repro.analysis.fairness import jain_index
+    from repro.environment import EnvironmentConfig, EnvironmentGenerator
+    from repro.service.broker import BrokerService
+    from repro.service.config import ServiceConfig
+    from repro.service.events import EventType
+    from repro.service.tracing import TraceValidator
+    from repro.tenancy.config import TenancyConfig
+
+    pool = (
+        EnvironmentGenerator(
+            EnvironmentConfig(node_count=node_count, seed=env_seed)
+        )
+        .generate()
+        .slot_pool()
+    )
+    tenancy = TenancyConfig(ordering=ordering, default_credit=credit)
+    validator = TraceValidator()
+    broker = BrokerService(
+        pool,
+        config=ServiceConfig(
+            batch_size=batch_size,
+            check_invariants=False,
+            tenancy=tenancy,
+        ),
+        sinks=[validator],
+    )
+    with broker:
+        for wave_time, wave_jobs in waves:
+            broker.advance_to(wave_time)
+            for job in wave_jobs:
+                broker.submit(job)
+            broker.pump()
+        broker.drain()
+        stats = broker.stats
+        manager = broker.tenancy
+        assert manager is not None
+        # Gate 1a: the trace replay must agree with itself end to end.
+        validator.check(expect_drained=True)
+        # Gate 1b: the live ledger must balance independently of the trace.
+        manager.ledger.assert_conservation()
+        shares = {
+            name: seconds
+            for name, seconds in sorted(manager.ledger.committed_shares().items())
+        }
+        return {
+            "ordering": ordering,
+            "jain_index": round(jain_index(list(shares.values())), 6),
+            "revenue": round(manager.ledger.total_revenue(), 3),
+            "price_multiplier": round(manager.price_multiplier, 6),
+            "scheduled": stats.scheduled,
+            "retired": stats.retired,
+            "dropped": stats.dropped,
+            "rejected": stats.rejected,
+            "insufficient_credit": validator.counts[
+                EventType.INSUFFICIENT_CREDIT
+            ],
+            "credits_debited": validator.counts[EventType.CREDIT_DEBITED],
+            "credits_refunded": validator.counts[EventType.CREDIT_REFUNDED],
+            "committed_node_seconds": {
+                name: round(seconds, 3) for name, seconds in shares.items()
+            },
+        }
+
+
+def bench_tenancy(
+    jobs: int = 160,
+    node_count: int = 16,
+    small_tenants: int = 4,
+    arrival_rate: float = 8.0,
+    wave: int = 24,
+    seed: int = 2013,
+    env_seed: int = 42,
+    credit: float = 1_000_000.0,
+    batch_size: int = 4,
+    orderings: Optional[Sequence[str]] = None,
+) -> dict[str, object]:
+    """Run the hog-vs-small-tenants mix under each cycle ordering.
+
+    Raises :class:`TenancyGateError` — recording nothing — unless the
+    stream was contended and DRF strictly improved Jain's index over
+    FIFO.
+    """
+    from repro.core.vectorized import scan_counters
+    from repro.hostinfo import host_payload
+    from repro.simulation.jobgen import JobGenerator
+
+    names = [f"tenant-{index + 1}" for index in range(small_tenants)]
+    arrivals = _assign_owners(
+        JobGenerator(seed=seed).iter_arrivals(jobs, rate=arrival_rate), names
+    )
+    waves = _waves(arrivals, wave)
+    if orderings is None:
+        orderings = ("fifo", "drf")
+    results = [
+        _run_ordering(
+            ordering,
+            waves,
+            node_count=node_count,
+            env_seed=env_seed,
+            credit=credit,
+            batch_size=batch_size,
+        )
+        for ordering in orderings
+    ]
+    by_ordering = {str(row["ordering"]): row for row in results}
+    if {"fifo", "drf"} <= set(by_ordering):
+        fifo, drf = by_ordering["fifo"], by_ordering["drf"]
+        if int(fifo["dropped"]) + int(drf["dropped"]) == 0:
+            raise TenancyGateError(
+                "the stream was not contended (no drops under either "
+                "ordering): every ordering is trivially fair, nothing to "
+                "record — raise the load or shrink the pool"
+            )
+        if float(drf["jain_index"]) <= float(fifo["jain_index"]):
+            raise TenancyGateError(
+                f"DRF Jain index {drf['jain_index']} did not beat FIFO's "
+                f"{fifo['jain_index']}: the sorter bought no fairness on "
+                "this mix, nothing to record"
+            )
+    return {
+        "benchmark": "tenancy",
+        "config": {
+            "jobs": jobs,
+            "node_count": node_count,
+            "small_tenants": small_tenants,
+            "arrival_rate": arrival_rate,
+            "wave": wave,
+            "seed": seed,
+            "env_seed": env_seed,
+            "credit": credit,
+            "batch_size": batch_size,
+            "orderings": list(orderings),
+        },
+        "host": host_payload(parallel_target=2),
+        "scan_kernel": dict(scan_counters),
+        "results": results,
+    }

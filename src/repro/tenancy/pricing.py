@@ -1,0 +1,75 @@
+"""Utilization-driven price multiplier.
+
+The environment's :class:`MarketPricing` assigns each slot a *static*
+power-law price at generation time.  The tenancy layer scales those
+static prices with one live multiplier, updated once per scheduling
+cycle from an EWMA of pool utilization (committed / available
+node-seconds): a hot pool gets expensive, an idle pool drifts back to
+the static floor.
+
+The multiplier is applied *uniformly*, which admits an exact algebraic
+shortcut: a window costing ``C`` at static prices costs ``m * C`` live,
+so "is the window within budget ``b`` at live prices" is precisely "is
+``C <= b / m``".  The broker therefore never mutates slot prices — it
+scales each batch job's budget by ``1/m`` before the phase-1/phase-2
+scans and scales admission's cheapest-feasible lower bound by ``m``,
+and both the feasibility oracle and the scans see live prices without
+touching the columnar snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tenancy.config import TenancyConfig
+
+
+@dataclass
+class PricingEngine:
+    """EWMA utilization tracker -> clamped price multiplier."""
+
+    config: TenancyConfig
+    _ewma: float = 0.0
+    _primed: bool = False
+    _cycles: int = field(default=0)
+
+    @property
+    def utilization(self) -> float:
+        """The current EWMA utilization estimate in [0, 1]."""
+        return self._ewma
+
+    @property
+    def multiplier(self) -> float:
+        """The live price multiplier: ``clamp(1 + gain * ewma)``."""
+        if not self.config.pricing:
+            return 1.0
+        raw = 1.0 + self.config.pricing_gain * self._ewma
+        return min(self.config.max_multiplier, max(self.config.min_multiplier, raw))
+
+    def observe_cycle(self, held_node_seconds: float, free_node_seconds: float) -> float:
+        """Fold one cycle's utilization sample into the EWMA.
+
+        ``held`` is the node-seconds committed to live windows, ``free``
+        the node-seconds still offered by the pool snapshot.  Returns
+        the new multiplier.
+        """
+        total = held_node_seconds + free_node_seconds
+        sample = 0.0 if total <= 0 else held_node_seconds / total
+        sample = min(1.0, max(0.0, sample))
+        if not self._primed:
+            # Seed the EWMA with the first sample instead of decaying
+            # from zero, so short runs are not biased toward idleness.
+            self._ewma = sample
+            self._primed = True
+        else:
+            decay = self.config.pricing_decay
+            self._ewma = decay * self._ewma + (1.0 - decay) * sample
+        self._cycles += 1
+        return self.multiplier
+
+    def snapshot(self) -> dict:
+        return {
+            "utilization_ewma": self._ewma,
+            "multiplier": self.multiplier,
+            "cycles_observed": self._cycles,
+        }

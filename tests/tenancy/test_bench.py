@@ -1,0 +1,92 @@
+"""The tenancy benchmark: gates, payload shape, CLI wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.tenancy import TenancyGateError, bench_tenancy
+
+#: Small but genuinely contended: 80 jobs in waves of 16 on 8 nodes
+#: drop under both orderings and DRF beats FIFO on Jain's index.
+SMALL = dict(jobs=80, node_count=8, small_tenants=3, wave=16, batch_size=4)
+
+
+class TestGates:
+    def test_contended_mix_passes_and_reports_both_orderings(self):
+        payload = bench_tenancy(**SMALL)
+        assert payload["benchmark"] == "tenancy"
+        rows = {row["ordering"]: row for row in payload["results"]}
+        assert set(rows) == {"fifo", "drf"}
+        assert rows["drf"]["jain_index"] > rows["fifo"]["jain_index"]
+        assert rows["fifo"]["dropped"] + rows["drf"]["dropped"] > 0
+        for row in rows.values():
+            assert 0.0 < row["jain_index"] <= 1.0
+            assert row["revenue"] > 0.0
+            assert row["price_multiplier"] >= 1.0
+            assert row["credits_debited"] > 0
+            # Every tenant in the mix appears in the share table.
+            assert "hog" in row["committed_node_seconds"]
+        assert payload["config"]["wave"] == SMALL["wave"]
+
+    def test_uncontended_stream_refuses_to_record(self):
+        with pytest.raises(TenancyGateError, match="not contended"):
+            bench_tenancy(
+                jobs=6,
+                node_count=32,
+                small_tenants=2,
+                arrival_rate=0.2,
+                wave=2,
+                batch_size=2,
+            )
+
+
+class TestCli:
+    def test_bench_tenancy_writes_the_payload(self, tmp_path, capsys):
+        out = tmp_path / "tenancy.json"
+        code = main(
+            [
+                "bench-tenancy",
+                "--jobs",
+                "80",
+                "--nodes",
+                "8",
+                "--small-tenants",
+                "3",
+                "--wave",
+                "16",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "fairness gate holds" in printed
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "tenancy"
+        assert len(payload["results"]) == 2
+
+    def test_gate_failure_exits_nonzero_and_writes_nothing(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "tenancy.json"
+        code = main(
+            [
+                "bench-tenancy",
+                "--jobs",
+                "6",
+                "--nodes",
+                "32",
+                "--rate",
+                "0.2",
+                "--wave",
+                "2",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 1
+        assert "TENANCY GATE FAILED" in capsys.readouterr().err
+        assert not out.exists()

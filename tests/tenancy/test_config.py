@@ -1,0 +1,60 @@
+"""Validation of the tenancy configuration surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.errors import ConfigurationError
+from repro.tenancy import ORDERING_NAMES, TenancyConfig, TenantSpec
+
+
+class TestTenantSpec:
+    def test_defaults(self):
+        spec = TenantSpec("alice", credit=10.0)
+        assert spec.weight == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(name="", credit=1.0),
+            dict(name="a", credit=-1.0),
+            dict(name="a", credit=1.0, weight=0.0),
+            dict(name="a", credit=1.0, weight=-2.0),
+        ],
+    )
+    def test_rejects_bad_specs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TenantSpec(**kwargs)
+
+
+class TestTenancyConfig:
+    def test_defaults_are_valid(self):
+        config = TenancyConfig()
+        assert config.ordering in ORDERING_NAMES
+        assert config.enforce_credits
+        assert config.pricing
+
+    def test_rejects_duplicate_tenant_names(self):
+        with pytest.raises(ConfigurationError):
+            TenancyConfig(
+                tenants=(TenantSpec("a", credit=1.0), TenantSpec("a", credit=2.0))
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(default_credit=-1.0),
+            dict(default_weight=0.0),
+            dict(ordering="lottery"),
+            dict(forfeit_refund=-0.1),
+            dict(forfeit_refund=1.1),
+            dict(pricing_decay=0.0),
+            dict(pricing_decay=1.0),
+            dict(pricing_gain=-0.5),
+            dict(min_multiplier=0.0),
+            dict(min_multiplier=2.0, max_multiplier=1.5),
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TenancyConfig(**kwargs)

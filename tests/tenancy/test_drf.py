@@ -1,0 +1,150 @@
+"""The DRF sorter: ordering laws and equivalence to brute force."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tenancy import DRFSorter, dominant_share
+
+
+class TestDominantShare:
+    def test_share_is_allocation_over_weight(self):
+        assert dominant_share(10.0, 2.0) == 5.0
+
+    def test_zero_allocation_is_zero_share(self):
+        assert dominant_share(0.0, 3.0) == 0.0
+
+    @pytest.mark.parametrize("weight", [0.0, -1.0])
+    def test_rejects_non_positive_weight(self, weight):
+        with pytest.raises(ValueError):
+            dominant_share(1.0, weight)
+
+
+class TestSort:
+    def test_ascending_share_then_name(self):
+        sorter = DRFSorter(allocated={"a": 5.0, "b": 1.0, "c": 1.0})
+        assert sorter.sort(["a", "b", "c"]) == ["b", "c", "a"]
+
+    def test_weights_divide_shares(self):
+        # a has 3x the allocation of b but 4x the weight: smaller share.
+        sorter = DRFSorter(
+            allocated={"a": 6.0, "b": 2.0}, weights={"a": 4.0, "b": 1.0}
+        )
+        assert sorter.sort(["a", "b"]) == ["a", "b"]
+
+    def test_unknown_tenants_default_to_zero_share(self):
+        sorter = DRFSorter(allocated={"hog": 100.0})
+        assert sorter.sort(["hog", "new"]) == ["new", "hog"]
+
+    def test_zero_shares_tie_break_alphabetically(self):
+        sorter = DRFSorter()
+        assert sorter.sort(["c", "a", "b"]) == ["a", "b", "c"]
+
+
+class TestSelect:
+    def test_serving_grows_the_share_and_rotates(self):
+        pending = {"a": ["a1", "a2", "a3"], "b": ["b1", "b2", "b3"]}
+        sorter = DRFSorter()
+        # Equal unit demands: picks must alternate, alphabetical first.
+        picks = sorter.select(pending, demand=lambda _: 1.0, limit=4)
+        assert picks == ["a1", "b1", "a2", "b2"]
+
+    def test_respects_the_limit(self):
+        pending = {"a": list("xyz")}
+        assert len(DRFSorter().select(pending, lambda _: 1.0, limit=2)) == 2
+        assert pending["a"] == ["z"]
+
+    def test_serves_fifo_within_a_tenant(self):
+        pending = {"a": ["first", "second"]}
+        assert DRFSorter().select(pending, lambda _: 1.0, limit=2) == [
+            "first",
+            "second",
+        ]
+
+    def test_prior_allocation_starves_the_hog_until_parity(self):
+        pending = {"hog": ["h1", "h2"], "small": ["s1", "s2"]}
+        sorter = DRFSorter(allocated={"hog": 10.0})
+        picks = sorter.select(pending, demand=lambda _: 4.0, limit=3)
+        # small must catch up (0 -> 4 -> 8) before the hog is served.
+        assert picks == ["s1", "s2", "h1"]
+
+    def test_exhausted_tenants_drop_out(self):
+        pending = {"a": ["a1"], "b": ["b1", "b2", "b3"]}
+        picks = DRFSorter().select(pending, lambda _: 1.0, limit=4)
+        assert picks == ["a1", "b1", "b2", "b3"]
+
+
+def brute_force_select(allocated, weights, pending, demands, limit):
+    """Reference Mesos loop: literal argmin over (share, name) each pick."""
+    allocated = dict(allocated)
+    pending = {name: list(items) for name, items in pending.items()}
+    served = []
+    while len(served) < limit:
+        candidates = sorted(
+            (
+                (
+                    dominant_share(
+                        allocated.get(name, 0.0), weights.get(name, 1.0)
+                    ),
+                    name,
+                )
+                for name, items in pending.items()
+                if items
+            ),
+        )
+        if not candidates:
+            break
+        _, best = candidates[0]
+        item = pending[best].pop(0)
+        served.append(item)
+        allocated[best] = allocated.get(best, 0.0) + demands[item]
+    return served
+
+
+@st.composite
+def drf_instances(draw):
+    tenant_count = draw(st.integers(min_value=1, max_value=5))
+    names = [f"t{i}" for i in range(tenant_count)]
+    allocated = {
+        name: draw(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+        )
+        for name in names
+    }
+    weights = {
+        name: draw(
+            st.floats(min_value=0.25, max_value=4.0, allow_nan=False)
+        )
+        for name in names
+    }
+    pending = {}
+    demands = {}
+    for name in names:
+        depth = draw(st.integers(min_value=0, max_value=4))
+        items = [f"{name}-job{j}" for j in range(depth)]
+        pending[name] = items
+        for item in items:
+            demands[item] = draw(
+                st.floats(min_value=0.1, max_value=50.0, allow_nan=False)
+            )
+    limit = draw(st.integers(min_value=0, max_value=12))
+    return allocated, weights, pending, demands, limit
+
+
+class TestSelectMatchesBruteForce:
+    @settings(max_examples=60, deadline=None)
+    @given(drf_instances())
+    def test_select_is_the_dominant_share_argmin_loop(self, instance):
+        allocated, weights, pending, demands, limit = instance
+        expected = brute_force_select(
+            allocated, weights, pending, demands, limit
+        )
+        sorter = DRFSorter(allocated=dict(allocated), weights=dict(weights))
+        got = sorter.select(
+            {name: list(items) for name, items in pending.items()},
+            demand=lambda item: demands[item],
+            limit=limit,
+        )
+        assert got == expected

@@ -1,0 +1,169 @@
+"""Unit tests of the escrow ledger's conservation accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tenancy import (
+    CREDIT_EPSILON,
+    CreditLedger,
+    LedgerError,
+    TenancyConfig,
+    TenantSpec,
+)
+
+
+def ledger(**kwargs) -> CreditLedger:
+    defaults = dict(
+        tenants=(TenantSpec("alice", credit=100.0),),
+        default_credit=50.0,
+        forfeit_refund=0.5,
+    )
+    defaults.update(kwargs)
+    return CreditLedger(TenancyConfig(**defaults))
+
+
+class TestRegistry:
+    def test_configured_tenant_starts_with_spec_credit(self):
+        led = ledger()
+        assert led.balance("alice") == 100.0
+
+    def test_unknown_tenant_auto_registers_with_defaults(self):
+        led = ledger()
+        assert led.balance("walk-in") == 50.0
+        assert "walk-in" in led.tenants()
+
+    def test_weight_comes_from_spec(self):
+        led = ledger(tenants=(TenantSpec("vip", credit=10.0, weight=3.0),))
+        assert led.account("vip").weight == 3.0
+        assert led.account("other").weight == 1.0
+
+
+class TestDebit:
+    def test_debit_moves_balance_into_escrow(self):
+        led = ledger()
+        assert led.debit("alice", "j1", 40.0, node_seconds=8.0)
+        assert led.balance("alice") == pytest.approx(60.0)
+        assert led.open_escrow() == pytest.approx(40.0)
+        acct = led.account("alice")
+        assert acct.committed_node_seconds == pytest.approx(8.0)
+        assert acct.held_node_seconds == pytest.approx(8.0)
+
+    def test_unaffordable_debit_refused_without_side_effects(self):
+        led = ledger()
+        assert not led.debit("alice", "j1", 100.5)
+        assert led.balance("alice") == 100.0
+        assert led.open_escrow() == 0.0
+        led.assert_conservation()
+
+    def test_double_escrow_is_a_bug(self):
+        led = ledger()
+        led.debit("alice", "j1", 10.0)
+        with pytest.raises(LedgerError):
+            led.debit("alice", "j1", 5.0)
+
+    def test_negative_debit_is_a_bug(self):
+        with pytest.raises(LedgerError):
+            ledger().debit("alice", "j1", -1.0)
+
+
+class TestSettle:
+    def test_settlement_turns_escrow_into_revenue(self):
+        led = ledger()
+        led.debit("alice", "j1", 40.0, node_seconds=8.0)
+        tenant, amount = led.settle("j1")
+        assert (tenant, amount) == ("alice", 40.0)
+        acct = led.account("alice")
+        assert acct.spent == pytest.approx(40.0)
+        assert acct.held_node_seconds == 0.0
+        # Committed node-seconds are the DRF basis: monotone, not undone.
+        assert acct.committed_node_seconds == pytest.approx(8.0)
+        assert led.open_escrow() == 0.0
+        assert led.total_revenue() == pytest.approx(40.0)
+        led.assert_conservation()
+
+    def test_settle_without_escrow_is_a_noop(self):
+        led = ledger()
+        assert led.settle("ghost") == ("", 0.0)
+
+
+class TestForfeit:
+    def test_partial_forfeit_splits_refund_and_revenue(self):
+        led = ledger()
+        led.debit("alice", "j1", 40.0, multiplier=1.0, node_seconds=8.0)
+        tenant, refund = led.refund_forfeit("j1", 10.0)  # one leg of cost 10
+        assert tenant == "alice"
+        assert refund == pytest.approx(5.0)  # 50% of the leg's escrow
+        acct = led.account("alice")
+        assert acct.refunded == pytest.approx(5.0)
+        assert acct.spent == pytest.approx(5.0)
+        assert led.open_escrow() == pytest.approx(30.0)
+        led.assert_conservation()
+
+    def test_forfeit_uses_the_commit_time_multiplier(self):
+        led = ledger()
+        led.debit("alice", "j1", 30.0, multiplier=1.5)
+        _, refund = led.refund_forfeit("j1", 10.0)  # leg cost at static prices
+        assert refund == pytest.approx(0.5 * 10.0 * 1.5)
+        led.assert_conservation()
+
+    def test_full_window_forfeit_closes_the_escrow_exactly(self):
+        led = ledger()
+        led.debit("alice", "j1", 40.0, node_seconds=8.0)
+        led.refund_forfeit("j1", 40.0)
+        assert not led.holds_escrow("j1")
+        assert led.open_escrow() == 0.0
+        assert led.account("alice").held_node_seconds == 0.0
+        led.assert_conservation()
+
+    def test_forfeit_without_escrow_is_a_noop(self):
+        assert ledger().refund_forfeit("ghost", 10.0) == ("", 0.0)
+
+
+class TestRelease:
+    def test_release_refunds_the_whole_remaining_escrow(self):
+        led = ledger()
+        led.debit("alice", "j1", 40.0, node_seconds=8.0)
+        led.refund_forfeit("j1", 10.0)
+        tenant, refund = led.refund_release("j1")
+        assert tenant == "alice"
+        assert refund == pytest.approx(30.0)
+        assert led.balance("alice") == pytest.approx(100.0 - 40.0 + 5.0 + 30.0)
+        assert led.open_escrow() == 0.0
+        led.assert_conservation()
+
+    def test_release_without_escrow_is_a_noop(self):
+        assert ledger().refund_release("ghost") == ("", 0.0)
+
+
+class TestConservation:
+    def test_mixed_lifecycle_balances_globally(self):
+        led = ledger(default_credit=500.0)
+        led.debit("a", "j1", 120.0, node_seconds=10.0)
+        led.debit("b", "j2", 80.0, multiplier=2.0, node_seconds=5.0)
+        led.debit("a", "j3", 60.0, node_seconds=4.0)
+        led.settle("j1")
+        led.refund_forfeit("j2", 15.0)
+        led.refund_release("j2")
+        led.assert_conservation()
+        snap = led.snapshot()
+        assert snap["total_debited"] == pytest.approx(260.0)
+        assert snap["total_refunded"] + snap["total_spent"] + snap[
+            "open_escrow"
+        ] == pytest.approx(260.0)
+
+    def test_conservation_check_catches_tampering(self):
+        led = ledger()
+        led.debit("alice", "j1", 10.0)
+        led.account("alice").balance += 7.0  # corrupt
+        with pytest.raises(LedgerError):
+            led.assert_conservation()
+
+    def test_epsilon_dust_is_absorbed(self):
+        led = ledger()
+        led.debit("alice", "j1", 30.0, multiplier=1.0)
+        # Three forfeits of a third each leave float dust behind.
+        for _ in range(3):
+            led.refund_forfeit("j1", 10.0)
+        assert led.open_escrow() <= CREDIT_EPSILON
+        led.assert_conservation()

@@ -1,0 +1,66 @@
+"""The utilization-driven pricing loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tenancy import PricingEngine, TenancyConfig
+
+
+def engine(**kwargs) -> PricingEngine:
+    return PricingEngine(TenancyConfig(**kwargs))
+
+
+class TestMultiplier:
+    def test_idle_pool_stays_at_the_static_floor(self):
+        eng = engine()
+        assert eng.observe_cycle(0.0, 100.0) == 1.0
+        assert eng.multiplier == 1.0
+
+    def test_hot_pool_scales_with_gain(self):
+        eng = engine(pricing_gain=0.5, max_multiplier=10.0)
+        eng.observe_cycle(80.0, 20.0)  # utilization 0.8
+        assert eng.multiplier == pytest.approx(1.0 + 0.5 * 0.8)
+
+    def test_clamped_at_max_multiplier(self):
+        eng = engine(pricing_gain=100.0, max_multiplier=3.0)
+        eng.observe_cycle(99.0, 1.0)
+        assert eng.multiplier == 3.0
+
+    def test_pricing_off_pins_the_multiplier(self):
+        eng = engine(pricing=False, pricing_gain=100.0)
+        eng.observe_cycle(100.0, 0.0)
+        assert eng.multiplier == 1.0
+        # The utilization estimate still tracks, only pricing is inert.
+        assert eng.utilization == 1.0
+
+
+class TestEwma:
+    def test_first_sample_seeds_the_estimate(self):
+        eng = engine(pricing_decay=0.9)
+        eng.observe_cycle(50.0, 50.0)
+        assert eng.utilization == pytest.approx(0.5)
+
+    def test_later_samples_decay_in(self):
+        eng = engine(pricing_decay=0.7)
+        eng.observe_cycle(50.0, 50.0)  # seed at 0.5
+        eng.observe_cycle(100.0, 0.0)  # fold in 1.0
+        assert eng.utilization == pytest.approx(0.7 * 0.5 + 0.3 * 1.0)
+
+    def test_empty_pool_counts_as_idle(self):
+        eng = engine()
+        eng.observe_cycle(0.0, 0.0)
+        assert eng.utilization == 0.0
+
+    def test_sample_is_clamped_to_unit_interval(self):
+        eng = engine()
+        eng.observe_cycle(100.0, -1.0)  # degenerate free estimate
+        assert eng.utilization <= 1.0
+
+    def test_snapshot_counts_cycles(self):
+        eng = engine()
+        eng.observe_cycle(1.0, 1.0)
+        eng.observe_cycle(1.0, 1.0)
+        snap = eng.snapshot()
+        assert snap["cycles_observed"] == 2
+        assert snap["multiplier"] == eng.multiplier

@@ -1,0 +1,110 @@
+"""Property suite: ledger conservation under interleaved op storms."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tenancy import CreditLedger, TenancyConfig
+
+TENANTS = ("alice", "bob", "carol")
+
+#: One storm step: (op, tenant_index, job_index, amount).  ``op`` picks
+#: among commit-time debit, retirement settle, revocation forfeit, and
+#: replan/abandon release; tenant/job indices alias a small pool so the
+#: storm genuinely interleaves lifecycles across shared accounts.
+steps = st.lists(
+    st.tuples(
+        st.sampled_from(["debit", "settle", "forfeit", "release"]),
+        st.integers(min_value=0, max_value=len(TENANTS) - 1),
+        st.integers(min_value=0, max_value=7),
+        st.floats(min_value=0.01, max_value=500.0, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    steps,
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=1.0, max_value=3.0),
+)
+def test_conservation_survives_interleaved_storms(storm, refund, multiplier):
+    ledger = CreditLedger(
+        TenancyConfig(default_credit=1_000.0, forfeit_refund=refund)
+    )
+    debited = refunded = spent = 0.0
+    for op, tenant_index, job_index, amount in storm:
+        tenant = TENANTS[tenant_index]
+        job_id = f"job-{job_index}"
+        if op == "debit":
+            if ledger.holds_escrow(job_id):
+                continue  # double escrow is a programming error by design
+            if ledger.debit(
+                tenant,
+                job_id,
+                amount,
+                multiplier=multiplier,
+                node_seconds=amount,
+            ):
+                debited += amount
+        elif op == "settle":
+            _, settled = ledger.settle(job_id)
+            spent += settled
+        elif op == "forfeit":
+            before = ledger.snapshot()
+            _, back = ledger.refund_forfeit(job_id, amount)
+            refunded += back
+            spent += (
+                ledger.snapshot()["total_spent"] - before["total_spent"]
+            )
+        else:
+            _, back = ledger.refund_release(job_id)
+            refunded += back
+        # The ledger's own law must hold after *every* step, not just
+        # at the end of the storm.
+        ledger.assert_conservation()
+
+    snap = ledger.snapshot()
+    # The test's independent tally agrees with the ledger's books.
+    assert abs(snap["total_debited"] - debited) < 1e-6
+    assert abs(snap["total_refunded"] - refunded) < 1e-6
+    assert abs(snap["total_spent"] - spent) < 1e-6
+    # Global conservation: everything debited is refunded, earned, or
+    # still held in an open escrow.
+    assert (
+        abs(
+            snap["total_debited"]
+            - snap["total_refunded"]
+            - snap["total_spent"]
+            - snap["open_escrow"]
+        )
+        < 1e-6
+    )
+    # No account ever goes negative.
+    for name in ledger.tenants():
+        assert ledger.balance(name) >= -1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(steps)
+def test_committed_node_seconds_are_monotone(storm):
+    """The DRF basis never decreases, whatever the lifecycle does."""
+    ledger = CreditLedger(TenancyConfig(default_credit=10_000.0))
+    committed = {name: 0.0 for name in TENANTS}
+    for op, tenant_index, job_index, amount in storm:
+        tenant = TENANTS[tenant_index]
+        job_id = f"job-{job_index}"
+        if op == "debit" and not ledger.holds_escrow(job_id):
+            ledger.debit(tenant, job_id, amount, node_seconds=amount)
+        elif op == "settle":
+            ledger.settle(job_id)
+        elif op == "forfeit":
+            ledger.refund_forfeit(job_id, amount)
+        else:
+            ledger.refund_release(job_id)
+        for name, seconds in ledger.committed_shares().items():
+            assert seconds >= committed.get(name, 0.0) - 1e-9
+            committed[name] = seconds
